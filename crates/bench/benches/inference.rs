@@ -1,0 +1,65 @@
+//! **Table 4** — inference latency / throughput per model.
+//!
+//! Criterion benchmarks of the forward pass (weights untrained — latency is
+//! weight-independent): single clip and batch-8, for the video transformer
+//! (both attention variants) and the learned baselines. Parameter counts
+//! are printed alongside.
+//!
+//! Run with `cargo bench -p tsdx-bench --bench inference`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_baselines::{CnnGru, CnnGruConfig, FrameMlp, FrameMlpConfig, HeuristicExtractor};
+use tsdx_core::{AttentionKind, ClipModel, ModelConfig, VideoScenarioTransformer};
+use tsdx_tensor::{Graph, Tensor};
+
+fn forward_once(model: &dyn ClipModel, videos: &Tensor) {
+    let mut g = Graph::new();
+    let p = model.params().bind_frozen(&mut g);
+    let mut rng = StdRng::seed_from_u64(0);
+    let logits = model.forward(&mut g, &p, videos, &mut rng, false);
+    std::hint::black_box(g.value(logits.ego).sum());
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let clip1 = Tensor::from_fn(&[1, 8, 32, 32], |i| (i % 97) as f32 / 97.0);
+    let clip8 = Tensor::from_fn(&[8, 8, 32, 32], |i| (i % 97) as f32 / 97.0);
+
+    let vt = VideoScenarioTransformer::new(ModelConfig::default(), 0);
+    let vt_joint = VideoScenarioTransformer::new(
+        ModelConfig { attention: AttentionKind::Joint, ..ModelConfig::default() },
+        0,
+    );
+    let gru = CnnGru::new(CnnGruConfig::default(), 0);
+    let mlp = FrameMlp::new(FrameMlpConfig::default(), 0);
+    let heuristic = HeuristicExtractor::default();
+    let single = clip1.reshape(&[8, 32, 32]);
+
+    eprintln!(
+        "params: transformer={} joint={} cnn-gru={} frame-mlp={}",
+        vt.num_params(),
+        vt_joint.num_params(),
+        gru.num_params(),
+        mlp.num_params()
+    );
+
+    let mut group = c.benchmark_group("table4_single_clip");
+    group.sample_size(20);
+    group.bench_function("video-transformer", |b| b.iter(|| forward_once(&vt, &clip1)));
+    group.bench_function("video-transformer-joint", |b| b.iter(|| forward_once(&vt_joint, &clip1)));
+    group.bench_function("cnn-gru", |b| b.iter(|| forward_once(&gru, &clip1)));
+    group.bench_function("frame-mlp", |b| b.iter(|| forward_once(&mlp, &clip1)));
+    group.bench_function("heuristic", |b| b.iter(|| std::hint::black_box(heuristic.predict(&single))));
+    group.finish();
+
+    let mut group = c.benchmark_group("table4_batch8");
+    group.sample_size(10);
+    group.bench_function("video-transformer", |b| b.iter(|| forward_once(&vt, &clip8)));
+    group.bench_function("cnn-gru", |b| b.iter(|| forward_once(&gru, &clip8)));
+    group.bench_function("frame-mlp", |b| b.iter(|| forward_once(&mlp, &clip8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Data-pipeline throughput: scenario sampling, simulation, rendering, and
+//! the full clip-generation path.
+//!
+//! Run with `cargo bench -p tsdx-bench --bench pipeline`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_data::{generate_clip, DatasetConfig};
+use tsdx_render::{render_video, RenderConfig, WorldMap};
+use tsdx_sim::{SamplerConfig, ScenarioSampler};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sampler = ScenarioSampler::new(SamplerConfig::default());
+
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("sample_scenario", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| std::hint::black_box(sampler.sample(&mut rng)))
+    });
+
+    let generated = sampler.sample(&mut StdRng::seed_from_u64(1));
+    group.bench_function("simulate_8s_dt100ms", |b| {
+        b.iter(|| std::hint::black_box(generated.world.simulate(0.1)))
+    });
+
+    let traj = generated.world.simulate(0.1);
+    group.bench_function("worldmap_build", |b| {
+        b.iter(|| std::hint::black_box(WorldMap::build(&generated.world.road)))
+    });
+    group.bench_function("render_video_8x32x32", |b| {
+        let cfg = RenderConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(render_video(&generated.world, &traj, &cfg, &mut rng)))
+    });
+
+    group.bench_function("generate_clip_end_to_end", |b| {
+        let cfg = DatasetConfig::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(generate_clip(&cfg, i % 64))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **Fig. 2** — accuracy vs number of input frames (temporal ablation).
+//!
+//! Regenerates the dataset at each frame count T ∈ {2, 4, 8, 16} (same
+//! scenarios, same seed — only the temporal sampling changes), trains the
+//! transformer at matching configuration, and reports test accuracy. The
+//! expected shape: accuracy rises with T until the behaviors' temporal
+//! horizon is covered, then saturates.
+//!
+//! Run with `cargo run -p tsdx-bench --release --bin fig2_frames`.
+
+use tsdx_bench::{fit_transformer, is_quick, pct, print_table, standard_split};
+use tsdx_core::{evaluate, ModelConfig};
+use tsdx_data::{generate_dataset, DatasetConfig};
+use tsdx_render::RenderConfig;
+
+fn main() {
+    let (n, epochs) = if is_quick() { (240, 4) } else { (900, 10) };
+    let mut rows = Vec::new();
+    for frames in [2usize, 4, 8, 16] {
+        eprintln!("T = {frames}: generating {n} clips...");
+        let cfg = DatasetConfig {
+            n_clips: n,
+            base_seed: tsdx_bench::STD_SEED,
+            render: RenderConfig { frames, ..RenderConfig::default() },
+            ..DatasetConfig::default()
+        };
+        let clips = generate_dataset(&cfg);
+        let split = standard_split(&clips);
+        let model_cfg = ModelConfig {
+            frames,
+            tubelet_t: if frames >= 4 { 2 } else { 1 },
+            ..ModelConfig::default()
+        };
+        eprintln!("T = {frames}: training...");
+        let model = fit_transformer(model_cfg, &clips, &split.train, epochs);
+        let s = evaluate(&model, &clips, &split.test);
+        rows.push(vec![
+            frames.to_string(),
+            pct(s.ego_acc),
+            pct(s.event_acc),
+            pct(s.road_acc),
+            pct(s.position_acc),
+            pct(s.mean_accuracy()),
+        ]);
+    }
+    print_table(
+        "Fig 2: accuracy vs input frames (test split, %)",
+        &["frames", "ego", "event", "road", "pos", "mean"],
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! **Fig. 5** — ego-maneuver confusion matrix of the trained transformer.
+//!
+//! Run with `cargo run -p tsdx-bench --release --bin fig5_confusion`.
+
+use tsdx_bench::{fit_transformer, is_quick, standard_clips, standard_split};
+use tsdx_core::{predict_labels, ModelConfig};
+use tsdx_metrics::ConfusionMatrix;
+use tsdx_sdl::{vocab, EgoManeuver};
+
+fn main() {
+    let (n, epochs) = if is_quick() { (300, 4) } else { (1500, 25) };
+    eprintln!("generating {n} clips...");
+    let clips = standard_clips(n);
+    let split = standard_split(&clips);
+    eprintln!("training video-transformer...");
+    let model = fit_transformer(ModelConfig::default(), &clips, &split.train, epochs);
+
+    let predictions = predict_labels(&model, &clips, &split.test);
+    let truths: Vec<usize> = split.test.iter().map(|&i| clips[i].labels.ego).collect();
+    let preds: Vec<usize> = predictions.iter().map(|l| l.ego).collect();
+
+    let mut ego_cm = ConfusionMatrix::with_names(
+        EgoManeuver::ALL.iter().map(|m| m.as_str().to_string()).collect(),
+    );
+    ego_cm.record_all(&truths, &preds);
+    println!("\n== Fig 5a: ego-maneuver confusion (rows = truth) ==");
+    println!("{ego_cm}");
+    println!("overall ego accuracy: {:.1}%", ego_cm.accuracy() * 100.0);
+
+    // Event confusion as the companion panel.
+    let t_event: Vec<usize> = split.test.iter().map(|&i| clips[i].labels.event).collect();
+    let p_event: Vec<usize> = predictions.iter().map(|l| l.event).collect();
+    let mut event_cm = ConfusionMatrix::with_names(
+        (0..vocab::EVENT_COUNT).map(vocab::event_name).collect(),
+    );
+    event_cm.record_all(&t_event, &p_event);
+    println!("\n== Fig 5b: primary-event confusion (rows = truth) ==");
+    println!("{event_cm}");
+    println!("overall event accuracy: {:.1}%", event_cm.accuracy() * 100.0);
+}

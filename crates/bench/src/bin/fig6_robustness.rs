@@ -1,0 +1,80 @@
+//! **Fig. 6** (extension) — robustness to weather and lighting shift.
+//!
+//! Trains the transformer on clear daylight clips, then evaluates on the
+//! *same held-out scenarios* re-rendered under fog and night. A second
+//! model trained with weather augmentation (clear + fog + night variants
+//! of every training scenario) shows how much of the degradation is
+//! recoverable.
+//!
+//! Run with `cargo run -p tsdx-bench --release --bin fig6_robustness`.
+
+use tsdx_bench::{is_quick, pct, print_table, standard_dataset_config, standard_split};
+use tsdx_core::{evaluate, train, ModelConfig, VideoScenarioTransformer};
+use tsdx_data::{generate_dataset, Clip, DatasetConfig};
+use tsdx_render::Weather;
+
+/// Regenerates the clips selected by `idx` under a different weather (the
+/// scenario sampling is deterministic per index, so only pixels change).
+fn rerender(base: &DatasetConfig, idx: &[usize], weather: Weather) -> Vec<Clip> {
+    let cfg = DatasetConfig {
+        render: tsdx_render::RenderConfig { weather, ..base.render },
+        ..*base
+    };
+    idx.iter().map(|&i| tsdx_data::generate_clip(&cfg, i)).collect()
+}
+
+fn fit(clips: &[Clip], epochs: usize, label: &str) -> VideoScenarioTransformer {
+    eprintln!("training {label} on {} clips...", clips.len());
+    let mut model = VideoScenarioTransformer::new(ModelConfig::default(), tsdx_bench::STD_SEED);
+    let idx: Vec<usize> = (0..clips.len()).collect();
+    let tc = tsdx_bench::standard_train_config(epochs, clips.len(), 16);
+    train(&mut model, clips, &idx, &tc);
+    model
+}
+
+fn main() {
+    let (n, epochs) = if is_quick() { (240, 3) } else { (1000, 8) };
+    let base = standard_dataset_config(n);
+    eprintln!("generating {n} clear clips...");
+    let clear = generate_dataset(&base);
+    let split = standard_split(&clear);
+
+    // Clear-only training set.
+    let clear_train: Vec<Clip> = split.train.iter().map(|&i| clear[i].clone()).collect();
+
+    // Weather-augmented training set: every training scenario under clear,
+    // moderate fog, and night.
+    let mut aug_train = clear_train.clone();
+    aug_train.extend(rerender(&base, &split.train, Weather::Fog(0.06)));
+    aug_train.extend(rerender(&base, &split.train, Weather::Night));
+
+    let clear_model = fit(&clear_train, epochs, "clear-trained");
+    let aug_model = fit(&aug_train, epochs, "weather-augmented");
+
+    let conditions = [
+        Weather::Clear,
+        Weather::Fog(0.03),
+        Weather::Fog(0.07),
+        Weather::Fog(0.12),
+        Weather::Night,
+    ];
+    let mut rows = Vec::new();
+    for weather in conditions {
+        let test = rerender(&base, &split.test, weather);
+        let idx: Vec<usize> = (0..test.len()).collect();
+        let s_clear = evaluate(&clear_model, &test, &idx);
+        let s_aug = evaluate(&aug_model, &test, &idx);
+        rows.push(vec![
+            weather.name(),
+            pct(s_clear.mean_accuracy()),
+            pct(s_clear.ego_acc),
+            pct(s_aug.mean_accuracy()),
+            pct(s_aug.ego_acc),
+        ]);
+    }
+    print_table(
+        "Fig 6: robustness to weather shift (test split, %)",
+        &["condition", "clear-trained mean", "clear ego", "aug-trained mean", "aug ego"],
+        &rows,
+    );
+}

@@ -1,0 +1,25 @@
+//! **Table 1** — dataset statistics: clips per scenario class, label
+//! marginals, split sizes.
+//!
+//! Run with `cargo run -p tsdx-bench --release --bin table1_dataset`
+//! (`--quick` for a 300-clip variant).
+
+use tsdx_bench::{is_quick, pct, print_table, standard_clips, standard_split};
+use tsdx_data::DatasetStats;
+
+fn main() {
+    let n = if is_quick() { 300 } else { 3000 };
+    eprintln!("generating {n} clips (seed {})...", tsdx_bench::STD_SEED);
+    let clips = standard_clips(n);
+    let stats = DatasetStats::compute(&clips);
+    let split = standard_split(&clips);
+
+    println!("{stats}");
+
+    let rows = vec![
+        vec!["train".to_string(), split.train.len().to_string(), pct(split.train.len() as f32 / n as f32)],
+        vec!["val".to_string(), split.val.len().to_string(), pct(split.val.len() as f32 / n as f32)],
+        vec!["test".to_string(), split.test.len().to_string(), pct(split.test.len() as f32 / n as f32)],
+    ];
+    print_table("Table 1b: stratified split", &["part", "clips", "%"], &rows);
+}

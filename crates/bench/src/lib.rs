@@ -1,0 +1,144 @@
+//! # tsdx-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! evaluation (see `DESIGN.md` §4 and `EXPERIMENTS.md`). Each experiment is
+//! a binary under `src/bin/`; shared setup lives here.
+//!
+//! All experiments accept `--quick` to run a reduced-size variant (useful
+//! for smoke-testing the harness; the reported numbers in `EXPERIMENTS.md`
+//! come from the full settings).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tsdx_core::{ClipModel, ModelConfig, TrainConfig, VideoScenarioTransformer};
+use tsdx_data::{generate_dataset, stratified_split, Clip, DatasetConfig, Split};
+use tsdx_nn::LrSchedule;
+
+/// Seed used by every experiment unless stated otherwise.
+pub const STD_SEED: u64 = 17;
+
+/// True when `--quick` was passed on the command line.
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Standard dataset configuration (32×32 px, 8 frames, mild noise).
+pub fn standard_dataset_config(n_clips: usize) -> DatasetConfig {
+    DatasetConfig { n_clips, base_seed: STD_SEED, ..DatasetConfig::default() }
+}
+
+/// Generates the standard evaluation dataset.
+pub fn standard_clips(n_clips: usize) -> Vec<Clip> {
+    generate_dataset(&standard_dataset_config(n_clips))
+}
+
+/// Standard 70/10/20 stratified split.
+pub fn standard_split(clips: &[Clip]) -> Split {
+    stratified_split(clips, (0.7, 0.1), STD_SEED)
+}
+
+/// Training configuration scaled to the dataset size.
+pub fn standard_train_config(epochs: usize, n_train: usize, batch_size: usize) -> TrainConfig {
+    let steps_per_epoch = n_train.div_ceil(batch_size) as u32;
+    let total = (epochs as u32) * steps_per_epoch;
+    TrainConfig {
+        epochs,
+        batch_size,
+        schedule: LrSchedule::WarmupCosine {
+            base: 1e-3,
+            warmup: (total / 20).max(5),
+            total,
+            min: 5e-5,
+        },
+        seed: STD_SEED,
+        verbose: true,
+        ..TrainConfig::default()
+    }
+}
+
+/// Materializes the training set selected by `idx`, doubled with
+/// horizontal flips (the standard augmentation of the evaluation).
+pub fn augmented_train_set(clips: &[Clip], idx: &[usize]) -> Vec<Clip> {
+    let selected: Vec<Clip> = idx.iter().map(|&i| clips[i].clone()).collect();
+    tsdx_data::augment_with_flips(&selected)
+}
+
+/// Trains a fresh video scenario transformer on the flip-augmented
+/// `clips[idx]`.
+pub fn fit_transformer(
+    cfg: ModelConfig,
+    clips: &[Clip],
+    idx: &[usize],
+    epochs: usize,
+) -> VideoScenarioTransformer {
+    let mut model = VideoScenarioTransformer::new(cfg, STD_SEED);
+    fit_model(&mut model, clips, idx, epochs);
+    model
+}
+
+/// Trains any [`ClipModel`] in place on the flip-augmented `clips[idx]`
+/// with the standard schedule.
+pub fn fit_model(model: &mut dyn ClipModel, clips: &[Clip], idx: &[usize], epochs: usize) {
+    let train = augmented_train_set(clips, idx);
+    let all: Vec<usize> = (0..train.len()).collect();
+    let tc = standard_train_config(epochs, all.len(), 16);
+    tsdx_core::train(model, &train, &all, &tc);
+}
+
+/// Prints a fixed-width table with a title, header row, and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_flag_reads_args() {
+        // No --quick in the test harness invocation.
+        assert!(!is_quick() || std::env::args().any(|a| a == "--quick"));
+    }
+
+    #[test]
+    fn standard_split_shapes() {
+        let clips = standard_clips(40);
+        let split = standard_split(&clips);
+        assert_eq!(split.len(), 40);
+        assert!(split.train.len() >= 24);
+        assert!(!split.test.is_empty());
+    }
+
+    #[test]
+    fn train_config_schedule_scales_with_steps() {
+        let tc = standard_train_config(10, 160, 16);
+        match tc.schedule {
+            LrSchedule::WarmupCosine { total, .. } => assert_eq!(total, 100),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Model configuration.
+
+/// How the encoder attends over space and time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttentionKind {
+    /// ViViT "model 2": a spatial encoder per frame group followed by a
+    /// temporal encoder over per-frame summaries. Cost grows with
+    /// `nt·ns² + nt²` instead of `(nt·ns)²`.
+    Factorized,
+    /// A single encoder over all spatio-temporal tokens (ViViT "model 1").
+    Joint,
+}
+
+/// How the clip embedding is read out of the final token sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Readout {
+    /// A learned classification token.
+    Cls,
+    /// Mean pooling over tokens.
+    MeanPool,
+}
+
+/// Hyper-parameters of the video scenario transformer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Frames per clip.
+    pub frames: usize,
+    /// Frame height (px).
+    pub height: usize,
+    /// Frame width (px).
+    pub width: usize,
+    /// Temporal extent of a tubelet (frames).
+    pub tubelet_t: usize,
+    /// Spatial extent of a tubelet (px, square).
+    pub patch: usize,
+    /// Token embedding width.
+    pub dim: usize,
+    /// Depth of the spatial encoder (or the whole encoder when joint).
+    pub spatial_depth: usize,
+    /// Depth of the temporal encoder (ignored when joint).
+    pub temporal_depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP expansion ratio.
+    pub mlp_ratio: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+    /// Space-time attention structure.
+    pub attention: AttentionKind,
+    /// Clip readout strategy.
+    pub readout: Readout,
+}
+
+impl Default for ModelConfig {
+    /// The evaluation default: 8×32×32 clips, 2×8×8 tubelets, width 64,
+    /// 2+2 factorized encoder with CLS readout.
+    ///
+    /// Dropout defaults to 0: at this model scale it slows convergence far
+    /// more than it regularizes; horizontal-flip data augmentation carries
+    /// the regularization instead (see DESIGN.md calibration notes).
+    fn default() -> Self {
+        ModelConfig {
+            frames: 8,
+            height: 32,
+            width: 32,
+            tubelet_t: 2,
+            patch: 8,
+            dim: 64,
+            spatial_depth: 2,
+            temporal_depth: 2,
+            heads: 4,
+            mlp_ratio: 2,
+            dropout: 0.0,
+            attention: AttentionKind::Factorized,
+            readout: Readout::Cls,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Number of tubelet groups along time.
+    pub fn n_time(&self) -> usize {
+        self.frames / self.tubelet_t
+    }
+
+    /// Number of spatial tokens per tubelet group.
+    pub fn n_space(&self) -> usize {
+        (self.height / self.patch) * (self.width / self.patch)
+    }
+
+    /// Flattened tubelet volume (input width of the embedding projection).
+    pub fn tubelet_volume(&self) -> usize {
+        self.tubelet_t * self.patch * self.patch
+    }
+
+    /// Checks divisibility and size constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frames == 0 || self.height == 0 || self.width == 0 {
+            return Err("clip dimensions must be positive".into());
+        }
+        if self.tubelet_t == 0 || !self.frames.is_multiple_of(self.tubelet_t) {
+            return Err(format!("tubelet_t {} must divide frames {}", self.tubelet_t, self.frames));
+        }
+        if self.patch == 0 || !self.height.is_multiple_of(self.patch) || !self.width.is_multiple_of(self.patch) {
+            return Err(format!(
+                "patch {} must divide frame size {}x{}",
+                self.patch, self.height, self.width
+            ));
+        }
+        if self.heads == 0 || !self.dim.is_multiple_of(self.heads) {
+            return Err(format!("heads {} must divide dim {}", self.heads, self.dim));
+        }
+        if self.spatial_depth == 0 {
+            return Err("spatial_depth must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(format!("dropout {} out of range", self.dropout));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = ModelConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.n_time(), 4);
+        assert_eq!(c.n_space(), 16);
+        assert_eq!(c.tubelet_volume(), 128);
+    }
+
+    #[test]
+    fn validation_catches_bad_divisibility() {
+        let bad = [
+            ModelConfig { tubelet_t: 3, ..ModelConfig::default() },
+            ModelConfig { patch: 5, ..ModelConfig::default() },
+            ModelConfig { heads: 5, ..ModelConfig::default() },
+            ModelConfig { dropout: 1.0, ..ModelConfig::default() },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Clip encoders: factorized (ViViT model 2) and joint space-time
+//! attention, with CLS or mean-pool readout.
+
+use rand::Rng;
+use tsdx_nn::{Binding, ParamId, ParamStore, TransformerEncoder};
+use tsdx_tensor::{Graph, Tensor, Var};
+
+use crate::config::{AttentionKind, ModelConfig, Readout};
+
+/// Encodes token grids `[B, nt*ns, D]` into clip embeddings `[B, D]`.
+#[derive(Debug, Clone)]
+pub struct ClipEncoder {
+    kind: AttentionKind,
+    readout: Readout,
+    spatial: TransformerEncoder,
+    temporal: Option<TransformerEncoder>,
+    cls_space: Option<ParamId>,
+    cls_time: Option<ParamId>,
+    n_time: usize,
+    n_space: usize,
+    dim: usize,
+}
+
+impl ClipEncoder {
+    /// Registers encoder parameters according to `cfg`.
+    ///
+    /// For [`AttentionKind::Joint`] a single encoder of depth
+    /// `spatial_depth + temporal_depth` is created so the parameter budget
+    /// matches the factorized variant.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, cfg: &ModelConfig) -> Self {
+        let use_cls = cfg.readout == Readout::Cls;
+        match cfg.attention {
+            AttentionKind::Factorized => {
+                let spatial = TransformerEncoder::new(
+                    store,
+                    rng,
+                    &format!("{name}.spatial"),
+                    cfg.dim,
+                    cfg.spatial_depth,
+                    cfg.heads,
+                    cfg.mlp_ratio,
+                    cfg.dropout,
+                );
+                let temporal = TransformerEncoder::new(
+                    store,
+                    rng,
+                    &format!("{name}.temporal"),
+                    cfg.dim,
+                    cfg.temporal_depth,
+                    cfg.heads,
+                    cfg.mlp_ratio,
+                    cfg.dropout,
+                );
+                let cls_space = use_cls.then(|| {
+                    store.add(
+                        format!("{name}.cls_space"),
+                        tsdx_nn::init::embedding_normal(&[1, cfg.dim], rng),
+                    )
+                });
+                let cls_time = use_cls.then(|| {
+                    store.add(
+                        format!("{name}.cls_time"),
+                        tsdx_nn::init::embedding_normal(&[1, cfg.dim], rng),
+                    )
+                });
+                ClipEncoder {
+                    kind: cfg.attention,
+                    readout: cfg.readout,
+                    spatial,
+                    temporal: Some(temporal),
+                    cls_space,
+                    cls_time,
+                    n_time: cfg.n_time(),
+                    n_space: cfg.n_space(),
+                    dim: cfg.dim,
+                }
+            }
+            AttentionKind::Joint => {
+                let spatial = TransformerEncoder::new(
+                    store,
+                    rng,
+                    &format!("{name}.joint"),
+                    cfg.dim,
+                    cfg.spatial_depth + cfg.temporal_depth,
+                    cfg.heads,
+                    cfg.mlp_ratio,
+                    cfg.dropout,
+                );
+                let cls_space = use_cls.then(|| {
+                    store.add(
+                        format!("{name}.cls_joint"),
+                        tsdx_nn::init::embedding_normal(&[1, cfg.dim], rng),
+                    )
+                });
+                ClipEncoder {
+                    kind: cfg.attention,
+                    readout: cfg.readout,
+                    spatial,
+                    temporal: None,
+                    cls_space,
+                    cls_time: None,
+                    n_time: cfg.n_time(),
+                    n_space: cfg.n_space(),
+                    dim: cfg.dim,
+                }
+            }
+        }
+    }
+
+    /// Encodes `[B, nt*ns, D]` tokens to a `[B, D]` clip embedding.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        tokens: Var,
+        rng: &mut impl Rng,
+        train: bool,
+    ) -> Var {
+        let b = g.shape(tokens)[0];
+        match self.kind {
+            AttentionKind::Joint => {
+                let seq = self.with_cls(g, p, tokens, self.cls_space);
+                let encoded = self.spatial.forward(g, p, seq, rng, train);
+                self.read(g, encoded)
+            }
+            AttentionKind::Factorized => {
+                // Spatial stage over each time group independently.
+                let per_frame = g.reshape(tokens, &[b * self.n_time, self.n_space, self.dim]);
+                let seq = self.with_cls(g, p, per_frame, self.cls_space);
+                let encoded = self.spatial.forward(g, p, seq, rng, train);
+                let frame_embed = self.read(g, encoded); // [B*nt, D]
+                let temporal_tokens = g.reshape(frame_embed, &[b, self.n_time, self.dim]);
+                // Temporal stage over frame summaries.
+                let seq_t = self.with_cls(g, p, temporal_tokens, self.cls_time);
+                let temporal =
+                    self.temporal.as_ref().expect("factorized encoder has a temporal stage");
+                let encoded_t = temporal.forward(g, p, seq_t, rng, train);
+                self.read(g, encoded_t)
+            }
+        }
+    }
+
+    /// Runs the (first) spatial or joint stage and returns the attention
+    /// probabilities of its last block (`[N, H, T, T]`), for introspection.
+    pub fn forward_attention(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        tokens: Var,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let b = g.shape(tokens)[0];
+        match self.kind {
+            AttentionKind::Joint => {
+                let seq = self.with_cls(g, p, tokens, self.cls_space);
+                let (_, attn) = self.spatial.forward_with_attn(g, p, seq, rng, false);
+                attn
+            }
+            AttentionKind::Factorized => {
+                let per_frame = g.reshape(tokens, &[b * self.n_time, self.n_space, self.dim]);
+                let seq = self.with_cls(g, p, per_frame, self.cls_space);
+                let (_, attn) = self.spatial.forward_with_attn(g, p, seq, rng, false);
+                attn
+            }
+        }
+    }
+
+    /// Runs the full factorized pipeline and returns the *temporal* stage's
+    /// last-block attention (`[B, H, T', T']` where `T'` counts frame
+    /// summaries plus an optional CLS).
+    ///
+    /// Returns `None` for joint encoders (they have no separate temporal
+    /// stage; use [`ClipEncoder::forward_attention`] instead).
+    pub fn forward_temporal_attention(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        tokens: Var,
+        rng: &mut impl Rng,
+    ) -> Option<Var> {
+        let temporal = self.temporal.as_ref()?;
+        let b = g.shape(tokens)[0];
+        let per_frame = g.reshape(tokens, &[b * self.n_time, self.n_space, self.dim]);
+        let seq = self.with_cls(g, p, per_frame, self.cls_space);
+        let encoded = self.spatial.forward(g, p, seq, rng, false);
+        let frame_embed = self.read(g, encoded);
+        let temporal_tokens = g.reshape(frame_embed, &[b, self.n_time, self.dim]);
+        let seq_t = self.with_cls(g, p, temporal_tokens, self.cls_time);
+        let (_, attn) = temporal.forward_with_attn(g, p, seq_t, rng, false);
+        Some(attn)
+    }
+
+    /// Prepends a learned CLS token (broadcast over the batch) when the
+    /// readout is CLS; otherwise returns the sequence unchanged.
+    fn with_cls(&self, g: &mut Graph, p: &Binding, seq: Var, cls: Option<ParamId>) -> Var {
+        let Some(cls) = cls else { return seq };
+        let b = g.shape(seq)[0];
+        // Broadcast [1, D] to [B, 1, D] via ones-matmul (keeps gradients
+        // flowing to the CLS parameter).
+        let ones = g.constant(Tensor::ones(&[b, 1, 1]));
+        let cls_var = p.var(cls);
+        let tiled = g.matmul(ones, cls_var); // [B, 1, D]
+        g.concat(&[tiled, seq], 1)
+    }
+
+    /// Reads a `[N, T, D]` encoded sequence down to `[N, D]`.
+    fn read(&self, g: &mut Graph, encoded: Var) -> Var {
+        let sh = g.shape(encoded).to_vec();
+        match self.readout {
+            Readout::Cls => {
+                let first = g.narrow(encoded, 1, 0, 1);
+                g.reshape(first, &[sh[0], sh[2]])
+            }
+            Readout::MeanPool => g.mean_axis(encoded, 1, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(kind: AttentionKind, readout: Readout) -> ModelConfig {
+        ModelConfig {
+            frames: 4,
+            height: 8,
+            width: 8,
+            tubelet_t: 2,
+            patch: 4,
+            dim: 8,
+            spatial_depth: 1,
+            temporal_depth: 1,
+            heads: 2,
+            mlp_ratio: 2,
+            dropout: 0.0,
+            attention: kind,
+            readout,
+        }
+    }
+
+    fn run(kind: AttentionKind, readout: Readout) -> (usize, Vec<f32>) {
+        let cfg = cfg(kind, readout);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = ClipEncoder::new(&mut store, &mut rng, "enc", &cfg);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let tokens =
+            g.constant(Tensor::from_fn(&[2, 8, 8], |i| ((i % 13) as f32 - 6.0) * 0.1));
+        let out = enc.forward(&mut g, &p, tokens, &mut rng, false);
+        assert_eq!(g.shape(out), &[2, 8]);
+        (store.num_scalars(), g.value(out).data().to_vec())
+    }
+
+    #[test]
+    fn all_variants_produce_clip_embeddings() {
+        for kind in [AttentionKind::Factorized, AttentionKind::Joint] {
+            for readout in [Readout::Cls, Readout::MeanPool] {
+                let (_, out) = run(kind, readout);
+                assert!(out.iter().all(|v| v.is_finite()), "{kind:?}/{readout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn joint_and_factorized_have_comparable_param_budgets() {
+        let (pf, _) = run(AttentionKind::Factorized, Readout::Cls);
+        let (pj, _) = run(AttentionKind::Joint, Readout::Cls);
+        let ratio = pf as f32 / pj as f32;
+        assert!((0.8..1.25).contains(&ratio), "param budgets diverge: {pf} vs {pj}");
+    }
+
+    #[test]
+    fn gradients_reach_cls_tokens() {
+        let cfg = cfg(AttentionKind::Factorized, Readout::Cls);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = ClipEncoder::new(&mut store, &mut rng, "enc", &cfg);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let tokens = g.constant(Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.01).sin()));
+        let out = enc.forward(&mut g, &p, tokens, &mut rng, false);
+        let loss = g.mean_all(out);
+        let grads = g.backward(loss);
+        let collected = store.collect_grads(&p, &grads);
+        // Find the CLS params by name and confirm nonzero gradients.
+        for (i, id) in store.ids().enumerate() {
+            let name = store.name(id);
+            if name.contains("cls") {
+                assert!(
+                    collected[i].data().iter().any(|&v| v != 0.0),
+                    "no gradient reached {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_pool_is_permutation_invariant_with_identity_encoder() {
+        // Sanity: with mean-pool readout, reordering *identical* tokens
+        // doesn't change the embedding (tokens are identical here).
+        let (_, a) = run(AttentionKind::Joint, Readout::MeanPool);
+        let (_, b) = run(AttentionKind::Joint, Readout::MeanPool);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end scenario extraction API.
+
+use tsdx_data::Clip;
+use tsdx_sdl::Scenario;
+use tsdx_tensor::Tensor;
+
+use crate::model::VideoScenarioTransformer;
+use crate::train::{predict_labels, TrainConfig};
+
+/// High-level extractor: video in, SDL description out.
+///
+/// Wraps a trained [`VideoScenarioTransformer`] together with the greedy
+/// decoding from head outputs to a validated [`Scenario`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use tsdx_core::{ModelConfig, ScenarioExtractor};
+/// use tsdx_tensor::Tensor;
+///
+/// let extractor = ScenarioExtractor::untrained(ModelConfig::default(), 0);
+/// let clip = Tensor::zeros(&[1, 8, 32, 32]);
+/// let description = extractor.extract(&clip.reshape(&[8, 32, 32]));
+/// println!("{description}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioExtractor {
+    model: VideoScenarioTransformer,
+}
+
+impl ScenarioExtractor {
+    /// Wraps an already-trained model.
+    pub fn new(model: VideoScenarioTransformer) -> Self {
+        ScenarioExtractor { model }
+    }
+
+    /// Creates an extractor with random weights (for demos and tests; train
+    /// it with [`ScenarioExtractor::fit`]).
+    pub fn untrained(cfg: crate::ModelConfig, seed: u64) -> Self {
+        ScenarioExtractor { model: VideoScenarioTransformer::new(cfg, seed) }
+    }
+
+    /// Trains the underlying model on `clips` (all indices) and returns the
+    /// final mean training loss.
+    pub fn fit(&mut self, clips: &[Clip], cfg: &TrainConfig) -> f32 {
+        let idx: Vec<usize> = (0..clips.len()).collect();
+        let report = crate::train::train(&mut self.model, clips, &idx, cfg);
+        report.final_loss()
+    }
+
+    /// Extracts the SDL description of a single video `[T, H, W]`.
+    ///
+    /// The returned scenario always satisfies [`Scenario::validate`].
+    pub fn extract(&self, video: &Tensor) -> Scenario {
+        let sh = video.shape();
+        assert_eq!(sh.len(), 3, "expected a single [T, H, W] video");
+        let batched = video.reshape(&[1, sh[0], sh[1], sh[2]]);
+        let labels = self.model.predict(&batched);
+        labels[0].to_scenario()
+    }
+
+    /// Extracts descriptions for a batch of clips.
+    pub fn extract_batch(&self, clips: &[Clip]) -> Vec<Scenario> {
+        let idx: Vec<usize> = (0..clips.len()).collect();
+        predict_labels(&self.model, clips, &idx)
+            .into_iter()
+            .map(|l| l.to_scenario())
+            .collect()
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &VideoScenarioTransformer {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model (e.g. for checkpoint loading).
+    pub fn model_mut(&mut self) -> &mut VideoScenarioTransformer {
+        &mut self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn tiny_extractor() -> ScenarioExtractor {
+        ScenarioExtractor::untrained(
+            ModelConfig {
+                frames: 4,
+                height: 16,
+                width: 16,
+                tubelet_t: 2,
+                patch: 8,
+                dim: 16,
+                spatial_depth: 1,
+                temporal_depth: 1,
+                heads: 2,
+                dropout: 0.0,
+                ..ModelConfig::default()
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn extract_returns_valid_parseable_sdl() {
+        let ex = tiny_extractor();
+        let video = Tensor::from_fn(&[4, 16, 16], |i| (i % 11) as f32 / 11.0);
+        let scenario = ex.extract(&video);
+        scenario.validate().unwrap();
+        // Round-trips through the canonical text form.
+        let text = scenario.to_string();
+        let parsed: Scenario = text.parse().unwrap();
+        assert_eq!(parsed, scenario);
+    }
+
+    #[test]
+    #[should_panic]
+    fn extract_rejects_batched_input() {
+        let ex = tiny_extractor();
+        ex.extract(&Tensor::zeros(&[2, 4, 16, 16]));
+    }
+}

@@ -1,0 +1,81 @@
+//! Analytic compute-cost model (multiply-accumulates per clip).
+//!
+//! Used by the Fig. 4 ablation to report the factorized-vs-joint attention
+//! cost difference without relying on wall-clock noise.
+
+use crate::config::{AttentionKind, ModelConfig};
+
+/// Multiply-accumulate estimate for one transformer block over a sequence
+/// of `t` tokens of width `d` with MLP ratio `m`.
+fn block_macs(t: usize, d: usize, m: usize) -> u64 {
+    let t = t as u64;
+    let d = d as u64;
+    let m = m as u64;
+    // QKV + output projections: 4 * t * d^2.
+    let proj = 4 * t * d * d;
+    // Attention scores and context: 2 * t^2 * d.
+    let attn = 2 * t * t * d;
+    // MLP: 2 * t * d * (m*d).
+    let mlp = 2 * t * d * m * d;
+    proj + attn + mlp
+}
+
+/// Estimated multiply-accumulates for one clip forward pass.
+pub fn clip_macs(cfg: &ModelConfig) -> u64 {
+    let nt = cfg.n_time() as u64;
+    let ns = cfg.n_space();
+    let d = cfg.dim;
+    let cls = 1usize;
+    let embed = (nt * ns as u64) * (cfg.tubelet_volume() as u64) * d as u64;
+    let encoder = match cfg.attention {
+        AttentionKind::Factorized => {
+            let spatial =
+                nt * cfg.spatial_depth as u64 * block_macs(ns + cls, d, cfg.mlp_ratio);
+            let temporal =
+                cfg.temporal_depth as u64 * block_macs(cfg.n_time() + cls, d, cfg.mlp_ratio);
+            spatial + temporal
+        }
+        AttentionKind::Joint => {
+            let depth = (cfg.spatial_depth + cfg.temporal_depth) as u64;
+            depth * block_macs(cfg.n_time() * ns + cls, d, cfg.mlp_ratio)
+        }
+    };
+    // Heads are negligible but included for completeness.
+    let heads = (d * (7 + 4 + 13 + 5 + 3)) as u64;
+    embed + encoder + heads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn joint_attention_costs_more_than_factorized() {
+        let f = ModelConfig { attention: AttentionKind::Factorized, ..ModelConfig::default() };
+        let j = ModelConfig { attention: AttentionKind::Joint, ..ModelConfig::default() };
+        let (mf, mj) = (clip_macs(&f), clip_macs(&j));
+        assert!(mj > mf, "joint ({mj}) should exceed factorized ({mf})");
+    }
+
+    #[test]
+    fn cost_grows_with_resolution_and_frames() {
+        let base = ModelConfig::default();
+        let hi = ModelConfig { height: 64, width: 64, ..base };
+        assert!(clip_macs(&hi) > clip_macs(&base));
+        let long = ModelConfig { frames: 16, ..base };
+        assert!(clip_macs(&long) > clip_macs(&base));
+    }
+
+    #[test]
+    fn joint_gap_widens_with_sequence_length() {
+        // The factorized saving grows as nt*ns grows.
+        let small_f = ModelConfig::default();
+        let small_j = ModelConfig { attention: AttentionKind::Joint, ..small_f };
+        let big_f = ModelConfig { frames: 16, height: 64, width: 64, ..small_f };
+        let big_j = ModelConfig { attention: AttentionKind::Joint, ..big_f };
+        let small_ratio = clip_macs(&small_j) as f64 / clip_macs(&small_f) as f64;
+        let big_ratio = clip_macs(&big_j) as f64 / clip_macs(&big_f) as f64;
+        assert!(big_ratio > small_ratio, "{small_ratio} vs {big_ratio}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-task SDL decoding heads and the combined training loss.
+
+use rand::Rng;
+use tsdx_data::{Batch, POSITION_COUNT};
+use tsdx_nn::{Binding, Linear, ParamStore};
+use tsdx_sdl::{vocab, ActorKind, EgoManeuver, RoadKind};
+use tsdx_tensor::{Graph, Var};
+
+/// Logit variables of all five heads for one batch.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadLogits {
+    /// Ego maneuver logits `[B, 7]`.
+    pub ego: Var,
+    /// Road kind logits `[B, 4]`.
+    pub road: Var,
+    /// Primary event logits `[B, 13]`.
+    pub event: Var,
+    /// Position logits `[B, 5]`.
+    pub position: Var,
+    /// Actor presence logits `[B, 3]` (sigmoid semantics).
+    pub presence: Var,
+}
+
+/// Relative loss weights of the heads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossWeights {
+    /// Weight of the ego cross-entropy.
+    pub ego: f32,
+    /// Weight of the road cross-entropy.
+    pub road: f32,
+    /// Weight of the event cross-entropy.
+    pub event: f32,
+    /// Weight of the position cross-entropy.
+    pub position: f32,
+    /// Weight of the presence BCE.
+    pub presence: f32,
+}
+
+impl Default for LossWeights {
+    /// Equal weights except a lighter presence term (it is the easiest
+    /// head and otherwise dominates early training).
+    fn default() -> Self {
+        LossWeights { ego: 1.0, road: 1.0, event: 1.0, position: 0.5, presence: 0.5 }
+    }
+}
+
+/// The five linear decoding heads on top of a clip embedding.
+#[derive(Debug, Clone)]
+pub struct SdlHeads {
+    ego: Linear,
+    road: Linear,
+    event: Linear,
+    position: Linear,
+    presence: Linear,
+}
+
+impl SdlHeads {
+    /// Registers all heads for a `dim`-wide clip embedding.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, dim: usize) -> Self {
+        SdlHeads {
+            ego: Linear::new(store, rng, &format!("{name}.ego"), dim, EgoManeuver::COUNT),
+            road: Linear::new(store, rng, &format!("{name}.road"), dim, RoadKind::COUNT),
+            event: Linear::new(store, rng, &format!("{name}.event"), dim, vocab::EVENT_COUNT),
+            position: Linear::new(store, rng, &format!("{name}.position"), dim, POSITION_COUNT),
+            presence: Linear::new(store, rng, &format!("{name}.presence"), dim, ActorKind::COUNT),
+        }
+    }
+
+    /// Applies all heads to a clip embedding `[B, D]`.
+    pub fn forward(&self, g: &mut Graph, p: &Binding, embedding: Var) -> HeadLogits {
+        HeadLogits {
+            ego: self.ego.forward(g, p, embedding),
+            road: self.road.forward(g, p, embedding),
+            event: self.event.forward(g, p, embedding),
+            position: self.position.forward(g, p, embedding),
+            presence: self.presence.forward(g, p, embedding),
+        }
+    }
+}
+
+/// Combined multi-task loss for one batch (scalar variable).
+pub fn multitask_loss(g: &mut Graph, logits: &HeadLogits, batch: &Batch, w: &LossWeights) -> Var {
+    let ego = g.cross_entropy(logits.ego, &batch.ego);
+    let road = g.cross_entropy(logits.road, &batch.road);
+    let event = g.cross_entropy(logits.event, &batch.event);
+    let position = g.cross_entropy(logits.position, &batch.position);
+    let presence = g.bce_logits(logits.presence, &batch.presence);
+
+    let ego = g.scale(ego, w.ego);
+    let road = g.scale(road, w.road);
+    let event = g.scale(event, w.event);
+    let position = g.scale(position, w.position);
+    let presence = g.scale(presence, w.presence);
+    let a = g.add(ego, road);
+    let b = g.add(event, position);
+    let ab = g.add(a, b);
+    g.add(ab, presence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsdx_tensor::Tensor;
+
+    fn dummy_batch(b: usize) -> Batch {
+        Batch {
+            videos: Tensor::zeros(&[b, 1, 1, 1]),
+            ego: vec![0; b],
+            road: vec![1; b],
+            event: vec![vocab::EVENT_NONE; b],
+            position: vec![tsdx_data::POSITION_NONE; b],
+            presence: Tensor::zeros(&[b, 3]),
+        }
+    }
+
+    #[test]
+    fn heads_produce_correct_widths() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let heads = SdlHeads::new(&mut store, &mut rng, "h", 16);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let emb = g.constant(Tensor::zeros(&[3, 16]));
+        let out = heads.forward(&mut g, &p, emb);
+        assert_eq!(g.shape(out.ego), &[3, EgoManeuver::COUNT]);
+        assert_eq!(g.shape(out.road), &[3, RoadKind::COUNT]);
+        assert_eq!(g.shape(out.event), &[3, vocab::EVENT_COUNT]);
+        assert_eq!(g.shape(out.position), &[3, POSITION_COUNT]);
+        assert_eq!(g.shape(out.presence), &[3, ActorKind::COUNT]);
+    }
+
+    #[test]
+    fn loss_is_finite_scalar_and_differentiable() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let heads = SdlHeads::new(&mut store, &mut rng, "h", 8);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let emb = g.constant(Tensor::from_fn(&[2, 8], |i| (i as f32 * 0.1).sin()));
+        let logits = heads.forward(&mut g, &p, emb);
+        let batch = dummy_batch(2);
+        let loss = multitask_loss(&mut g, &logits, &batch, &LossWeights::default());
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0);
+        let grads = g.backward(loss);
+        let collected = store.collect_grads(&p, &grads);
+        assert!(collected.iter().any(|t| t.data().iter().any(|&x| x != 0.0)));
+    }
+
+    #[test]
+    fn zero_weights_remove_terms() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = SdlHeads::new(&mut store, &mut rng, "h", 8);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let emb = g.constant(Tensor::zeros(&[2, 8]));
+        let logits = heads.forward(&mut g, &p, emb);
+        let batch = dummy_batch(2);
+        let zero = LossWeights { ego: 0.0, road: 0.0, event: 0.0, position: 0.0, presence: 0.0 };
+        let loss = multitask_loss(&mut g, &logits, &batch, &zero);
+        assert_eq!(g.value(loss).item(), 0.0);
+    }
+}

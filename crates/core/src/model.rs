@@ -1,0 +1,266 @@
+//! The video scenario transformer and the [`ClipModel`] abstraction shared
+//! with the baselines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_data::{ClipLabels, POSITION_COUNT};
+use tsdx_nn::{Binding, ParamStore};
+use tsdx_sdl::{vocab, ActorKind, EgoManeuver, RoadKind};
+use tsdx_tensor::{ops, Graph, Tensor};
+
+use crate::config::ModelConfig;
+use crate::encoder::ClipEncoder;
+use crate::heads::{HeadLogits, SdlHeads};
+use crate::tubelet::{extract_tubelets, TubeletEmbed};
+
+/// Anything that maps a video batch to SDL head logits and can be trained.
+///
+/// Implemented by the video scenario transformer here and by the learned
+/// baselines in `tsdx-baselines`, so the training loop and evaluation
+/// harness are shared.
+pub trait ClipModel {
+    /// The parameter store holding all trainable tensors.
+    fn params(&self) -> &ParamStore;
+
+    /// Mutable access for optimizers and checkpoint loading.
+    fn params_mut(&mut self) -> &mut ParamStore;
+
+    /// Builds the forward pass for `videos` (`[B, T, H, W]`) on the tape.
+    ///
+    /// `rng` drives dropout when `train` is true.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        videos: &Tensor,
+        rng: &mut StdRng,
+        train: bool,
+    ) -> HeadLogits;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Decodes head logit *values* into per-clip labels (argmax heads,
+/// presence threshold 0.5 on the sigmoid).
+pub fn decode_logits(
+    ego: &Tensor,
+    road: &Tensor,
+    event: &Tensor,
+    position: &Tensor,
+    presence: &Tensor,
+) -> Vec<ClipLabels> {
+    let b = ego.shape()[0];
+    assert!(ego.shape() == [b, EgoManeuver::COUNT], "bad ego logits shape");
+    assert!(road.shape() == [b, RoadKind::COUNT], "bad road logits shape");
+    assert!(event.shape() == [b, vocab::EVENT_COUNT], "bad event logits shape");
+    assert!(position.shape() == [b, POSITION_COUNT], "bad position logits shape");
+    assert!(presence.shape() == [b, ActorKind::COUNT], "bad presence logits shape");
+    let ego_idx = ops::argmax_last(ego);
+    let road_idx = ops::argmax_last(road);
+    let event_idx = ops::argmax_last(event);
+    let pos_idx = ops::argmax_last(position);
+    (0..b)
+        .map(|i| {
+            let mut pres = [0.0f32; ActorKind::COUNT];
+            for (k, slot) in pres.iter_mut().enumerate() {
+                // Sigmoid(logit) >= 0.5 <=> logit >= 0.
+                *slot = if presence.at(&[i, k]) >= 0.0 { 1.0 } else { 0.0 };
+            }
+            ClipLabels {
+                ego: ego_idx.data()[i] as usize,
+                road: road_idx.data()[i] as usize,
+                event: event_idx.data()[i] as usize,
+                position: pos_idx.data()[i] as usize,
+                presence: pres,
+            }
+        })
+        .collect()
+}
+
+/// The paper's model: tubelet embedding, factorized (or joint) space-time
+/// transformer encoder, and multi-task SDL heads.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_core::{ModelConfig, VideoScenarioTransformer};
+/// let model = VideoScenarioTransformer::new(ModelConfig::default(), 42);
+/// assert!(model.num_params() > 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VideoScenarioTransformer {
+    cfg: ModelConfig,
+    store: ParamStore,
+    embed: TubeletEmbed,
+    encoder: ClipEncoder,
+    heads: SdlHeads,
+}
+
+impl VideoScenarioTransformer {
+    /// Builds a model with freshly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ModelConfig::validate`].
+    pub fn new(cfg: ModelConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid model configuration");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = TubeletEmbed::new(&mut store, &mut rng, "embed", &cfg);
+        let encoder = ClipEncoder::new(&mut store, &mut rng, "encoder", &cfg);
+        let heads = SdlHeads::new(&mut store, &mut rng, "heads", cfg.dim);
+        VideoScenarioTransformer { cfg, store, embed, encoder, heads }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Computes the clip embedding (`[B, D]`) for a video batch without the
+    /// heads — used for representation probing and retrieval.
+    pub fn embed_clips(&self, videos: &Tensor) -> Tensor {
+        let mut g = Graph::new();
+        let p = self.store.bind_frozen(&mut g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tubs = g.constant(extract_tubelets(&self.cfg, videos));
+        let tokens = self.embed.forward(&mut g, &p, tubs);
+        let emb = self.encoder.forward(&mut g, &p, tokens, &mut rng, false);
+        g.value(emb).clone()
+    }
+
+    pub(crate) fn params_ref(&self) -> &ParamStore {
+        &self.store
+    }
+
+    pub(crate) fn embed_ref(&self) -> &TubeletEmbed {
+        &self.embed
+    }
+
+    pub(crate) fn encoder_ref(&self) -> &ClipEncoder {
+        &self.encoder
+    }
+
+    /// Runs inference on a video batch, returning decoded labels.
+    pub fn predict(&self, videos: &Tensor) -> Vec<ClipLabels> {
+        let mut g = Graph::new();
+        let p = self.store.bind_frozen(&mut g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = self.forward(&mut g, &p, videos, &mut rng, false);
+        decode_logits(
+            g.value(logits.ego),
+            g.value(logits.road),
+            g.value(logits.event),
+            g.value(logits.position),
+            g.value(logits.presence),
+        )
+    }
+}
+
+impl ClipModel for VideoScenarioTransformer {
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        videos: &Tensor,
+        rng: &mut StdRng,
+        train: bool,
+    ) -> HeadLogits {
+        let tubs = g.constant(extract_tubelets(&self.cfg, videos));
+        let tokens = self.embed.forward(g, p, tubs);
+        let emb = self.encoder.forward(g, p, tokens, rng, train);
+        self.heads.forward(g, p, emb)
+    }
+
+    fn name(&self) -> &str {
+        "video-transformer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AttentionKind, Readout};
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            frames: 4,
+            height: 16,
+            width: 16,
+            tubelet_t: 2,
+            patch: 8,
+            dim: 16,
+            spatial_depth: 1,
+            temporal_depth: 1,
+            heads: 2,
+            mlp_ratio: 2,
+            dropout: 0.0,
+            attention: AttentionKind::Factorized,
+            readout: Readout::Cls,
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_decode() {
+        let model = VideoScenarioTransformer::new(tiny_cfg(), 0);
+        let videos = Tensor::from_fn(&[3, 4, 16, 16], |i| (i % 7) as f32 / 7.0);
+        let labels = model.predict(&videos);
+        assert_eq!(labels.len(), 3);
+        for l in &labels {
+            assert!(l.ego < EgoManeuver::COUNT);
+            assert!(l.road < RoadKind::COUNT);
+            assert!(l.event < vocab::EVENT_COUNT);
+            assert!(l.position < POSITION_COUNT);
+        }
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let model = VideoScenarioTransformer::new(tiny_cfg(), 1);
+        let videos = Tensor::from_fn(&[2, 4, 16, 16], |i| (i % 5) as f32 / 5.0);
+        assert_eq!(model.predict(&videos), model.predict(&videos));
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let a = VideoScenarioTransformer::new(tiny_cfg(), 7);
+        let b = VideoScenarioTransformer::new(tiny_cfg(), 7);
+        let videos = Tensor::from_fn(&[1, 4, 16, 16], |i| (i % 3) as f32 / 3.0);
+        assert_eq!(a.predict(&videos), b.predict(&videos));
+        let c = VideoScenarioTransformer::new(tiny_cfg(), 8);
+        assert_eq!(a.num_params(), c.num_params());
+    }
+
+    #[test]
+    fn embeddings_have_model_width() {
+        let model = VideoScenarioTransformer::new(tiny_cfg(), 2);
+        let videos = Tensor::zeros(&[2, 4, 16, 16]);
+        let emb = model.embed_clips(&videos);
+        assert_eq!(emb.shape(), &[2, 16]);
+    }
+
+    #[test]
+    fn decode_logits_thresholds_presence_at_zero() {
+        let ego = Tensor::zeros(&[1, EgoManeuver::COUNT]);
+        let road = Tensor::zeros(&[1, RoadKind::COUNT]);
+        let event = Tensor::zeros(&[1, vocab::EVENT_COUNT]);
+        let position = Tensor::zeros(&[1, POSITION_COUNT]);
+        let presence = Tensor::from_vec(vec![1.5, -0.5, 0.0], &[1, 3]);
+        let labels = decode_logits(&ego, &road, &event, &position, &presence);
+        assert_eq!(labels[0].presence, [1.0, 0.0, 1.0]);
+    }
+}

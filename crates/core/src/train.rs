@@ -1,0 +1,293 @@
+//! Shared training loop and evaluation harness for all [`ClipModel`]s.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_data::{collate, epoch_batches, Clip, ClipLabels};
+use tsdx_metrics::{accuracy, macro_f1, multilabel_report};
+use tsdx_nn::{clip_global_norm, AdamW, LrSchedule, Optimizer};
+use tsdx_sdl::{vocab, ActorKind, EgoManeuver};
+
+use crate::heads::{multitask_loss, LossWeights};
+use crate::model::{decode_logits, ClipModel};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule (per optimizer step).
+    pub schedule: LrSchedule,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip_norm: f32,
+    /// RNG seed for shuffling and dropout.
+    pub seed: u64,
+    /// Head loss weights.
+    pub loss_weights: LossWeights,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            schedule: LrSchedule::WarmupCosine { base: 1e-3, warmup: 20, total: 400, min: 5e-5 },
+            weight_decay: 1e-4,
+            clip_norm: 5.0,
+            seed: 0,
+            loss_weights: LossWeights::default(),
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Optimizer steps taken.
+    pub steps: u32,
+}
+
+impl TrainReport {
+    /// Final epoch's mean loss.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// Trains `model` on `clips[train_idx]` in place.
+pub fn train(
+    model: &mut dyn ClipModel,
+    clips: &[Clip],
+    train_idx: &[usize],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert!(!train_idx.is_empty(), "empty training set");
+    let mut opt = AdamW::new(cfg.weight_decay);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut step: u32 = 0;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let batches = epoch_batches(clips, train_idx, cfg.batch_size, &mut rng);
+        let mut loss_sum = 0.0;
+        for batch in &batches {
+            let mut g = tsdx_tensor::Graph::new();
+            let binding = model.params().bind(&mut g);
+            let logits = model.forward(&mut g, &binding, &batch.videos, &mut rng, true);
+            let loss = multitask_loss(&mut g, &logits, batch, &cfg.loss_weights);
+            loss_sum += g.value(loss).item();
+            let grads = g.backward(loss);
+            let mut collected = model.params().collect_grads(&binding, &grads);
+            if cfg.clip_norm > 0.0 {
+                clip_global_norm(&mut collected, cfg.clip_norm);
+            }
+            let lr = cfg.schedule.lr(step);
+            opt.step(model.params_mut(), &collected, lr);
+            step += 1;
+        }
+        let mean = loss_sum / batches.len() as f32;
+        epoch_losses.push(mean);
+        if cfg.verbose {
+            eprintln!("[{}] epoch {epoch:>3}: loss {mean:.4}", model.name());
+        }
+    }
+    TrainReport { epoch_losses, steps: step }
+}
+
+/// Per-head evaluation summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSummary {
+    /// Ego-maneuver accuracy.
+    pub ego_acc: f32,
+    /// Ego-maneuver macro-F1.
+    pub ego_f1: f32,
+    /// Road-kind accuracy.
+    pub road_acc: f32,
+    /// Primary-event accuracy.
+    pub event_acc: f32,
+    /// Primary-event macro-F1.
+    pub event_f1: f32,
+    /// Position accuracy.
+    pub position_acc: f32,
+    /// Actor-presence micro-F1 (threshold 0.5).
+    pub presence_f1: f32,
+    /// Number of evaluated clips.
+    pub n: usize,
+}
+
+impl EvalSummary {
+    /// Unweighted mean of the four classification accuracies (the single
+    /// scalar used in ablation figures).
+    pub fn mean_accuracy(&self) -> f32 {
+        (self.ego_acc + self.road_acc + self.event_acc + self.position_acc) / 4.0
+    }
+}
+
+impl std::fmt::Display for EvalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} ego {:.1}% (F1 {:.1}%) road {:.1}% event {:.1}% (F1 {:.1}%) pos {:.1}% presence-F1 {:.1}% | mean {:.1}%",
+            self.n,
+            self.ego_acc * 100.0,
+            self.ego_f1 * 100.0,
+            self.road_acc * 100.0,
+            self.event_acc * 100.0,
+            self.event_f1 * 100.0,
+            self.position_acc * 100.0,
+            self.presence_f1 * 100.0,
+            self.mean_accuracy() * 100.0
+        )
+    }
+}
+
+/// Runs batched inference, returning decoded labels per clip.
+pub fn predict_labels(model: &dyn ClipModel, clips: &[Clip], idx: &[usize]) -> Vec<ClipLabels> {
+    let mut out = Vec::with_capacity(idx.len());
+    let mut rng = StdRng::seed_from_u64(0);
+    for chunk in idx.chunks(16) {
+        let refs: Vec<&Clip> = chunk.iter().map(|&i| &clips[i]).collect();
+        let batch = collate(&refs);
+        let mut g = tsdx_tensor::Graph::new();
+        let binding = model.params().bind_frozen(&mut g);
+        let logits = model.forward(&mut g, &binding, &batch.videos, &mut rng, false);
+        out.extend(decode_logits(
+            g.value(logits.ego),
+            g.value(logits.road),
+            g.value(logits.event),
+            g.value(logits.position),
+            g.value(logits.presence),
+        ));
+    }
+    out
+}
+
+/// Evaluates `model` on `clips[idx]`.
+///
+/// # Panics
+///
+/// Panics on an empty index set.
+pub fn evaluate(model: &dyn ClipModel, clips: &[Clip], idx: &[usize]) -> EvalSummary {
+    assert!(!idx.is_empty(), "empty evaluation set");
+    let predictions = predict_labels(model, clips, idx);
+    summarize(&predictions, &idx.iter().map(|&i| clips[i].labels.clone()).collect::<Vec<_>>())
+}
+
+/// Computes an [`EvalSummary`] from aligned prediction/truth label lists.
+pub fn summarize(predictions: &[ClipLabels], truths: &[ClipLabels]) -> EvalSummary {
+    assert_eq!(predictions.len(), truths.len(), "prediction/truth mismatch");
+    let take = |f: fn(&ClipLabels) -> usize, xs: &[ClipLabels]| -> Vec<usize> {
+        xs.iter().map(f).collect()
+    };
+    let p_ego = take(|l| l.ego, predictions);
+    let t_ego = take(|l| l.ego, truths);
+    let p_road = take(|l| l.road, predictions);
+    let t_road = take(|l| l.road, truths);
+    let p_event = take(|l| l.event, predictions);
+    let t_event = take(|l| l.event, truths);
+    let p_pos = take(|l| l.position, predictions);
+    let t_pos = take(|l| l.position, truths);
+
+    let scores: Vec<f32> = predictions.iter().flat_map(|l| l.presence).collect();
+    let targets: Vec<f32> = truths.iter().flat_map(|l| l.presence).collect();
+    let ml = multilabel_report(&scores, &targets, ActorKind::COUNT, 0.5);
+
+    EvalSummary {
+        ego_acc: accuracy(&p_ego, &t_ego),
+        ego_f1: macro_f1(&p_ego, &t_ego, EgoManeuver::COUNT),
+        road_acc: accuracy(&p_road, &t_road),
+        event_acc: accuracy(&p_event, &t_event),
+        event_f1: macro_f1(&p_event, &t_event, vocab::EVENT_COUNT),
+        position_acc: accuracy(&p_pos, &t_pos),
+        presence_f1: ml.micro_f1,
+        n: predictions.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::VideoScenarioTransformer;
+    use tsdx_data::{generate_dataset, DatasetConfig};
+    use tsdx_render::RenderConfig;
+
+    fn tiny_model() -> VideoScenarioTransformer {
+        VideoScenarioTransformer::new(
+            ModelConfig {
+                frames: 4,
+                height: 16,
+                width: 16,
+                tubelet_t: 2,
+                patch: 8,
+                dim: 16,
+                spatial_depth: 1,
+                temporal_depth: 1,
+                heads: 2,
+                mlp_ratio: 2,
+                dropout: 0.0,
+                ..ModelConfig::default()
+            },
+            3,
+        )
+    }
+
+    fn tiny_clips(n: usize) -> Vec<Clip> {
+        generate_dataset(&DatasetConfig {
+            n_clips: n,
+            render: RenderConfig { width: 16, height: 16, frames: 4, ..RenderConfig::default() },
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn training_reduces_loss_on_small_set() {
+        let mut model = tiny_model();
+        let clips = tiny_clips(16);
+        let idx: Vec<usize> = (0..16).collect();
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 8,
+            schedule: LrSchedule::Constant(3e-3),
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &clips, &idx, &cfg);
+        assert_eq!(report.epoch_losses.len(), 12);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(
+            last < first * 0.7,
+            "training did not reduce loss: {first:.3} -> {last:.3}"
+        );
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn evaluate_reports_sane_ranges() {
+        let model = tiny_model();
+        let clips = tiny_clips(12);
+        let idx: Vec<usize> = (0..12).collect();
+        let s = evaluate(&model, &clips, &idx);
+        assert_eq!(s.n, 12);
+        for v in [s.ego_acc, s.road_acc, s.event_acc, s.position_acc, s.presence_f1, s.ego_f1] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        assert!((0.0..=1.0).contains(&s.mean_accuracy()));
+    }
+
+    #[test]
+    fn summarize_perfect_predictions() {
+        let labels: Vec<ClipLabels> = tiny_clips(6).iter().map(|c| c.labels.clone()).collect();
+        let s = summarize(&labels, &labels);
+        assert_eq!(s.ego_acc, 1.0);
+        assert_eq!(s.event_acc, 1.0);
+        assert_eq!(s.presence_f1, 1.0);
+    }
+}

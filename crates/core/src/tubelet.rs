@@ -1,0 +1,187 @@
+//! Tubelet extraction and embedding.
+//!
+//! A video `[B, T, H, W]` is cut into non-overlapping spatio-temporal boxes
+//! ("tubelets") of `tubelet_t × patch × patch` pixels. Each tubelet is
+//! flattened and linearly projected to the model width. Because videos are
+//! inputs (no gradient needed), the rearrangement runs as a plain tensor
+//! transform; only the projection lives on the autograd tape.
+
+use rand::Rng;
+use tsdx_nn::{Binding, Linear, ParamStore};
+use tsdx_tensor::{Graph, Tensor, Var};
+
+use crate::config::ModelConfig;
+
+/// Rearranges a video batch `[B, T, H, W]` into flattened tubelets
+/// `[B, nt*ns, tubelet_volume]`, in `(time-group, row-major space)` token
+/// order.
+///
+/// # Panics
+///
+/// Panics if the video shape disagrees with `cfg`.
+pub fn extract_tubelets(cfg: &ModelConfig, videos: &Tensor) -> Tensor {
+    let sh = videos.shape();
+    assert_eq!(sh.len(), 4, "expected [B, T, H, W] videos");
+    assert_eq!(
+        &sh[1..],
+        &[cfg.frames, cfg.height, cfg.width],
+        "video shape {:?} does not match config",
+        sh
+    );
+    let b = sh[0];
+    let (nt, tt) = (cfg.n_time(), cfg.tubelet_t);
+    let (nh, nw, p) = (cfg.height / cfg.patch, cfg.width / cfg.patch, cfg.patch);
+    let ns = nh * nw;
+    let vol = cfg.tubelet_volume();
+    let (h, w) = (cfg.height, cfg.width);
+    let src = videos.data();
+    let mut out = Vec::with_capacity(b * nt * ns * vol);
+    for bi in 0..b {
+        let clip = &src[bi * cfg.frames * h * w..(bi + 1) * cfg.frames * h * w];
+        for g in 0..nt {
+            for py in 0..nh {
+                for px in 0..nw {
+                    // One tubelet: frames [g*tt, (g+1)*tt), patch (py, px).
+                    for f in 0..tt {
+                        let frame = &clip[(g * tt + f) * h * w..(g * tt + f + 1) * h * w];
+                        for r in 0..p {
+                            let row = (py * p + r) * w + px * p;
+                            out.extend_from_slice(&frame[row..row + p]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, nt * ns, vol])
+}
+
+/// Learned tubelet embedding: projection plus separable positional
+/// embeddings (spatial + temporal) shared across the batch.
+#[derive(Debug, Clone)]
+pub struct TubeletEmbed {
+    proj: Linear,
+    /// Spatial positional embedding `[1, ns, D]` (broadcast over time).
+    pos_space: tsdx_nn::ParamId,
+    /// Temporal positional embedding `[nt, 1, D]` (broadcast over space).
+    pos_time: tsdx_nn::ParamId,
+    n_time: usize,
+    n_space: usize,
+    dim: usize,
+}
+
+impl TubeletEmbed {
+    /// Registers the projection and positional parameters.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, cfg: &ModelConfig) -> Self {
+        let proj = Linear::new(store, rng, &format!("{name}.proj"), cfg.tubelet_volume(), cfg.dim);
+        let pos_space = store.add(
+            format!("{name}.pos_space"),
+            tsdx_nn::init::embedding_normal(&[1, cfg.n_space(), cfg.dim], rng),
+        );
+        let pos_time = store.add(
+            format!("{name}.pos_time"),
+            tsdx_nn::init::embedding_normal(&[cfg.n_time(), 1, cfg.dim], rng),
+        );
+        TubeletEmbed {
+            proj,
+            pos_space,
+            pos_time,
+            n_time: cfg.n_time(),
+            n_space: cfg.n_space(),
+            dim: cfg.dim,
+        }
+    }
+
+    /// Embeds pre-extracted tubelets `[B, nt*ns, vol]` to tokens
+    /// `[B, nt*ns, D]` with positional information added.
+    pub fn forward(&self, g: &mut Graph, p: &Binding, tubelets: Var) -> Var {
+        let b = g.shape(tubelets)[0];
+        let tokens = self.proj.forward(g, p, tubelets); // [B, nt*ns, D]
+        // Add separable positions: reshape to [B, nt, ns, D], add
+        // pos_space [1, ns, D] and pos_time [nt, 1, D] (both broadcast).
+        let grid = g.reshape(tokens, &[b, self.n_time, self.n_space, self.dim]);
+        let ps = p.var(self.pos_space);
+        let pt = p.var(self.pos_time);
+        let with_space = g.add(grid, ps);
+        let with_both = g.add(with_space, pt);
+        g.reshape(with_both, &[b, self.n_time * self.n_space, self.dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            frames: 4,
+            height: 8,
+            width: 8,
+            tubelet_t: 2,
+            patch: 4,
+            dim: 8,
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn tubelet_shapes() {
+        let cfg = tiny_cfg();
+        let v = Tensor::zeros(&[3, 4, 8, 8]);
+        let t = extract_tubelets(&cfg, &v);
+        // nt=2, ns=4, vol=32.
+        assert_eq!(t.shape(), &[3, 8, 32]);
+    }
+
+    #[test]
+    fn tubelet_values_come_from_the_right_pixels() {
+        let cfg = tiny_cfg();
+        // Encode pixel identity: value = f*10000 + r*100 + c.
+        let v = Tensor::from_fn(&[1, 4, 8, 8], |i| {
+            let f = i / 64;
+            let r = (i / 8) % 8;
+            let c = i % 8;
+            (f * 10000 + r * 100 + c) as f32
+        });
+        let t = extract_tubelets(&cfg, &v);
+        // Token 0 = time group 0 (frames 0..2), patch (0,0).
+        // Its first element is frame 0, pixel (0,0) = 0.
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        // Element 16 within token 0 starts frame 1 of the tubelet.
+        assert_eq!(t.at(&[0, 0, 16]), 10000.0);
+        // Token 1 = patch (0,1): first pixel is (0,4) of frame 0.
+        assert_eq!(t.at(&[0, 1, 0]), 4.0);
+        // Token 4 = time group 1, patch (0,0): frame 2 pixel (0,0).
+        assert_eq!(t.at(&[0, 4, 0]), 20000.0);
+    }
+
+    #[test]
+    fn embedding_output_shape_and_positions_matter() {
+        let cfg = tiny_cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let embed = TubeletEmbed::new(&mut store, &mut rng, "tub", &cfg);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let tubs = g.constant(Tensor::zeros(&[2, 8, 32]));
+        let tokens = embed.forward(&mut g, &p, tubs);
+        assert_eq!(g.shape(tokens), &[2, 8, 8]);
+        // With zero input, output tokens are pure positional embeddings —
+        // and tokens at different grid positions must differ.
+        let val = g.value(tokens);
+        let t0: Vec<f32> = (0..8).map(|d| val.at(&[0, 0, d])).collect();
+        let t1: Vec<f32> = (0..8).map(|d| val.at(&[0, 1, d])).collect();
+        let t4: Vec<f32> = (0..8).map(|d| val.at(&[0, 4, d])).collect();
+        assert_ne!(t0, t1, "spatial positions must differentiate tokens");
+        assert_ne!(t0, t4, "temporal positions must differentiate tokens");
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let cfg = tiny_cfg();
+        extract_tubelets(&cfg, &Tensor::zeros(&[1, 4, 8, 10]));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of decoding and tubelet invariants.
+
+use proptest::prelude::*;
+use tsdx_core::{decode_logits, extract_tubelets, ModelConfig};
+use tsdx_data::POSITION_COUNT;
+use tsdx_sdl::{vocab, ActorKind, EgoManeuver, RoadKind};
+use tsdx_tensor::Tensor;
+
+fn logits(n: usize, c: usize, seed: u64) -> Tensor {
+    Tensor::from_fn(&[n, c], move |i| {
+        let x = (i as u64 + 1).wrapping_mul(seed.wrapping_add(0x9E37_79B9));
+        ((x % 2000) as f32 / 100.0) - 10.0
+    })
+}
+
+proptest! {
+    #[test]
+    fn decoded_labels_always_produce_valid_sdl(seed in 0u64..20_000, b in 1usize..6) {
+        let labels = decode_logits(
+            &logits(b, EgoManeuver::COUNT, seed),
+            &logits(b, RoadKind::COUNT, seed + 1),
+            &logits(b, vocab::EVENT_COUNT, seed + 2),
+            &logits(b, POSITION_COUNT, seed + 3),
+            &logits(b, ActorKind::COUNT, seed + 4),
+        );
+        prop_assert_eq!(labels.len(), b);
+        for l in labels {
+            let scenario = l.to_scenario();
+            prop_assert!(scenario.validate().is_ok());
+            // Canonical text round-trips.
+            let parsed: tsdx_sdl::Scenario = scenario.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, scenario);
+        }
+    }
+
+    #[test]
+    fn tubelets_partition_the_video_exactly(
+        b in 1usize..3,
+        t_groups in 1usize..3,
+        grid in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        // Build a config whose dimensions match the sampled structure.
+        let cfg = ModelConfig {
+            frames: t_groups * 2,
+            tubelet_t: 2,
+            height: grid * 4,
+            width: grid * 4,
+            patch: 4,
+            dim: 8,
+            spatial_depth: 1,
+            temporal_depth: 1,
+            heads: 2,
+            ..ModelConfig::default()
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let video = Tensor::from_fn(&[b, cfg.frames, cfg.height, cfg.width], |i| {
+            ((i as u64).wrapping_mul(seed + 7) % 997) as f32 / 997.0
+        });
+        let tubs = extract_tubelets(&cfg, &video);
+        prop_assert_eq!(
+            tubs.shape(),
+            &[b, cfg.n_time() * cfg.n_space(), cfg.tubelet_volume()][..]
+        );
+        // Every pixel appears exactly once: totals match.
+        let total_video: f32 = video.data().iter().sum();
+        let total_tubs: f32 = tubs.data().iter().sum();
+        prop_assert!((total_video - total_tubs).abs() < total_video.abs() * 1e-5 + 1e-3);
+        // And the multiset of values is preserved.
+        let mut a: Vec<f32> = video.data().to_vec();
+        let mut c: Vec<f32> = tubs.data().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        c.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,157 @@
+//! Mini-batch assembly.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tsdx_tensor::Tensor;
+
+use crate::clipgen::Clip;
+
+/// A mini-batch of clips with stacked tensors and per-head labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Videos stacked to `[B, T, H, W]`.
+    pub videos: Tensor,
+    /// Ego-maneuver class per clip.
+    pub ego: Vec<usize>,
+    /// Road-kind class per clip.
+    pub road: Vec<usize>,
+    /// Primary-event class per clip.
+    pub event: Vec<usize>,
+    /// Position class per clip.
+    pub position: Vec<usize>,
+    /// Actor presence multi-hot `[B, 3]`.
+    pub presence: Tensor,
+}
+
+impl Batch {
+    /// Number of clips in the batch.
+    pub fn len(&self) -> usize {
+        self.ego.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ego.is_empty()
+    }
+}
+
+/// Stacks clips into a [`Batch`].
+///
+/// # Panics
+///
+/// Panics on an empty slice or mismatched video shapes.
+pub fn collate(clips: &[&Clip]) -> Batch {
+    assert!(!clips.is_empty(), "cannot collate an empty batch");
+    let shape = clips[0].video.shape().to_vec();
+    let mut videos = Vec::with_capacity(clips.len() * clips[0].video.numel());
+    let mut presence = Vec::with_capacity(clips.len() * 3);
+    let mut ego = Vec::with_capacity(clips.len());
+    let mut road = Vec::with_capacity(clips.len());
+    let mut event = Vec::with_capacity(clips.len());
+    let mut position = Vec::with_capacity(clips.len());
+    for c in clips {
+        assert_eq!(c.video.shape(), &shape[..], "clip shape mismatch in batch");
+        videos.extend_from_slice(c.video.data());
+        presence.extend_from_slice(&c.labels.presence);
+        ego.push(c.labels.ego);
+        road.push(c.labels.road);
+        event.push(c.labels.event);
+        position.push(c.labels.position);
+    }
+    let mut vshape = vec![clips.len()];
+    vshape.extend_from_slice(&shape);
+    Batch {
+        videos: Tensor::from_vec(videos, &vshape),
+        ego,
+        road,
+        event,
+        position,
+        presence: Tensor::from_vec(presence, &[clips.len(), 3]),
+    }
+}
+
+/// Yields shuffled mini-batches of `indices` into `clips`, one epoch at a
+/// time. The final short batch is kept.
+pub fn epoch_batches(
+    clips: &[Clip],
+    indices: &[usize],
+    batch_size: usize,
+    rng: &mut impl Rng,
+) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order: Vec<usize> = indices.to_vec();
+    order.shuffle(rng);
+    order
+        .chunks(batch_size)
+        .map(|chunk| {
+            let refs: Vec<&Clip> = chunk.iter().map(|&i| &clips[i]).collect();
+            collate(&refs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clipgen::{generate_dataset, DatasetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsdx_render::RenderConfig;
+
+    fn clips(n: usize) -> Vec<Clip> {
+        generate_dataset(&DatasetConfig {
+            n_clips: n,
+            render: RenderConfig { width: 8, height: 8, frames: 2, ..RenderConfig::default() },
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn collate_shapes() {
+        let cs = clips(5);
+        let refs: Vec<&Clip> = cs.iter().collect();
+        let b = collate(&refs);
+        assert_eq!(b.videos.shape(), &[5, 2, 8, 8]);
+        assert_eq!(b.presence.shape(), &[5, 3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn collate_preserves_order_and_values() {
+        let cs = clips(3);
+        let refs: Vec<&Clip> = cs.iter().collect();
+        let b = collate(&refs);
+        for (i, c) in cs.iter().enumerate() {
+            assert_eq!(b.ego[i], c.labels.ego);
+            let n = c.video.numel();
+            assert_eq!(&b.videos.data()[i * n..(i + 1) * n], c.video.data());
+        }
+    }
+
+    #[test]
+    fn epoch_batches_cover_every_index_once() {
+        let cs = clips(10);
+        let idx: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = epoch_batches(&cs, &idx, 4, &mut rng);
+        assert_eq!(batches.len(), 3); // 4 + 4 + 2
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn shuffling_changes_order_between_epochs() {
+        let cs = clips(8);
+        let idx: Vec<usize> = (0..8).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = epoch_batches(&cs, &idx, 8, &mut rng);
+        let b = epoch_batches(&cs, &idx, 8, &mut rng);
+        // Same multiset of egos, but (almost surely) different order.
+        let mut ea = a[0].ego.clone();
+        let mut eb = b[0].ego.clone();
+        assert_ne!(a[0].ego, b[0].ego, "two epochs produced identical order");
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+    }
+}

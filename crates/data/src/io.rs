@@ -1,0 +1,207 @@
+//! Dataset (de)serialization: write generated clip datasets to disk and
+//! load them back, so expensive generation runs once per configuration.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   b"TSDXCLP1"
+//! u32     clip count
+//! repeat: u32 rank, u32 dims..., f32 video data (row-major),
+//!         u32 text length, canonical SDL text (UTF-8)
+//! ```
+//!
+//! Labels are re-derived from the SDL text on load, so the file stays
+//! valid if the label vocabulary derivation evolves.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use tsdx_tensor::Tensor;
+
+use crate::clipgen::Clip;
+use crate::labels::ClipLabels;
+
+const MAGIC: &[u8; 8] = b"TSDXCLP1";
+
+/// Error loading a clip dataset file.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a tsdx clip file, or corrupt.
+    Format(String),
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            DatasetIoError::Format(m) => write!(f, "invalid dataset file: {m}"),
+        }
+    }
+}
+
+impl Error for DatasetIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetIoError::Io(e) => Some(e),
+            DatasetIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetIoError {
+    fn from(e: io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+/// Writes `clips` to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_clips(clips: &[Clip], path: impl AsRef<Path>) -> Result<(), DatasetIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(clips.len() as u32).to_le_bytes())?;
+    for clip in clips {
+        let shape = clip.video.shape();
+        w.write_all(&(shape.len() as u32).to_le_bytes())?;
+        for &d in shape {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in clip.video.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        let text = clip.truth.to_string();
+        w.write_all(&(text.len() as u32).to_le_bytes())?;
+        w.write_all(text.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a clip dataset written by [`save_clips`].
+///
+/// # Errors
+///
+/// Returns [`DatasetIoError::Format`] on bad magic, corrupt structure, or
+/// unparseable SDL text; [`DatasetIoError::Io`] on read failures.
+pub fn load_clips(path: impl AsRef<Path>) -> Result<Vec<Clip>, DatasetIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(DatasetIoError::Format("bad magic number".into()));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 10_000_000 {
+        return Err(DatasetIoError::Format(format!("implausible clip count {count}")));
+    }
+    let mut clips = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        if rank == 0 || rank > 8 {
+            return Err(DatasetIoError::Format(format!("implausible video rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        if n > 256 << 20 {
+            return Err(DatasetIoError::Format("implausible video size".into()));
+        }
+        let mut data = vec![0.0f32; n];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        let text_len = read_u32(&mut r)? as usize;
+        if text_len > 4096 {
+            return Err(DatasetIoError::Format("implausible SDL text length".into()));
+        }
+        let mut text = vec![0u8; text_len];
+        r.read_exact(&mut text)?;
+        let text = String::from_utf8(text)
+            .map_err(|_| DatasetIoError::Format("non-UTF-8 SDL text".into()))?;
+        let truth = text
+            .parse::<tsdx_sdl::Scenario>()
+            .map_err(|e| DatasetIoError::Format(format!("bad SDL `{text}`: {e}")))?;
+        let labels = ClipLabels::from_scenario(&truth);
+        clips.push(Clip { video: Tensor::from_vec(data, &shape), truth, labels });
+    }
+    Ok(clips)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, DatasetIoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clipgen::{generate_dataset, DatasetConfig};
+    use tsdx_render::RenderConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tsdx-ds-{name}-{}.bin", std::process::id()))
+    }
+
+    fn tiny() -> Vec<Clip> {
+        generate_dataset(&DatasetConfig {
+            n_clips: 6,
+            render: RenderConfig { width: 8, height: 8, frames: 2, ..RenderConfig::default() },
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let clips = tiny();
+        let path = tmp("roundtrip");
+        save_clips(&clips, &path).unwrap();
+        let loaded = load_clips(&path).unwrap();
+        assert_eq!(loaded.len(), clips.len());
+        for (a, b) in clips.iter().zip(&loaded) {
+            assert_eq!(a.video, b.video);
+            assert_eq!(a.truth, b.truth);
+            assert_eq!(a.labels, b.labels);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let path = tmp("empty");
+        save_clips(&[], &path).unwrap();
+        assert!(load_clips(&path).unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a dataset").unwrap();
+        assert!(matches!(load_clips(&path), Err(DatasetIoError::Format(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let clips = tiny();
+        let path = tmp("trunc");
+        save_clips(&clips, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        assert!(load_clips(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,132 @@
+//! Conversion between SDL scenarios and the model's label heads.
+//!
+//! The extractor predicts five quantities per clip:
+//!
+//! | head        | type            | classes |
+//! |-------------|-----------------|---------|
+//! | ego         | softmax         | [`EgoManeuver::COUNT`] |
+//! | road        | softmax         | [`RoadKind::COUNT`] |
+//! | event       | softmax         | [`vocab::EVENT_COUNT`] (primary actor, incl. *none*) |
+//! | position    | softmax         | [`Position::COUNT`] + 1 (*none*) |
+//! | presence    | multi-label     | [`ActorKind::COUNT`] |
+
+use tsdx_sdl::{vocab, ActorKind, EgoManeuver, Position, RoadKind, Scenario};
+
+/// Number of classes of the position head (four positions plus *none*).
+pub const POSITION_COUNT: usize = Position::COUNT + 1;
+
+/// Label index of the *none* position.
+pub const POSITION_NONE: usize = Position::COUNT;
+
+/// Integer / multi-hot labels for one clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipLabels {
+    /// Ego-maneuver class index.
+    pub ego: usize,
+    /// Road-kind class index.
+    pub road: usize,
+    /// Primary-event class index (see [`vocab::EVENT_CLASSES`]).
+    pub event: usize,
+    /// Primary-actor position class index (see [`POSITION_NONE`]).
+    pub position: usize,
+    /// Multi-hot actor-kind presence (`1.0` if any clause has that kind).
+    pub presence: [f32; ActorKind::COUNT],
+}
+
+impl ClipLabels {
+    /// Derives labels from a ground-truth scenario.
+    ///
+    /// The *primary* event is the first (most salient) actor clause.
+    /// Invalid kind/action combinations map to the *none* event — they
+    /// cannot occur for scenarios that pass [`Scenario::validate`].
+    pub fn from_scenario(s: &Scenario) -> Self {
+        let (event, position) = match s.primary_actor() {
+            Some(a) => (
+                vocab::event_index(a.kind, a.action).unwrap_or(vocab::EVENT_NONE),
+                a.position.map_or(POSITION_NONE, |p| p.index()),
+            ),
+            None => (vocab::EVENT_NONE, POSITION_NONE),
+        };
+        let mut presence = [0.0; ActorKind::COUNT];
+        for a in &s.actors {
+            presence[a.kind.index()] = 1.0;
+        }
+        ClipLabels { ego: s.ego.index(), road: s.road.index(), event, position, presence }
+    }
+
+    /// Reassembles an SDL scenario from head predictions.
+    ///
+    /// This is the decoding used at inference time: the primary clause comes
+    /// from the event and position heads; additional presence-only actors
+    /// are *not* hallucinated into clauses (precision over recall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of its head's range.
+    pub fn to_scenario(&self) -> Scenario {
+        let ego = EgoManeuver::from_index(self.ego);
+        let road = RoadKind::from_index(self.road);
+        let mut scenario = Scenario::new(ego, road);
+        if let Some((kind, action)) = vocab::event_from_index(self.event) {
+            let position =
+                (self.position < POSITION_NONE).then(|| Position::from_index(self.position));
+            scenario.actors.push(tsdx_sdl::ActorClause { kind, action, position });
+        }
+        scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdx_sdl::{ActorAction, ActorClause};
+
+    #[test]
+    fn empty_scenario_maps_to_none_classes() {
+        let s = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight);
+        let l = ClipLabels::from_scenario(&s);
+        assert_eq!(l.event, vocab::EVENT_NONE);
+        assert_eq!(l.position, POSITION_NONE);
+        assert_eq!(l.presence, [0.0; 3]);
+    }
+
+    #[test]
+    fn primary_actor_defines_event_and_position() {
+        let s = Scenario::new(EgoManeuver::DecelerateToStop, RoadKind::Intersection)
+            .with_actor(ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Right))
+            .with_actor(ActorClause::new(ActorKind::Vehicle, ActorAction::Stopped));
+        let l = ClipLabels::from_scenario(&s);
+        assert_eq!(l.event, vocab::event_index(ActorKind::Pedestrian, ActorAction::Crossing).unwrap());
+        assert_eq!(l.position, Position::Right.index());
+        assert_eq!(l.presence[ActorKind::Pedestrian.index()], 1.0);
+        assert_eq!(l.presence[ActorKind::Vehicle.index()], 1.0);
+        assert_eq!(l.presence[ActorKind::Cyclist.index()], 0.0);
+    }
+
+    #[test]
+    fn roundtrip_single_actor_scenario() {
+        let s = Scenario::new(EgoManeuver::Cruise, RoadKind::CurveLeft)
+            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead));
+        let l = ClipLabels::from_scenario(&s);
+        let back = l.to_scenario();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn roundtrip_actorless_scenario() {
+        let s = Scenario::new(EgoManeuver::TurnRight, RoadKind::Intersection);
+        let l = ClipLabels::from_scenario(&s);
+        assert_eq!(l.to_scenario(), s);
+    }
+
+    #[test]
+    fn decoded_scenarios_are_always_valid() {
+        // Every (event, position) pair the heads can emit decodes to valid SDL.
+        for event in 0..vocab::EVENT_COUNT {
+            for position in 0..POSITION_COUNT {
+                let l = ClipLabels { ego: 0, road: 0, event, position, presence: [0.0; 3] };
+                l.to_scenario().validate().expect("decoded scenario must validate");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Train/validation/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::clipgen::Clip;
+
+/// Index-based dataset split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Total number of indices across the three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True when the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Splits `clips` into train/val/test, stratified by the ego-maneuver label
+/// so every class appears in every part proportionally.
+///
+/// `fractions` are `(train, val)`; the remainder is the test set.
+///
+/// # Panics
+///
+/// Panics unless `0 < train`, `0 <= val`, and `train + val < 1`.
+pub fn stratified_split(clips: &[Clip], fractions: (f32, f32), seed: u64) -> Split {
+    let (ft, fv) = fractions;
+    assert!(ft > 0.0 && fv >= 0.0 && ft + fv < 1.0, "invalid split fractions ({ft}, {fv})");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Group indices by ego class.
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, c) in clips.iter().enumerate() {
+        groups.entry(c.labels.ego).or_default().push(i);
+    }
+
+    let mut split = Split { train: vec![], val: vec![], test: vec![] };
+    for (_, mut idx) in groups {
+        idx.shuffle(&mut rng);
+        let n = idx.len();
+        let n_train = ((n as f32) * ft).round() as usize;
+        let n_val = ((n as f32) * fv).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        split.train.extend(&idx[..n_train]);
+        split.val.extend(&idx[n_train..n_train + n_val]);
+        split.test.extend(&idx[n_train + n_val..]);
+    }
+    // Shuffle within each part so batches are not class-ordered.
+    split.train.shuffle(&mut rng);
+    split.val.shuffle(&mut rng);
+    split.test.shuffle(&mut rng);
+    split
+}
+
+/// Borrows the clips selected by `indices`.
+pub fn select<'a>(clips: &'a [Clip], indices: &[usize]) -> Vec<&'a Clip> {
+    indices.iter().map(|&i| &clips[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clipgen::{generate_dataset, DatasetConfig};
+    use tsdx_render::RenderConfig;
+
+    fn dataset(n: usize) -> Vec<Clip> {
+        generate_dataset(&DatasetConfig {
+            n_clips: n,
+            render: RenderConfig { width: 8, height: 8, frames: 2, ..RenderConfig::default() },
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let clips = dataset(40);
+        let s = stratified_split(&clips, (0.6, 0.2), 5);
+        assert_eq!(s.len(), 40);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fractions_are_respected_roughly() {
+        let clips = dataset(60);
+        let s = stratified_split(&clips, (0.5, 0.25), 6);
+        assert!((s.train.len() as i64 - 30).abs() <= 4, "train {}", s.train.len());
+        assert!((s.val.len() as i64 - 15).abs() <= 4, "val {}", s.val.len());
+    }
+
+    #[test]
+    fn stratification_keeps_classes_in_train() {
+        let clips = dataset(80);
+        let s = stratified_split(&clips, (0.7, 0.0), 7);
+        // Every ego class present overall must appear in train.
+        let classes: std::collections::BTreeSet<usize> =
+            clips.iter().map(|c| c.labels.ego).collect();
+        let train_classes: std::collections::BTreeSet<usize> =
+            s.train.iter().map(|&i| clips[i].labels.ego).collect();
+        assert_eq!(classes, train_classes);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let clips = dataset(30);
+        assert_eq!(stratified_split(&clips, (0.6, 0.2), 9), stratified_split(&clips, (0.6, 0.2), 9));
+        assert_ne!(stratified_split(&clips, (0.6, 0.2), 9), stratified_split(&clips, (0.6, 0.2), 10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_fractions() {
+        let clips = dataset(4);
+        stratified_split(&clips, (0.8, 0.4), 0);
+    }
+}

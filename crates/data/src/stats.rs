@@ -1,0 +1,126 @@
+//! Dataset statistics (the Table 1 generator).
+
+use std::fmt;
+
+use tsdx_sdl::{vocab, ActorKind, EgoManeuver, RoadKind};
+
+use crate::clipgen::Clip;
+
+/// Marginal label statistics of a clip dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Total clips.
+    pub n_clips: usize,
+    /// Clips per ego-maneuver class.
+    pub ego_counts: Vec<usize>,
+    /// Clips per road kind.
+    pub road_counts: Vec<usize>,
+    /// Clips per primary-event class (including *none*).
+    pub event_counts: Vec<usize>,
+    /// Clips containing each actor kind.
+    pub presence_counts: Vec<usize>,
+    /// Mean number of actor clauses per clip.
+    pub mean_actors: f32,
+}
+
+impl DatasetStats {
+    /// Computes statistics over `clips`.
+    pub fn compute(clips: &[Clip]) -> Self {
+        let mut ego_counts = vec![0; EgoManeuver::COUNT];
+        let mut road_counts = vec![0; RoadKind::COUNT];
+        let mut event_counts = vec![0; vocab::EVENT_COUNT];
+        let mut presence_counts = vec![0; ActorKind::COUNT];
+        let mut actor_total = 0usize;
+        for c in clips {
+            ego_counts[c.labels.ego] += 1;
+            road_counts[c.labels.road] += 1;
+            event_counts[c.labels.event] += 1;
+            for (k, &p) in c.labels.presence.iter().enumerate() {
+                if p > 0.5 {
+                    presence_counts[k] += 1;
+                }
+            }
+            actor_total += c.truth.actors.len();
+        }
+        DatasetStats {
+            n_clips: clips.len(),
+            ego_counts,
+            road_counts,
+            event_counts,
+            presence_counts,
+            mean_actors: if clips.is_empty() { 0.0 } else { actor_total as f32 / clips.len() as f32 },
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "clips: {}", self.n_clips)?;
+        writeln!(f, "mean actor clauses/clip: {:.2}", self.mean_actors)?;
+        writeln!(f, "-- ego maneuver --")?;
+        for (i, &n) in self.ego_counts.iter().enumerate() {
+            writeln!(f, "  {:<20} {:>6}", EgoManeuver::from_index(i).as_str(), n)?;
+        }
+        writeln!(f, "-- road kind --")?;
+        for (i, &n) in self.road_counts.iter().enumerate() {
+            writeln!(f, "  {:<20} {:>6}", RoadKind::from_index(i).as_str(), n)?;
+        }
+        writeln!(f, "-- primary event --")?;
+        for (i, &n) in self.event_counts.iter().enumerate() {
+            writeln!(f, "  {:<22} {:>6}", vocab::event_name(i), n)?;
+        }
+        writeln!(f, "-- actor presence --")?;
+        for (i, &n) in self.presence_counts.iter().enumerate() {
+            writeln!(f, "  {:<20} {:>6}", ActorKind::from_index(i).as_str(), n)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clipgen::{generate_dataset, DatasetConfig};
+    use tsdx_render::RenderConfig;
+
+    fn dataset(n: usize) -> Vec<Clip> {
+        generate_dataset(&DatasetConfig {
+            n_clips: n,
+            render: RenderConfig { width: 8, height: 8, frames: 2, ..RenderConfig::default() },
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn counts_sum_to_total() {
+        let clips = dataset(50);
+        let s = DatasetStats::compute(&clips);
+        assert_eq!(s.n_clips, 50);
+        assert_eq!(s.ego_counts.iter().sum::<usize>(), 50);
+        assert_eq!(s.road_counts.iter().sum::<usize>(), 50);
+        assert_eq!(s.event_counts.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn all_road_kinds_appear_in_a_reasonable_sample() {
+        let clips = dataset(120);
+        let s = DatasetStats::compute(&clips);
+        assert!(s.road_counts.iter().all(|&n| n > 0), "{:?}", s.road_counts);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let clips = dataset(10);
+        let text = DatasetStats::compute(&clips).to_string();
+        for needle in ["ego maneuver", "road kind", "primary event", "actor presence", "none"] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_well_defined() {
+        let s = DatasetStats::compute(&[]);
+        assert_eq!(s.n_clips, 0);
+        assert_eq!(s.mean_actors, 0.0);
+    }
+}

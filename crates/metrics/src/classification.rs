@@ -1,0 +1,129 @@
+//! Single-label classification metrics.
+
+/// Fraction of predictions equal to their labels.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!predictions.is_empty(), "accuracy of empty set");
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / predictions.len() as f32
+}
+
+/// Per-class precision, recall, and F1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassPrf {
+    /// Precision: TP / (TP + FP), 0 when undefined.
+    pub precision: f32,
+    /// Recall: TP / (TP + FN), 0 when undefined.
+    pub recall: f32,
+    /// Harmonic mean of precision and recall, 0 when undefined.
+    pub f1: f32,
+    /// Number of ground-truth instances of this class.
+    pub support: usize,
+}
+
+/// Computes [`ClassPrf`] for every class in `0..num_classes`.
+pub fn per_class_prf(predictions: &[usize], labels: &[usize], num_classes: usize) -> Vec<ClassPrf> {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fne = vec![0usize; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < num_classes && l < num_classes, "class index out of range");
+        if p == l {
+            tp[p] += 1;
+        } else {
+            fp[p] += 1;
+            fne[l] += 1;
+        }
+    }
+    (0..num_classes)
+        .map(|c| {
+            let precision = safe_div(tp[c], tp[c] + fp[c]);
+            let recall = safe_div(tp[c], tp[c] + fne[c]);
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassPrf { precision, recall, f1, support: tp[c] + fne[c] }
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 over classes that appear in the labels.
+pub fn macro_f1(predictions: &[usize], labels: &[usize], num_classes: usize) -> f32 {
+    let prf = per_class_prf(predictions, labels, num_classes);
+    let present: Vec<&ClassPrf> = prf.iter().filter(|c| c.support > 0).collect();
+    if present.is_empty() {
+        return 0.0;
+    }
+    present.iter().map(|c| c.f1).sum::<f32>() / present.len() as f32
+}
+
+fn safe_div(num: usize, den: usize) -> f32 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f32 / den as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let p = [0, 1, 2, 1];
+        assert_eq!(accuracy(&p, &p), 1.0);
+        assert_eq!(macro_f1(&p, &p, 3), 1.0);
+        for c in per_class_prf(&p, &p, 3) {
+            if c.support > 0 {
+                assert_eq!(c.f1, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 1]), 0.5);
+    }
+
+    #[test]
+    fn prf_hand_computed_example() {
+        // labels:       [0, 0, 1, 1, 1]
+        // predictions:  [0, 1, 1, 1, 0]
+        let prf = per_class_prf(&[0, 1, 1, 1, 0], &[0, 0, 1, 1, 1], 2);
+        // class 0: tp=1, fp=1, fn=1 -> p=0.5, r=0.5, f1=0.5
+        assert!((prf[0].precision - 0.5).abs() < 1e-6);
+        assert!((prf[0].recall - 0.5).abs() < 1e-6);
+        assert!((prf[0].f1 - 0.5).abs() < 1e-6);
+        // class 1: tp=2, fp=1, fn=1 -> p=2/3, r=2/3
+        assert!((prf[1].precision - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(prf[1].support, 3);
+    }
+
+    #[test]
+    fn absent_classes_do_not_dilute_macro_f1() {
+        // Class 2 never appears in labels; macro-F1 averages classes 0, 1.
+        let f = macro_f1(&[0, 1], &[0, 1], 3);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn degenerate_predictions_get_zero_f1() {
+        let prf = per_class_prf(&[0, 0, 0], &[1, 1, 1], 2);
+        assert_eq!(prf[1].f1, 0.0);
+        assert_eq!(prf[1].recall, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_mismatched_lengths() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Confusion matrices.
+
+use std::fmt;
+
+/// A `K×K` confusion matrix: rows are true classes, columns predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix with numeric class names.
+    pub fn new(k: usize) -> Self {
+        ConfusionMatrix { k, counts: vec![0; k * k], names: (0..k).map(|i| i.to_string()).collect() }
+    }
+
+    /// Creates an empty matrix with explicit class names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn with_names(names: Vec<String>) -> Self {
+        assert!(!names.is_empty(), "confusion matrix needs at least one class");
+        let k = names.len();
+        ConfusionMatrix { k, counts: vec![0; k * k], names }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Records one `(truth, prediction)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        assert!(truth < self.k && prediction < self.k, "class index out of range");
+        self.counts[truth * self.k + prediction] += 1;
+    }
+
+    /// Records a batch of observations.
+    pub fn record_all(&mut self, truths: &[usize], predictions: &[usize]) {
+        assert_eq!(truths.len(), predictions.len(), "length mismatch");
+        for (&t, &p) in truths.iter().zip(predictions) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count of `(truth, prediction)`.
+    pub fn count(&self, truth: usize, prediction: usize) -> usize {
+        self.counts[truth * self.k + prediction]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Number of ground-truth instances of class `c` (row sum).
+    pub fn row_total(&self, c: usize) -> usize {
+        (0..self.k).map(|j| self.count(c, j)).sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.k).map(|i| self.count(i, i)).sum();
+        diag as f32 / total as f32
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name_w = self.names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+        let cell_w = 6;
+        write!(f, "{:<name_w$} ", "t\\p")?;
+        for n in &self.names {
+            let short: String = n.chars().take(cell_w - 1).collect();
+            write!(f, "{short:>cell_w$}")?;
+        }
+        writeln!(f)?;
+        for (i, n) in self.names.iter().enumerate() {
+            write!(f, "{n:<name_w$} ")?;
+            for j in 0..self.k {
+                write!(f, "{:>cell_w$}", self.count(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record_all(&[0, 0, 1, 2, 2], &[0, 1, 1, 2, 0]);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.row_total(2), 2);
+        assert!((m.accuracy() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_is_zero() {
+        assert_eq!(ConfusionMatrix::new(2).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_names_and_counts() {
+        let mut m = ConfusionMatrix::with_names(vec!["cat".into(), "dog".into()]);
+        m.record(0, 0);
+        m.record(1, 0);
+        let s = m.to_string();
+        assert!(s.contains("cat") && s.contains("dog"), "{s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # tsdx-metrics
+//!
+//! Evaluation arithmetic shared by the whole stack: single-label
+//! classification (accuracy, per-class PRF, macro-F1, confusion matrices),
+//! multi-label metrics (subset accuracy, Hamming loss, micro-F1, mAP),
+//! retrieval metrics (precision@k, mean average precision), and
+//! scenario-level SDL comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsdx_metrics::{accuracy, macro_f1};
+//! let predictions = [0, 1, 2, 2];
+//! let labels = [0, 1, 2, 1];
+//! assert_eq!(accuracy(&predictions, &labels), 0.75);
+//! assert!(macro_f1(&predictions, &labels, 3) > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod classification;
+mod confusion;
+mod multilabel;
+mod retrieval;
+mod scenario_level;
+
+pub use classification::{accuracy, macro_f1, per_class_prf, ClassPrf};
+pub use confusion::ConfusionMatrix;
+pub use multilabel::{average_precision, multilabel_report, MultiLabelReport};
+pub use retrieval::{mean_average_precision, mean_precision_at_k, precision_at_k, rank_by_score};
+pub use scenario_level::{scenario_report, ScenarioReport};

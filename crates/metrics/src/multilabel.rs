@@ -1,0 +1,143 @@
+//! Multi-label metrics (actor presence head).
+
+/// Summary metrics for multi-label prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiLabelReport {
+    /// Fraction of samples whose entire label vector is predicted exactly.
+    pub subset_accuracy: f32,
+    /// Fraction of individual label decisions that are wrong.
+    pub hamming_loss: f32,
+    /// Micro-averaged F1 over all label decisions at the threshold.
+    pub micro_f1: f32,
+    /// Mean average precision over labels (threshold-free).
+    pub map: f32,
+}
+
+/// Computes multi-label metrics from `scores` (`N×C` row-major, higher =
+/// more confident) against binary `targets`, thresholding at `threshold`.
+///
+/// # Panics
+///
+/// Panics on size mismatch or empty input.
+pub fn multilabel_report(
+    scores: &[f32],
+    targets: &[f32],
+    num_labels: usize,
+    threshold: f32,
+) -> MultiLabelReport {
+    assert_eq!(scores.len(), targets.len(), "scores/targets length mismatch");
+    assert!(num_labels > 0 && scores.len().is_multiple_of(num_labels), "bad label count");
+    let n = scores.len() / num_labels;
+    assert!(n > 0, "empty multilabel input");
+
+    let mut exact = 0usize;
+    let mut wrong = 0usize;
+    let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        let mut all_match = true;
+        for c in 0..num_labels {
+            let s = scores[i * num_labels + c] >= threshold;
+            let t = targets[i * num_labels + c] >= 0.5;
+            if s != t {
+                wrong += 1;
+                all_match = false;
+            }
+            match (s, t) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fne += 1,
+                (false, false) => {}
+            }
+        }
+        if all_match {
+            exact += 1;
+        }
+    }
+    let precision = if tp + fp > 0 { tp as f32 / (tp + fp) as f32 } else { 0.0 };
+    let recall = if tp + fne > 0 { tp as f32 / (tp + fne) as f32 } else { 0.0 };
+    let micro_f1 =
+        if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+
+    // mAP over labels.
+    let mut ap_sum = 0.0;
+    let mut ap_count = 0usize;
+    for c in 0..num_labels {
+        let col_scores: Vec<f32> = (0..n).map(|i| scores[i * num_labels + c]).collect();
+        let col_targets: Vec<bool> = (0..n).map(|i| targets[i * num_labels + c] >= 0.5).collect();
+        if let Some(ap) = average_precision(&col_scores, &col_targets) {
+            ap_sum += ap;
+            ap_count += 1;
+        }
+    }
+    MultiLabelReport {
+        subset_accuracy: exact as f32 / n as f32,
+        hamming_loss: wrong as f32 / (n * num_labels) as f32,
+        micro_f1,
+        map: if ap_count > 0 { ap_sum / ap_count as f32 } else { 0.0 },
+    }
+}
+
+/// Average precision of a ranked list: mean of precision@k over the ranks
+/// of positive items. Returns `None` when there are no positives.
+pub fn average_precision(scores: &[f32], relevant: &[bool]) -> Option<f32> {
+    assert_eq!(scores.len(), relevant.len(), "length mismatch");
+    let n_pos = relevant.iter().filter(|&&r| r).count();
+    if n_pos == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        if relevant[i] {
+            hits += 1;
+            sum += hits as f32 / (rank + 1) as f32;
+        }
+    }
+    Some(sum / n_pos as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_max_out_everything() {
+        let scores = [0.9, 0.1, 0.8, 0.2];
+        let targets = [1.0, 0.0, 1.0, 0.0];
+        let r = multilabel_report(&scores, &targets, 2, 0.5);
+        assert_eq!(r.subset_accuracy, 1.0);
+        assert_eq!(r.hamming_loss, 0.0);
+        assert_eq!(r.micro_f1, 1.0);
+        assert_eq!(r.map, 1.0);
+    }
+
+    #[test]
+    fn hand_computed_mixed_case() {
+        // 2 samples, 2 labels; one decision wrong out of 4.
+        let scores = [0.9, 0.6, 0.2, 0.1];
+        let targets = [1.0, 0.0, 0.0, 0.0];
+        let r = multilabel_report(&scores, &targets, 2, 0.5);
+        assert_eq!(r.subset_accuracy, 0.5);
+        assert_eq!(r.hamming_loss, 0.25);
+        // tp=1, fp=1, fn=0 -> p=0.5, r=1 -> f1=2/3.
+        assert!((r.micro_f1 - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_precision_examples() {
+        // Positives ranked 1st and 3rd: AP = (1/1 + 2/3)/2.
+        let ap = average_precision(&[0.9, 0.5, 0.4], &[true, false, true]).unwrap();
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-6);
+        assert_eq!(average_precision(&[0.3, 0.2], &[false, false]), None);
+        assert_eq!(average_precision(&[0.9], &[true]), Some(1.0));
+    }
+
+    #[test]
+    fn ap_penalizes_low_ranked_positives() {
+        let good = average_precision(&[0.9, 0.8, 0.1], &[true, false, false]).unwrap();
+        let bad = average_precision(&[0.1, 0.8, 0.9], &[true, false, false]).unwrap();
+        assert!(good > bad);
+    }
+}

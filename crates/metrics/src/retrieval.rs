@@ -1,0 +1,106 @@
+//! Retrieval metrics for scenario search.
+
+/// Precision@k of one ranked result list.
+///
+/// `ranked_relevance[i]` says whether the i-th retrieved item is relevant.
+///
+/// # Panics
+///
+/// Panics when `k == 0`.
+pub fn precision_at_k(ranked_relevance: &[bool], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    let k = k.min(ranked_relevance.len());
+    if k == 0 {
+        return 0.0;
+    }
+    ranked_relevance[..k].iter().filter(|&&r| r).count() as f32 / k as f32
+}
+
+/// Ranks gallery items by `scores` (descending) and reports relevance in
+/// rank order.
+pub fn rank_by_score(scores: &[f32], relevant: &[bool]) -> Vec<bool> {
+    assert_eq!(scores.len(), relevant.len(), "length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    order.into_iter().map(|i| relevant[i]).collect()
+}
+
+/// Mean average precision over a set of queries.
+///
+/// Each query contributes its average precision (queries with no relevant
+/// items are skipped).
+pub fn mean_average_precision(queries: &[(Vec<f32>, Vec<bool>)]) -> f32 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (scores, relevant) in queries {
+        if let Some(ap) = crate::multilabel::average_precision(scores, relevant) {
+            sum += ap;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f32
+    }
+}
+
+/// Mean precision@k over queries.
+pub fn mean_precision_at_k(queries: &[(Vec<f32>, Vec<bool>)], k: usize) -> f32 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|(scores, relevant)| precision_at_k(&rank_by_score(scores, relevant), k))
+        .sum::<f32>()
+        / queries.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_at_k_basics() {
+        let ranked = [true, false, true, true];
+        assert_eq!(precision_at_k(&ranked, 1), 1.0);
+        assert_eq!(precision_at_k(&ranked, 2), 0.5);
+        assert_eq!(precision_at_k(&ranked, 4), 0.75);
+        // k beyond the list clamps.
+        assert_eq!(precision_at_k(&ranked, 10), 0.75);
+    }
+
+    #[test]
+    fn rank_by_score_orders_descending() {
+        let ranked = rank_by_score(&[0.1, 0.9, 0.5], &[false, true, false]);
+        assert_eq!(ranked, vec![true, false, false]);
+    }
+
+    #[test]
+    fn map_rewards_better_rankings() {
+        let good = vec![(vec![0.9, 0.8, 0.1], vec![true, true, false])];
+        let bad = vec![(vec![0.1, 0.2, 0.9], vec![true, true, false])];
+        assert!(mean_average_precision(&good) > mean_average_precision(&bad));
+        assert_eq!(mean_average_precision(&good), 1.0);
+    }
+
+    #[test]
+    fn queries_without_relevant_items_are_skipped() {
+        let queries = vec![
+            (vec![0.9, 0.1], vec![true, false]),
+            (vec![0.9, 0.1], vec![false, false]),
+        ];
+        assert_eq!(mean_average_precision(&queries), 1.0);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_precision_at_k_averages_queries() {
+        let queries = vec![
+            (vec![0.9, 0.8], vec![true, false]),  // P@1 = 1
+            (vec![0.9, 0.8], vec![false, true]),  // P@1 = 0
+        ];
+        assert_eq!(mean_precision_at_k(&queries, 1), 0.5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Scenario-level evaluation: comparing predicted SDL against ground truth.
+
+use tsdx_sdl::{similarity, Scenario};
+
+/// Aggregate scenario-level quality of a set of predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioReport {
+    /// Fraction of predictions exactly equal to the truth (up to actor
+    /// clause ordering, which [`tsdx_sdl::similarity`] ignores but equality
+    /// does not — we sort clauses before comparing).
+    pub exact_match: f32,
+    /// Mean SDL slot similarity to the truth.
+    pub mean_similarity: f32,
+    /// Accuracy of the ego maneuver slot alone.
+    pub ego_accuracy: f32,
+    /// Accuracy of the road kind slot alone.
+    pub road_accuracy: f32,
+}
+
+/// Compares predictions to ground truths pairwise.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn scenario_report(predictions: &[Scenario], truths: &[Scenario]) -> ScenarioReport {
+    assert_eq!(predictions.len(), truths.len(), "prediction/truth length mismatch");
+    assert!(!predictions.is_empty(), "empty scenario report");
+    let n = predictions.len() as f32;
+    let mut exact = 0usize;
+    let mut sim_sum = 0.0;
+    let mut ego_ok = 0usize;
+    let mut road_ok = 0usize;
+    for (p, t) in predictions.iter().zip(truths) {
+        let mut ps = p.clone();
+        let mut ts = t.clone();
+        ps.actors.sort();
+        ts.actors.sort();
+        if ps == ts {
+            exact += 1;
+        }
+        sim_sum += similarity(p, t);
+        if p.ego == t.ego {
+            ego_ok += 1;
+        }
+        if p.road == t.road {
+            road_ok += 1;
+        }
+    }
+    ScenarioReport {
+        exact_match: exact as f32 / n,
+        mean_similarity: sim_sum / n,
+        ego_accuracy: ego_ok as f32 / n,
+        road_accuracy: road_ok as f32 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdx_sdl::{ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind};
+
+    fn s1() -> Scenario {
+        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
+            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead))
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let r = scenario_report(&[s1(), s1()], &[s1(), s1()]);
+        assert_eq!(r.exact_match, 1.0);
+        assert!((r.mean_similarity - 1.0).abs() < 1e-6);
+        assert_eq!(r.ego_accuracy, 1.0);
+        assert_eq!(r.road_accuracy, 1.0);
+    }
+
+    #[test]
+    fn exact_match_ignores_actor_order() {
+        let a = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
+            .with_actor(ActorClause::new(ActorKind::Vehicle, ActorAction::Leading))
+            .with_actor(ActorClause::new(ActorKind::Cyclist, ActorAction::Oncoming));
+        let mut b = a.clone();
+        b.actors.reverse();
+        let r = scenario_report(std::slice::from_ref(&a), &[b]);
+        assert_eq!(r.exact_match, 1.0);
+    }
+
+    #[test]
+    fn partial_credit_for_partial_matches() {
+        let pred = Scenario::new(EgoManeuver::Cruise, RoadKind::Intersection)
+            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead));
+        let r = scenario_report(std::slice::from_ref(&pred), &[s1()]);
+        assert_eq!(r.exact_match, 0.0);
+        assert_eq!(r.ego_accuracy, 1.0);
+        assert_eq!(r.road_accuracy, 0.0);
+        assert!(r.mean_similarity > 0.5 && r.mean_similarity < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_input() {
+        scenario_report(&[], &[]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of metric invariants.
+
+use proptest::prelude::*;
+use tsdx_metrics::{
+    accuracy, average_precision, macro_f1, multilabel_report, per_class_prf, precision_at_k,
+    rank_by_score, ConfusionMatrix,
+};
+
+fn labels(k: usize, n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..k, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn accuracy_bounded_and_exact_for_identity(l in labels(4, 10)) {
+        prop_assert_eq!(accuracy(&l, &l), 1.0);
+        let shifted: Vec<usize> = l.iter().map(|&x| (x + 1) % 4).collect();
+        prop_assert_eq!(accuracy(&shifted, &l), 0.0);
+    }
+
+    #[test]
+    fn accuracy_in_unit_interval(p in labels(5, 12), t in labels(5, 12)) {
+        let a = accuracy(&p, &t);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn f1_components_bounded(p in labels(4, 20), t in labels(4, 20)) {
+        for c in per_class_prf(&p, &t, 4) {
+            prop_assert!((0.0..=1.0).contains(&c.precision));
+            prop_assert!((0.0..=1.0).contains(&c.recall));
+            prop_assert!((0.0..=1.0).contains(&c.f1));
+            // F1 never exceeds either component's max.
+            prop_assert!(c.f1 <= c.precision.max(c.recall) + 1e-6);
+        }
+        let m = macro_f1(&p, &t, 4);
+        prop_assert!((0.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn confusion_matrix_row_totals_match_label_counts(p in labels(3, 30), t in labels(3, 30)) {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_all(&t, &p);
+        prop_assert_eq!(cm.total(), 30);
+        for c in 0..3 {
+            let count = t.iter().filter(|&&x| x == c).count();
+            prop_assert_eq!(cm.row_total(c), count);
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        // Diagonal mass equals accuracy agreement.
+        let agree = p.iter().zip(&t).filter(|(a, b)| a == b).count();
+        prop_assert!((cm.accuracy() - agree as f32 / 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_precision_bounded(scores in prop::collection::vec(-5.0f32..5.0, 8),
+                                 rel in prop::collection::vec(any::<bool>(), 8)) {
+        if let Some(ap) = average_precision(&scores, &rel) {
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&ap));
+        } else {
+            prop_assert!(rel.iter().all(|&r| !r));
+        }
+    }
+
+    #[test]
+    fn perfect_ranking_yields_ap_one(n_pos in 1usize..5, n_neg in 0usize..5) {
+        let mut scores = Vec::new();
+        let mut rel = Vec::new();
+        for i in 0..n_pos {
+            scores.push(10.0 - i as f32 * 0.1);
+            rel.push(true);
+        }
+        for i in 0..n_neg {
+            scores.push(-1.0 - i as f32);
+            rel.push(false);
+        }
+        prop_assert!((average_precision(&scores, &rel).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precision_at_k_monotone_under_prefix_of_all_relevant(k in 1usize..10) {
+        let ranked = vec![true; 10];
+        prop_assert_eq!(precision_at_k(&ranked, k), 1.0);
+    }
+
+    #[test]
+    fn rank_by_score_is_a_permutation(scores in prop::collection::vec(-3.0f32..3.0, 6),
+                                      rel in prop::collection::vec(any::<bool>(), 6)) {
+        let ranked = rank_by_score(&scores, &rel);
+        prop_assert_eq!(ranked.len(), rel.len());
+        prop_assert_eq!(
+            ranked.iter().filter(|&&r| r).count(),
+            rel.iter().filter(|&&r| r).count()
+        );
+    }
+
+    #[test]
+    fn multilabel_report_bounds(scores in prop::collection::vec(0.0f32..1.0, 12),
+                                targets in prop::collection::vec(0.0f32..1.0, 12)) {
+        let t: Vec<f32> = targets.iter().map(|&x| if x > 0.5 { 1.0 } else { 0.0 }).collect();
+        let r = multilabel_report(&scores, &t, 3, 0.5);
+        prop_assert!((0.0..=1.0).contains(&r.subset_accuracy));
+        prop_assert!((0.0..=1.0).contains(&r.hamming_loss));
+        prop_assert!((0.0..=1.0).contains(&r.micro_f1));
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&r.map));
+        // Subset accuracy can never beat per-decision accuracy.
+        prop_assert!(r.subset_accuracy <= 1.0 - r.hamming_loss + 1e-6);
+    }
+}

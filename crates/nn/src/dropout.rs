@@ -1,0 +1,95 @@
+//! Inverted dropout.
+
+use rand::Rng;
+use tsdx_tensor::{Graph, Tensor, Var};
+
+/// Inverted dropout: at train time, zeroes each element with probability
+/// `p` and rescales survivors by `1/(1-p)` so inference needs no change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        Dropout { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout when `train` is true; identity otherwise.
+    ///
+    /// The Bernoulli mask is recorded on the tape as a constant, so the
+    /// backward pass masks gradients identically.
+    pub fn forward(&self, g: &mut Graph, x: Var, rng: &mut impl Rng, train: bool) -> Var {
+        if !train || self.p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(g.shape(x), |_| {
+            if rng.random_range(0.0..1.0f32) < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let m = g.constant(mask);
+        g.mul(x, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[4]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = d.forward(&mut g, x, &mut rng, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[20_000]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = d.forward(&mut g, x, &mut rng, true);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout expectation drifted: {mean}");
+        // Some elements are dropped, survivors are scaled.
+        assert_eq!(g.value(y).min(), 0.0);
+        assert!((g.value(y).max() - 1.0 / 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_train() {
+        let d = Dropout::new(0.0);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[4]));
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(d.forward(&mut g, x, &mut rng, true), x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_one() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fully-connected (affine) layer.
+
+use rand::Rng;
+use tsdx_tensor::{Graph, Var};
+
+use crate::init;
+use crate::params::{Binding, ParamId, ParamStore};
+
+/// An affine map `y = x @ W + b` applied to the last dimension.
+///
+/// `x` may have any rank ≥ 2; the leading dimensions are treated as batch
+/// dimensions (`[..., in] -> [..., out]`).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized linear layer under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        Self::with_bias(store, rng, name, in_features, out_features, true)
+    }
+
+    /// Like [`Linear::new`] with an explicit bias switch.
+    pub fn with_bias(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = store.add(
+            format!("{name}.weight"),
+            init::xavier_uniform(in_features, out_features, &[in_features, out_features], rng),
+        );
+        let bias = bias.then(|| {
+            store.add(format!("{name}.bias"), tsdx_tensor::Tensor::zeros(&[out_features]))
+        });
+        Linear { weight, bias, in_features, out_features }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer on the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside the tensor ops) if the last dimension of `x` is not
+    /// `in_features`.
+    pub fn forward(&self, g: &mut Graph, p: &Binding, x: Var) -> Var {
+        let w = p.var(self.weight);
+        // Flatten batch dims so matmul sees [N, in] @ [in, out].
+        let in_shape = g.shape(x).to_vec();
+        let d = *in_shape.last().expect("linear input must have rank >= 1");
+        assert_eq!(d, self.in_features, "linear expected {} inputs, got {d}", self.in_features);
+        let flat = g.reshape(x, &[usize::MAX, d]);
+        let mut y = g.matmul(flat, w);
+        if let Some(b) = self.bias {
+            let bv = p.var(b);
+            y = g.add(y, bv);
+        }
+        let mut out_shape = in_shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_features;
+        g.reshape(y, &out_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tsdx_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, &mut rng, "l", 3, 5);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let x = g.constant(Tensor::ones(&[2, 4, 3]));
+        let y = lin.forward(&mut g, &p, x);
+        assert_eq!(g.shape(y), &[2, 4, 5]);
+    }
+
+    #[test]
+    fn zero_weight_outputs_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, &mut rng, "l", 2, 2);
+        // Zero the weight, set bias to [1, -1].
+        store.set_value(lin.weight, Tensor::zeros(&[2, 2]));
+        store.set_value(lin.bias.unwrap(), Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let x = g.constant(Tensor::ones(&[3, 2]));
+        let y = lin.forward(&mut g, &p, x);
+        assert_eq!(g.value(y).data(), &[1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_weight_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 2);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let x = g.constant(Tensor::ones(&[3, 4]));
+        let y = lin.forward(&mut g, &p, x);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        let collected = store.collect_grads(&p, &grads);
+        assert_eq!(collected[0].shape(), &[4, 2]);
+        assert_eq!(collected[1].shape(), &[2]);
+        // d loss / d bias = batch size per output.
+        assert_eq!(collected[1].data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::with_bias(&mut store, &mut rng, "l", 3, 3, false);
+        assert_eq!(store.len(), 1);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let x = g.constant(Tensor::zeros(&[1, 3]));
+        let y = lin.forward(&mut g, &p, x);
+        assert_eq!(g.value(y).data(), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Checkpoint (de)serialization for [`ParamStore`]s.
+//!
+//! The format is a minimal little-endian binary container:
+//!
+//! ```text
+//! magic   b"TSDXCKP1"
+//! u32     number of tensors
+//! repeat: u32 name length, UTF-8 name bytes,
+//!         u32 rank, u32 dims...,
+//!         f32 data (row-major)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use tsdx_tensor::Tensor;
+
+use crate::params::ParamStore;
+
+const MAGIC: &[u8; 8] = b"TSDXCKP1";
+
+/// Error returned by checkpoint loading.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a tsdx checkpoint or is corrupt.
+    Format(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter of `store` to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_checkpoint(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (name, tensor) in store.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(tensor.rank() as u32).to_le_bytes())?;
+        for &d in tensor.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads all `(name, tensor)` entries from a checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] on a bad magic number or truncated
+/// contents, and [`CheckpointError::Io`] on read failures.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic number".into()));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 1_000_000 {
+        return Err(CheckpointError::Format(format!("implausible tensor count {count}")));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Format(format!("implausible name length {name_len}")));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Format("non-UTF-8 parameter name".into()))?;
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 16 {
+            return Err(CheckpointError::Format(format!("implausible rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        if n > 256 << 20 {
+            return Err(CheckpointError::Format("implausible tensor size".into()));
+        }
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        entries.push((name, Tensor::from_vec(data, &shape)));
+    }
+    Ok(entries)
+}
+
+/// Restores parameters of `store` by name from the checkpoint at `path`.
+///
+/// Returns the number of parameters restored.
+///
+/// # Errors
+///
+/// See [`read_checkpoint`].
+///
+/// # Panics
+///
+/// Panics if a matching name has a mismatched shape (that indicates a model
+/// configuration mismatch, which must not be silently ignored).
+pub fn load_checkpoint(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<usize, CheckpointError> {
+    let entries = read_checkpoint(path)?;
+    Ok(store.load_named(&entries))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsdx-ckpt-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut store = ParamStore::new();
+        store.add("a.weight", Tensor::from_fn(&[3, 4], |i| i as f32 * 0.5));
+        store.add("a.bias", Tensor::from_vec(vec![-1.0, 2.0, 0.25, 9.0], &[4]));
+        let path = tmp("roundtrip");
+        save_checkpoint(&store, &path).unwrap();
+
+        let mut fresh = ParamStore::new();
+        let w = fresh.add("a.weight", Tensor::zeros(&[3, 4]));
+        let b = fresh.add("a.bias", Tensor::zeros(&[4]));
+        let n = load_checkpoint(&mut fresh, &path).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(fresh.value(w), store.value(store.ids().next().unwrap()));
+        assert_eq!(fresh.value(b).data(), &[-1.0, 2.0, 0.25, 9.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let mut store = ParamStore::new();
+        store.add("old", Tensor::ones(&[2]));
+        let path = tmp("unknown");
+        save_checkpoint(&store, &path).unwrap();
+        let mut fresh = ParamStore::new();
+        fresh.add("new", Tensor::zeros(&[2]));
+        let n = load_checkpoint(&mut fresh, &path).unwrap();
+        assert_eq!(n, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTATSDXFILE____").unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::ones(&[64]));
+        let path = tmp("trunc");
+        save_checkpoint(&store, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_checkpoint(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,164 @@
+//! Weather and lighting conditions (robustness experiments).
+//!
+//! Weather is applied as a physically-motivated screen-space post-process:
+//! fog blends pixels toward the air-light color with a transmittance that
+//! decays exponentially in ground-plane depth; night dims the scene
+//! globally and re-illuminates a headlight cone in front of the vehicle.
+
+use crate::camera::Camera;
+
+/// Atmospheric / lighting condition of a rendered clip.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Weather {
+    /// Daylight, unlimited visibility.
+    #[default]
+    Clear,
+    /// Homogeneous fog with the given extinction coefficient (1/m).
+    /// Typical values: 0.02 (light haze) to 0.12 (dense fog).
+    Fog(f32),
+    /// Night driving: globally dimmed with a headlight cone.
+    Night,
+}
+
+impl Weather {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            Weather::Clear => "clear".to_string(),
+            Weather::Fog(k) => format!("fog({k:.2})"),
+            Weather::Night => "night".to_string(),
+        }
+    }
+}
+
+/// Air-light (fog color) intensity.
+const FOG_COLOR: f32 = 0.72;
+
+/// Global night dimming factor.
+const NIGHT_DIM: f32 = 0.30;
+
+/// Extra illumination inside the headlight cone.
+const HEADLIGHT_GAIN: f32 = 0.65;
+
+/// Headlight reach (m) and half-width (m).
+const HEADLIGHT_RANGE: f32 = 22.0;
+const HEADLIGHT_HALF_WIDTH: f32 = 4.5;
+
+/// Applies `weather` to a rendered frame in place (`frame` is `H*W`
+/// row-major, `cam` provides the depth geometry).
+pub fn apply_weather(weather: Weather, cam: &Camera, frame: &mut [f32]) {
+    match weather {
+        Weather::Clear => {}
+        Weather::Fog(k) => {
+            let k = k.max(0.0);
+            for row in 0..cam.height {
+                let depth = row_depth(cam, row);
+                let transmittance = (-k * depth).exp();
+                for col in 0..cam.width {
+                    let v = &mut frame[row * cam.width + col];
+                    *v = *v * transmittance + FOG_COLOR * (1.0 - transmittance);
+                }
+            }
+        }
+        Weather::Night => {
+            for row in 0..cam.height {
+                for col in 0..cam.width {
+                    let v = &mut frame[row * cam.width + col];
+                    let lit = headlight_factor(cam, row, col);
+                    *v *= NIGHT_DIM + HEADLIGHT_GAIN * lit;
+                }
+            }
+        }
+    }
+}
+
+/// Representative scene depth for an image row: ground-plane depth below
+/// the horizon, far-field above it.
+fn row_depth(cam: &Camera, row: usize) -> f32 {
+    match cam.unproject_ground(cam.width as f32 / 2.0, row as f32 + 0.5) {
+        Some((fwd, _)) => fwd,
+        None => cam.max_depth,
+    }
+}
+
+/// How strongly the headlights illuminate a pixel (0..1).
+fn headlight_factor(cam: &Camera, row: usize, col: usize) -> f32 {
+    let Some((fwd, left)) = cam.unproject_ground(col as f32 + 0.5, row as f32 + 0.5) else {
+        return 0.0; // sky stays dark at night
+    };
+    if fwd > HEADLIGHT_RANGE {
+        return 0.0;
+    }
+    let lateral_fade = (1.0 - (left.abs() / HEADLIGHT_HALF_WIDTH)).clamp(0.0, 1.0);
+    let range_fade = (1.0 - fwd / HEADLIGHT_RANGE).clamp(0.0, 1.0);
+    lateral_fade * (0.3 + 0.7 * range_fade)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_frame(cam: &Camera) -> Vec<f32> {
+        // Mid-gray everywhere.
+        vec![0.4; cam.width * cam.height]
+    }
+
+    #[test]
+    fn clear_is_identity() {
+        let cam = Camera::standard(16, 16);
+        let mut f = test_frame(&cam);
+        let orig = f.clone();
+        apply_weather(Weather::Clear, &cam, &mut f);
+        assert_eq!(f, orig);
+    }
+
+    #[test]
+    fn fog_pulls_distant_rows_toward_airlight() {
+        let cam = Camera::standard(16, 16);
+        let mut f = test_frame(&cam);
+        apply_weather(Weather::Fog(0.08), &cam, &mut f);
+        // Sky/far rows approach the fog color; near rows stay closer to 0.4.
+        let far = f[0];
+        let near = f[15 * 16];
+        assert!(far > 0.6, "far row should be foggy: {far}");
+        assert!(near < far, "near row should retain more contrast");
+        assert!((0.4..0.73).contains(&near));
+    }
+
+    #[test]
+    fn heavier_fog_reduces_contrast_more() {
+        let cam = Camera::standard(16, 16);
+        let mut light = test_frame(&cam);
+        let mut dense = test_frame(&cam);
+        // Make one pixel bright so contrast is measurable.
+        light[14 * 16 + 8] = 1.0;
+        dense[14 * 16 + 8] = 1.0;
+        apply_weather(Weather::Fog(0.02), &cam, &mut light);
+        apply_weather(Weather::Fog(0.12), &cam, &mut dense);
+        let contrast = |f: &[f32]| f[14 * 16 + 8] - f[14 * 16 + 0];
+        assert!(contrast(&dense) < contrast(&light));
+    }
+
+    #[test]
+    fn night_dims_sky_but_lights_the_road_ahead() {
+        let cam = Camera::standard(32, 32);
+        let mut f = test_frame(&cam);
+        apply_weather(Weather::Night, &cam, &mut f);
+        let sky = f[16]; // top row
+        // Bottom center: close ground dead ahead = inside the cone.
+        let road_ahead = f[31 * 32 + 16];
+        assert!(sky < 0.15, "sky must be dark at night: {sky}");
+        assert!(road_ahead > sky * 2.0, "headlights must lift the road: {road_ahead} vs {sky}");
+        // Far edge of a low row (large |lateral|) is outside the cone.
+        let roadside = f[20 * 32];
+        assert!(roadside < road_ahead, "cone should be centered");
+    }
+
+    #[test]
+    fn weather_names_are_stable() {
+        assert_eq!(Weather::Clear.name(), "clear");
+        assert_eq!(Weather::Fog(0.05).name(), "fog(0.05)");
+        assert_eq!(Weather::Night.name(), "night");
+        assert_eq!(Weather::default(), Weather::Clear);
+    }
+}

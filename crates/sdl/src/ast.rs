@@ -1,0 +1,359 @@
+//! Typed abstract syntax of the Scenario Description Language (SDL).
+//!
+//! A [`Scenario`] is the structured answer to "what happened in this clip":
+//! what the ego vehicle did, which other actors were involved and how, and
+//! what kind of road the interaction took place on.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when a name does not match any SDL vocabulary entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTokenError {
+    token: String,
+    expected: &'static str,
+}
+
+impl ParseTokenError {
+    fn new(token: &str, expected: &'static str) -> Self {
+        ParseTokenError { token: token.to_string(), expected }
+    }
+
+    /// The offending token.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+impl fmt::Display for ParseTokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} `{}`", self.expected, self.token)
+    }
+}
+
+impl std::error::Error for ParseTokenError {}
+
+macro_rules! sdl_enum {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $expected:literal {
+            $( $(#[$vmeta:meta])* $variant:ident => $text:literal ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum $name {
+            $( $(#[$vmeta])* $variant ),+
+        }
+
+        impl $name {
+            /// Every variant, in vocabulary (index) order.
+            pub const ALL: &'static [$name] = &[ $( $name::$variant ),+ ];
+
+            /// Number of variants.
+            pub const COUNT: usize = Self::ALL.len();
+
+            /// Canonical lowercase SDL spelling.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $( $name::$variant => $text ),+
+                }
+            }
+
+            /// Stable index into [`Self::ALL`] (used as a class label).
+            pub fn index(&self) -> usize {
+                Self::ALL.iter().position(|v| v == self).expect("variant in ALL")
+            }
+
+            /// Inverse of [`Self::index`].
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i >= Self::COUNT`.
+            pub fn from_index(i: usize) -> $name {
+                Self::ALL[i]
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseTokenError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                match s {
+                    $( $text => Ok($name::$variant), )+
+                    other => Err(ParseTokenError::new(other, $expected)),
+                }
+            }
+        }
+    };
+}
+
+sdl_enum! {
+    /// What the ego vehicle is doing over the clip.
+    EgoManeuver, "ego maneuver" {
+        /// Steady lane keeping at roughly constant speed.
+        Cruise => "cruise",
+        /// Braking to a standstill (e.g. for a crossing actor or stop line).
+        DecelerateToStop => "decelerate-to-stop",
+        /// Left turn at an intersection.
+        TurnLeft => "turn-left",
+        /// Right turn at an intersection.
+        TurnRight => "turn-right",
+        /// Lane change to the left.
+        LaneChangeLeft => "lane-change-left",
+        /// Lane change to the right.
+        LaneChangeRight => "lane-change-right",
+        /// Noticeable speed-up from low speed.
+        Accelerate => "accelerate",
+    }
+}
+
+sdl_enum! {
+    /// Category of a non-ego traffic participant.
+    ActorKind, "actor kind" {
+        /// Another car/truck.
+        Vehicle => "vehicle",
+        /// A person on foot.
+        Pedestrian => "pedestrian",
+        /// A person on a bicycle.
+        Cyclist => "cyclist",
+    }
+}
+
+sdl_enum! {
+    /// What the actor is doing relative to the ego vehicle.
+    ActorAction, "actor action" {
+        /// Crossing the ego vehicle's path laterally.
+        Crossing => "crossing",
+        /// Approaching in the opposing lane.
+        Oncoming => "oncoming",
+        /// Driving ahead in the same lane, same direction.
+        Leading => "leading",
+        /// Merging into the ego lane directly ahead.
+        CutIn => "cut-in",
+        /// Passing the ego vehicle in an adjacent lane.
+        Overtaking => "overtaking",
+        /// Stationary in or near the ego path.
+        Stopped => "stopped",
+        /// Trailing the ego vehicle in the same lane.
+        Following => "following",
+    }
+}
+
+sdl_enum! {
+    /// Coarse position of an actor relative to the ego vehicle.
+    Position, "position" {
+        /// To the ego's left.
+        Left => "left",
+        /// To the ego's right.
+        Right => "right",
+        /// In front of the ego.
+        Ahead => "ahead",
+        /// Behind the ego.
+        Behind => "behind",
+    }
+}
+
+sdl_enum! {
+    /// Road context of the scenario.
+    RoadKind, "road kind" {
+        /// A straight road segment.
+        Straight => "straight",
+        /// A leftward curve.
+        CurveLeft => "curve-left",
+        /// A rightward curve.
+        CurveRight => "curve-right",
+        /// A four-way intersection.
+        Intersection => "intersection",
+    }
+}
+
+/// One non-ego actor and its behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorClause {
+    /// What kind of actor.
+    pub kind: ActorKind,
+    /// What it is doing relative to the ego vehicle.
+    pub action: ActorAction,
+    /// Where it is relative to the ego vehicle, when known.
+    pub position: Option<Position>,
+}
+
+impl ActorClause {
+    /// Creates a clause without position information.
+    pub fn new(kind: ActorKind, action: ActorAction) -> Self {
+        ActorClause { kind, action, position: None }
+    }
+
+    /// Creates a clause with a position.
+    pub fn at(kind: ActorKind, action: ActorAction, position: Position) -> Self {
+        ActorClause { kind, action, position: Some(position) }
+    }
+}
+
+impl fmt::Display for ActorClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.action)?;
+        if let Some(p) = self.position {
+            write!(f, " {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full scenario description: ego maneuver, actor clauses, road context.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_sdl::{ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind, Scenario};
+///
+/// let s = Scenario::new(EgoManeuver::DecelerateToStop, RoadKind::Intersection)
+///     .with_actor(ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Right));
+/// assert_eq!(
+///     s.to_string(),
+///     "ego decelerate-to-stop; pedestrian crossing right; road intersection"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Ego maneuver clause.
+    pub ego: EgoManeuver,
+    /// Zero or more actor clauses, in salience order (most relevant first).
+    pub actors: Vec<ActorClause>,
+    /// Road context clause.
+    pub road: RoadKind,
+}
+
+/// Maximum number of actor clauses in a valid scenario.
+pub const MAX_ACTORS: usize = 4;
+
+/// Error returned by [`Scenario::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateScenarioError {
+    /// An actor kind/action combination outside the SDL event taxonomy.
+    InvalidCombination(ActorKind, ActorAction),
+    /// More actor clauses than [`MAX_ACTORS`].
+    TooManyActors(usize),
+}
+
+impl fmt::Display for ValidateScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateScenarioError::InvalidCombination(k, a) => {
+                write!(f, "invalid actor combination `{k} {a}`")
+            }
+            ValidateScenarioError::TooManyActors(n) => {
+                write!(f, "too many actor clauses ({n} > {MAX_ACTORS})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateScenarioError {}
+
+impl Scenario {
+    /// Creates a scenario with no actor clauses.
+    pub fn new(ego: EgoManeuver, road: RoadKind) -> Self {
+        Scenario { ego, actors: Vec::new(), road }
+    }
+
+    /// Builder-style addition of an actor clause.
+    #[must_use]
+    pub fn with_actor(mut self, actor: ActorClause) -> Self {
+        self.actors.push(actor);
+        self
+    }
+
+    /// The most salient actor clause, if any.
+    pub fn primary_actor(&self) -> Option<&ActorClause> {
+        self.actors.first()
+    }
+
+    /// Checks taxonomy constraints (valid kind/action combos, actor limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ValidateScenarioError> {
+        if self.actors.len() > MAX_ACTORS {
+            return Err(ValidateScenarioError::TooManyActors(self.actors.len()));
+        }
+        for a in &self.actors {
+            if !crate::vocab::is_valid_event(a.kind, a.action) {
+                return Err(ValidateScenarioError::InvalidCombination(a.kind, a.action));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_roundtrip_through_index() {
+        for m in EgoManeuver::ALL {
+            assert_eq!(EgoManeuver::from_index(m.index()), *m);
+        }
+        for k in ActorKind::ALL {
+            assert_eq!(ActorKind::from_index(k.index()), *k);
+        }
+        assert_eq!(EgoManeuver::COUNT, 7);
+        assert_eq!(ActorKind::COUNT, 3);
+        assert_eq!(ActorAction::COUNT, 7);
+        assert_eq!(Position::COUNT, 4);
+        assert_eq!(RoadKind::COUNT, 4);
+    }
+
+    #[test]
+    fn enum_roundtrip_through_strings() {
+        for a in ActorAction::ALL {
+            assert_eq!(a.as_str().parse::<ActorAction>().unwrap(), *a);
+        }
+        for r in RoadKind::ALL {
+            assert_eq!(r.as_str().parse::<RoadKind>().unwrap(), *r);
+        }
+        assert!("flying".parse::<ActorAction>().is_err());
+    }
+
+    #[test]
+    fn display_forms_are_kebab_case() {
+        assert_eq!(EgoManeuver::DecelerateToStop.to_string(), "decelerate-to-stop");
+        assert_eq!(ActorAction::CutIn.to_string(), "cut-in");
+        assert_eq!(RoadKind::CurveLeft.to_string(), "curve-left");
+    }
+
+    #[test]
+    fn validate_rejects_bad_combo() {
+        let s = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
+            .with_actor(ActorClause::new(ActorKind::Pedestrian, ActorAction::Overtaking));
+        assert!(matches!(
+            s.validate(),
+            Err(ValidateScenarioError::InvalidCombination(ActorKind::Pedestrian, ActorAction::Overtaking))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_too_many_actors() {
+        let mut s = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight);
+        for _ in 0..5 {
+            s.actors.push(ActorClause::new(ActorKind::Vehicle, ActorAction::Leading));
+        }
+        assert!(matches!(s.validate(), Err(ValidateScenarioError::TooManyActors(5))));
+    }
+
+    #[test]
+    fn validate_accepts_canonical_scenario() {
+        let s = Scenario::new(EgoManeuver::TurnLeft, RoadKind::Intersection)
+            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Oncoming, Position::Ahead));
+        assert!(s.validate().is_ok());
+    }
+}

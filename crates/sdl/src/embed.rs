@@ -1,0 +1,127 @@
+//! Scenario2Vector-style fixed-length scenario embeddings.
+//!
+//! Scenarios are embedded into a sparse-ish vector whose blocks are:
+//! one-hot ego maneuver, one-hot road kind, multi-hot event classes, and a
+//! position histogram. Cosine similarity on these vectors drives the
+//! retrieval experiments (Table 3).
+
+use crate::ast::{EgoManeuver, Position, RoadKind, Scenario};
+use crate::vocab::{event_index, EVENT_COUNT, EVENT_NONE};
+
+/// Dimensionality of [`embed`] vectors.
+pub const EMBED_DIM: usize = EgoManeuver::COUNT + RoadKind::COUNT + EVENT_COUNT + Position::COUNT;
+
+/// Embeds a scenario as an L2-normalized vector of length [`EMBED_DIM`].
+///
+/// Unknown/invalid actor combinations are skipped (the embedding is total).
+pub fn embed(s: &Scenario) -> Vec<f32> {
+    let mut v = vec![0.0f32; EMBED_DIM];
+    v[s.ego.index()] = 1.0;
+    let road_base = EgoManeuver::COUNT;
+    v[road_base + s.road.index()] = 1.0;
+    let event_base = road_base + RoadKind::COUNT;
+    let pos_base = event_base + EVENT_COUNT;
+    if s.actors.is_empty() {
+        v[event_base + EVENT_NONE] = 1.0;
+    }
+    for a in &s.actors {
+        if let Some(e) = event_index(a.kind, a.action) {
+            v[event_base + e] += 1.0;
+        }
+        if let Some(p) = a.position {
+            v[pos_base + p.index()] += 1.0;
+        }
+    }
+    l2_normalize(&mut v);
+    v
+}
+
+/// Cosine similarity between two equally-sized vectors.
+///
+/// Returns 0 when either vector is all-zero.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Cosine similarity of two scenarios' embeddings.
+pub fn embedding_similarity(a: &Scenario, b: &Scenario) -> f32 {
+    cosine(&embed(a), &embed(b))
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let n: f32 = v.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ActorAction, ActorClause, ActorKind};
+
+    fn s1() -> Scenario {
+        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
+            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead))
+    }
+
+    #[test]
+    fn embedding_has_unit_norm() {
+        let v = embed(&s1());
+        assert_eq!(v.len(), EMBED_DIM);
+        let n: f32 = v.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        assert!((embedding_similarity(&s1(), &s1()) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_actor_scenario_sets_none_flag() {
+        let s = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight);
+        let v = embed(&s);
+        let event_base = EgoManeuver::COUNT + RoadKind::COUNT;
+        assert!(v[event_base + EVENT_NONE] > 0.0);
+    }
+
+    #[test]
+    fn closer_scenarios_have_higher_similarity() {
+        let a = s1();
+        // Same everything but road differs.
+        let mut near = s1();
+        near.road = RoadKind::CurveLeft;
+        // Different ego, road, and actor.
+        let far = Scenario::new(EgoManeuver::TurnRight, RoadKind::Intersection)
+            .with_actor(ActorClause::new(ActorKind::Pedestrian, ActorAction::Crossing));
+        assert!(embedding_similarity(&a, &near) > embedding_similarity(&a, &far));
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_bounded() {
+        let a = embed(&s1());
+        let b = embed(&Scenario::new(EgoManeuver::Accelerate, RoadKind::Intersection));
+        let c = cosine(&a, &b);
+        assert!((-1.0..=1.0).contains(&c));
+    }
+}

@@ -1,0 +1,219 @@
+//! Canonical text form of SDL scenarios: printing and parsing.
+//!
+//! The grammar (clauses separated by `;`):
+//!
+//! ```text
+//! scenario     := ego_clause (";" actor_clause)* ";" road_clause
+//! ego_clause   := "ego" maneuver
+//! actor_clause := actor_kind action [position]
+//! road_clause  := "road" road_kind
+//! ```
+
+use std::fmt;
+
+use crate::ast::{ActorClause, ParseTokenError, Scenario};
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ego {}", self.ego)?;
+        for a in &self.actors {
+            write!(f, "; {a}")?;
+        }
+        write!(f, "; road {}", self.road)
+    }
+}
+
+/// Error produced when parsing an SDL scenario string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseScenarioError {
+    /// A clause had the wrong arity or keyword.
+    Malformed {
+        /// The offending clause text.
+        clause: String,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// A token was not in the relevant vocabulary.
+    Token(ParseTokenError),
+    /// The required ego or road clause was missing.
+    MissingClause(&'static str),
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseScenarioError::Malformed { clause, expected } => {
+                write!(f, "malformed clause `{clause}`, expected {expected}")
+            }
+            ParseScenarioError::Token(e) => write!(f, "{e}"),
+            ParseScenarioError::MissingClause(which) => write!(f, "missing {which} clause"),
+        }
+    }
+}
+
+impl std::error::Error for ParseScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseScenarioError::Token(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseTokenError> for ParseScenarioError {
+    fn from(e: ParseTokenError) -> Self {
+        ParseScenarioError::Token(e)
+    }
+}
+
+/// Parses the canonical text form produced by `Scenario`'s `Display`.
+///
+/// Whitespace around clauses is tolerated; clause order must be
+/// ego-actors-road.
+///
+/// # Errors
+///
+/// Returns a [`ParseScenarioError`] describing the first problem found.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_sdl::parse_scenario;
+/// let s = parse_scenario("ego cruise; vehicle leading ahead; road straight")?;
+/// assert_eq!(s.actors.len(), 1);
+/// # Ok::<(), tsdx_sdl::ParseScenarioError>(())
+/// ```
+pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
+    let mut clauses = text.split(';').map(str::trim).filter(|c| !c.is_empty());
+
+    let ego_clause = clauses.next().ok_or(ParseScenarioError::MissingClause("ego"))?;
+    let ego = {
+        let mut words = ego_clause.split_whitespace();
+        match (words.next(), words.next(), words.next()) {
+            (Some("ego"), Some(m), None) => m.parse()?,
+            _ => {
+                return Err(ParseScenarioError::Malformed {
+                    clause: ego_clause.to_string(),
+                    expected: "`ego <maneuver>`",
+                })
+            }
+        }
+    };
+
+    let rest: Vec<&str> = clauses.collect();
+    let (road_clause, actor_clauses) =
+        rest.split_last().ok_or(ParseScenarioError::MissingClause("road"))?;
+
+    let road = {
+        let mut words = road_clause.split_whitespace();
+        match (words.next(), words.next(), words.next()) {
+            (Some("road"), Some(r), None) => r.parse()?,
+            _ => {
+                return Err(ParseScenarioError::Malformed {
+                    clause: road_clause.to_string(),
+                    expected: "`road <kind>`",
+                })
+            }
+        }
+    };
+
+    let mut actors = Vec::with_capacity(actor_clauses.len());
+    for clause in actor_clauses {
+        let words: Vec<&str> = clause.split_whitespace().collect();
+        let actor = match words.as_slice() {
+            [kind, action] => ActorClause { kind: kind.parse()?, action: action.parse()?, position: None },
+            [kind, action, pos] => ActorClause {
+                kind: kind.parse()?,
+                action: action.parse()?,
+                position: Some(pos.parse()?),
+            },
+            _ => {
+                return Err(ParseScenarioError::Malformed {
+                    clause: clause.to_string(),
+                    expected: "`<kind> <action> [position]`",
+                })
+            }
+        };
+        actors.push(actor);
+    }
+
+    Ok(Scenario { ego, actors, road })
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = ParseScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_scenario(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ActorAction, ActorKind, EgoManeuver, Position, RoadKind};
+
+    fn sample() -> Scenario {
+        Scenario::new(EgoManeuver::DecelerateToStop, RoadKind::Intersection)
+            .with_actor(ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Right))
+            .with_actor(ActorClause::new(ActorKind::Vehicle, ActorAction::Stopped))
+    }
+
+    #[test]
+    fn print_then_parse_roundtrips() {
+        let s = sample();
+        let text = s.to_string();
+        assert_eq!(
+            text,
+            "ego decelerate-to-stop; pedestrian crossing right; vehicle stopped; road intersection"
+        );
+        let parsed: Scenario = text.parse().unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_without_actors() {
+        let s = parse_scenario("ego cruise; road straight").unwrap();
+        assert_eq!(s.ego, EgoManeuver::Cruise);
+        assert!(s.actors.is_empty());
+        assert_eq!(s.road, RoadKind::Straight);
+    }
+
+    #[test]
+    fn parse_tolerates_extra_whitespace() {
+        let s = parse_scenario("  ego turn-left ;  vehicle oncoming ahead ;  road intersection ").unwrap();
+        assert_eq!(s.ego, EgoManeuver::TurnLeft);
+        assert_eq!(s.actors[0].position, Some(Position::Ahead));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            parse_scenario(""),
+            Err(ParseScenarioError::MissingClause("ego"))
+        ));
+        assert!(matches!(
+            parse_scenario("ego cruise"),
+            Err(ParseScenarioError::MissingClause("road"))
+        ));
+        assert!(matches!(
+            parse_scenario("ego warp-speed; road straight"),
+            Err(ParseScenarioError::Token(_))
+        ));
+        assert!(matches!(
+            parse_scenario("ego cruise; vehicle; road straight"),
+            Err(ParseScenarioError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_scenario("ego cruise; pedestrian crossing left extra; road straight"),
+            Err(ParseScenarioError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_prose() {
+        let err = parse_scenario("ego warp; road straight").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.starts_with("unknown ego maneuver"), "{msg}");
+    }
+}

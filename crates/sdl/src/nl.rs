@@ -1,0 +1,172 @@
+//! Natural-language rendering of SDL scenarios.
+//!
+//! Produces the human-readable counterpart of the canonical machine form —
+//! useful for reports, dataset browsers, and the CLI:
+//!
+//! ```text
+//! ego decelerate-to-stop; pedestrian crossing right; road intersection
+//!   ⇢ "The ego vehicle decelerates to a stop at an intersection while a
+//!      pedestrian crosses from the right."
+//! ```
+
+use crate::ast::{ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind, Scenario};
+
+/// Renders a scenario as one English sentence.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_sdl::{parse_scenario, to_sentence};
+/// let s = parse_scenario("ego decelerate-to-stop; pedestrian crossing right; road intersection")?;
+/// assert_eq!(
+///     to_sentence(&s),
+///     "The ego vehicle decelerates to a stop at an intersection while a pedestrian crosses from the right."
+/// );
+/// # Ok::<(), tsdx_sdl::ParseScenarioError>(())
+/// ```
+pub fn to_sentence(s: &Scenario) -> String {
+    let mut out = String::from("The ego vehicle ");
+    out.push_str(ego_phrase(s.ego));
+    out.push(' ');
+    out.push_str(road_phrase(s.road));
+
+    for (i, actor) in s.actors.iter().enumerate() {
+        out.push_str(if i == 0 { " while " } else { " and " });
+        out.push_str(&actor_phrase(actor));
+    }
+    out.push('.');
+    out
+}
+
+fn ego_phrase(ego: EgoManeuver) -> &'static str {
+    match ego {
+        EgoManeuver::Cruise => "cruises",
+        EgoManeuver::DecelerateToStop => "decelerates to a stop",
+        EgoManeuver::TurnLeft => "turns left",
+        EgoManeuver::TurnRight => "turns right",
+        EgoManeuver::LaneChangeLeft => "changes lanes to the left",
+        EgoManeuver::LaneChangeRight => "changes lanes to the right",
+        EgoManeuver::Accelerate => "accelerates",
+    }
+}
+
+fn road_phrase(road: RoadKind) -> &'static str {
+    match road {
+        RoadKind::Straight => "on a straight road",
+        RoadKind::CurveLeft => "through a left-hand curve",
+        RoadKind::CurveRight => "through a right-hand curve",
+        RoadKind::Intersection => "at an intersection",
+    }
+}
+
+fn actor_noun(kind: ActorKind) -> &'static str {
+    match kind {
+        ActorKind::Vehicle => "a vehicle",
+        ActorKind::Pedestrian => "a pedestrian",
+        ActorKind::Cyclist => "a cyclist",
+    }
+}
+
+fn actor_phrase(actor: &ActorClause) -> String {
+    let noun = actor_noun(actor.kind);
+    let verb = match actor.action {
+        ActorAction::Crossing => "crosses",
+        ActorAction::Oncoming => "approaches head-on",
+        ActorAction::Leading => "drives ahead",
+        ActorAction::CutIn => "cuts in",
+        ActorAction::Overtaking => "overtakes",
+        ActorAction::Stopped => "stands still",
+        ActorAction::Following => "follows",
+    };
+    let place = actor.position.and_then(|p| match (actor.action, p) {
+        (ActorAction::Crossing, Position::Left) => Some(" from the left"),
+        (ActorAction::Crossing, Position::Right) => Some(" from the right"),
+        // "drives ahead ahead" / "follows behind behind" read badly; the
+        // verb already carries the direction.
+        (ActorAction::Leading, Position::Ahead) | (ActorAction::Following, Position::Behind) => {
+            None
+        }
+        (_, Position::Left) => Some(" on the left"),
+        (_, Position::Right) => Some(" on the right"),
+        (_, Position::Ahead) => Some(" ahead"),
+        (_, Position::Behind) => Some(" behind"),
+    });
+    format!("{noun} {verb}{}", place.unwrap_or(""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_scenario;
+
+    fn nl(text: &str) -> String {
+        to_sentence(&parse_scenario(text).unwrap())
+    }
+
+    #[test]
+    fn actorless_scenarios_read_naturally() {
+        assert_eq!(nl("ego cruise; road straight"), "The ego vehicle cruises on a straight road.");
+        assert_eq!(
+            nl("ego turn-left; road intersection"),
+            "The ego vehicle turns left at an intersection."
+        );
+        assert_eq!(
+            nl("ego accelerate; road curve-right"),
+            "The ego vehicle accelerates through a right-hand curve."
+        );
+    }
+
+    #[test]
+    fn single_actor_uses_while_and_avoids_duplication() {
+        assert_eq!(
+            nl("ego cruise; vehicle leading ahead; road straight"),
+            "The ego vehicle cruises on a straight road while a vehicle drives ahead."
+        );
+        assert_eq!(
+            nl("ego cruise; vehicle overtaking left; road straight"),
+            "The ego vehicle cruises on a straight road while a vehicle overtakes on the left."
+        );
+    }
+
+    #[test]
+    fn crossing_positions_become_from_phrases() {
+        assert_eq!(
+            nl("ego decelerate-to-stop; pedestrian crossing right; road intersection"),
+            "The ego vehicle decelerates to a stop at an intersection while a pedestrian crosses from the right."
+        );
+        assert_eq!(
+            nl("ego cruise; cyclist crossing left; road intersection"),
+            "The ego vehicle cruises at an intersection while a cyclist crosses from the left."
+        );
+    }
+
+    #[test]
+    fn multiple_actors_chain_with_and() {
+        assert_eq!(
+            nl("ego decelerate-to-stop; pedestrian crossing right; vehicle stopped ahead; road intersection"),
+            "The ego vehicle decelerates to a stop at an intersection while a pedestrian crosses \
+             from the right and a vehicle stands still ahead."
+        );
+    }
+
+    #[test]
+    fn every_vocabulary_item_renders() {
+        // Exhaustively exercise the phrase tables; output must be non-empty
+        // prose ending with a period.
+        for &ego in EgoManeuver::ALL {
+            for &road in RoadKind::ALL {
+                let s = Scenario::new(ego, road);
+                let text = to_sentence(&s);
+                assert!(text.starts_with("The ego vehicle "));
+                assert!(text.ends_with('.'));
+            }
+        }
+        for &(kind, action) in crate::vocab::EVENT_CLASSES {
+            for position in [None, Some(Position::Left), Some(Position::Ahead)] {
+                let clause = ActorClause { kind, action, position };
+                let phrase = actor_phrase(&clause);
+                assert!(phrase.starts_with("a "), "{phrase}");
+            }
+        }
+    }
+}

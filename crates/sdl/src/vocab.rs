@@ -1,0 +1,101 @@
+//! Label vocabularies shared by models and metrics.
+//!
+//! The extraction heads predict four quantities per clip:
+//!
+//! * ego maneuver — [`EgoManeuver::COUNT`](crate::EgoManeuver::COUNT)-way classification;
+//! * road kind — [`RoadKind::COUNT`](crate::RoadKind::COUNT)-way classification;
+//! * primary event — [`EVENT_COUNT`]-way classification over valid
+//!   (actor kind, action) combinations plus an explicit *none* class;
+//! * actor presence — [`ActorKind::COUNT`]-way multi-label vector.
+
+use crate::ast::{ActorAction, ActorKind};
+
+/// All semantically valid `(kind, action)` combinations, in label order.
+///
+/// Vehicles take every action; pedestrians only cross or stand; cyclists
+/// cross, ride toward, or ride ahead of the ego vehicle.
+pub const EVENT_CLASSES: &[(ActorKind, ActorAction)] = &[
+    (ActorKind::Vehicle, ActorAction::Crossing),
+    (ActorKind::Vehicle, ActorAction::Oncoming),
+    (ActorKind::Vehicle, ActorAction::Leading),
+    (ActorKind::Vehicle, ActorAction::CutIn),
+    (ActorKind::Vehicle, ActorAction::Overtaking),
+    (ActorKind::Vehicle, ActorAction::Stopped),
+    (ActorKind::Vehicle, ActorAction::Following),
+    (ActorKind::Pedestrian, ActorAction::Crossing),
+    (ActorKind::Pedestrian, ActorAction::Stopped),
+    (ActorKind::Cyclist, ActorAction::Crossing),
+    (ActorKind::Cyclist, ActorAction::Oncoming),
+    (ActorKind::Cyclist, ActorAction::Leading),
+];
+
+/// Number of event classes including the trailing *none* class.
+pub const EVENT_COUNT: usize = EVENT_CLASSES.len() + 1;
+
+/// Label index of the *none* event (no salient actor).
+pub const EVENT_NONE: usize = EVENT_CLASSES.len();
+
+/// True when `(kind, action)` is part of the SDL taxonomy.
+pub fn is_valid_event(kind: ActorKind, action: ActorAction) -> bool {
+    EVENT_CLASSES.contains(&(kind, action))
+}
+
+/// Label index of a valid `(kind, action)` pair.
+///
+/// Returns `None` for combinations outside the taxonomy.
+pub fn event_index(kind: ActorKind, action: ActorAction) -> Option<usize> {
+    EVENT_CLASSES.iter().position(|&e| e == (kind, action))
+}
+
+/// Inverse of [`event_index`]; `None` for the *none* class.
+///
+/// # Panics
+///
+/// Panics if `index >= EVENT_COUNT`.
+pub fn event_from_index(index: usize) -> Option<(ActorKind, ActorAction)> {
+    assert!(index < EVENT_COUNT, "event index {index} out of range");
+    EVENT_CLASSES.get(index).copied()
+}
+
+/// Human-readable name of an event class (including "none").
+pub fn event_name(index: usize) -> String {
+    match event_from_index(index) {
+        Some((k, a)) => format!("{k} {a}"),
+        None => "none".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_indices_roundtrip() {
+        for (i, &(k, a)) in EVENT_CLASSES.iter().enumerate() {
+            assert_eq!(event_index(k, a), Some(i));
+            assert_eq!(event_from_index(i), Some((k, a)));
+        }
+        assert_eq!(event_from_index(EVENT_NONE), None);
+    }
+
+    #[test]
+    fn taxonomy_shape() {
+        assert_eq!(EVENT_CLASSES.len(), 12);
+        assert_eq!(EVENT_COUNT, 13);
+        assert!(is_valid_event(ActorKind::Vehicle, ActorAction::CutIn));
+        assert!(!is_valid_event(ActorKind::Pedestrian, ActorAction::CutIn));
+        assert!(!is_valid_event(ActorKind::Cyclist, ActorAction::Overtaking));
+    }
+
+    #[test]
+    fn event_names_are_readable() {
+        assert_eq!(event_name(0), "vehicle crossing");
+        assert_eq!(event_name(EVENT_NONE), "none");
+    }
+
+    #[test]
+    #[should_panic]
+    fn event_from_index_rejects_out_of_range() {
+        event_from_index(EVENT_COUNT);
+    }
+}

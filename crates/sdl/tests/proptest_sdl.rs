@@ -1,0 +1,98 @@
+//! Property-based tests of the SDL grammar, similarity, and embeddings.
+
+use proptest::prelude::*;
+use tsdx_sdl::{
+    embed, embedding_similarity, parse_scenario, similarity, vocab, ActorClause, ActorKind,
+    EgoManeuver, Position, RoadKind, Scenario, EMBED_DIM,
+};
+
+fn arb_ego() -> impl Strategy<Value = EgoManeuver> {
+    (0..EgoManeuver::COUNT).prop_map(EgoManeuver::from_index)
+}
+
+fn arb_road() -> impl Strategy<Value = RoadKind> {
+    (0..RoadKind::COUNT).prop_map(RoadKind::from_index)
+}
+
+fn arb_position() -> impl Strategy<Value = Option<Position>> {
+    prop_oneof![
+        Just(None),
+        (0..Position::COUNT).prop_map(|i| Some(Position::from_index(i))),
+    ]
+}
+
+/// Only taxonomy-valid (kind, action) pairs.
+fn arb_actor() -> impl Strategy<Value = ActorClause> {
+    ((0..vocab::EVENT_CLASSES.len()), arb_position()).prop_map(|(e, position)| {
+        let (kind, action) = vocab::EVENT_CLASSES[e];
+        ActorClause { kind, action, position }
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (arb_ego(), arb_road(), prop::collection::vec(arb_actor(), 0..=4))
+        .prop_map(|(ego, road, actors)| Scenario { ego, actors, road })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(s in arb_scenario()) {
+        let text = s.to_string();
+        let parsed = parse_scenario(&text).expect("canonical text must parse");
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn valid_scenarios_validate(s in arb_scenario()) {
+        prop_assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn similarity_is_reflexive(s in arb_scenario()) {
+        prop_assert!((similarity(&s, &s) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded(a in arb_scenario(), b in arb_scenario()) {
+        let ab = similarity(&a, &b);
+        let ba = similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm(s in arb_scenario()) {
+        let e = embed(&s);
+        prop_assert_eq!(e.len(), EMBED_DIM);
+        let n: f32 = e.iter().map(|v| v * v).sum::<f32>().sqrt();
+        prop_assert!((n - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn embedding_similarity_bounded_and_reflexive(a in arb_scenario(), b in arb_scenario()) {
+        let sim = embedding_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&sim));
+        prop_assert!((embedding_similarity(&a, &a) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identical_scenarios_maximize_embedding_similarity(a in arb_scenario(), b in arb_scenario()) {
+        // No cross-pair can beat self-similarity.
+        prop_assert!(embedding_similarity(&a, &b) <= embedding_similarity(&a, &a) + 1e-5);
+    }
+
+    #[test]
+    fn actor_kind_strings_roundtrip(i in 0..ActorKind::COUNT) {
+        let k = ActorKind::from_index(i);
+        prop_assert_eq!(k.as_str().parse::<ActorKind>().unwrap(), k);
+    }
+
+    #[test]
+    fn garbage_never_parses_as_scenario(junk in "[a-z ]{0,30}") {
+        // Either it fails, or (vanishingly unlikely) it parses to something
+        // that prints back to an equivalent canonical form.
+        if let Ok(s) = parse_scenario(&junk) {
+            prop_assert!(parse_scenario(&s.to_string()).is_ok());
+        }
+    }
+}

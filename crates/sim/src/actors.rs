@@ -1,0 +1,166 @@
+//! Non-ego traffic participants with scripted motion.
+
+use tsdx_sdl::ActorKind;
+
+use crate::behavior::SpeedProfile;
+use crate::geometry::Pose;
+use crate::path::Path;
+
+/// Physical footprint of an actor (meters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodySize {
+    /// Length along the heading.
+    pub length: f32,
+    /// Width across the heading.
+    pub width: f32,
+    /// Height (used by the renderer for apparent size).
+    pub height: f32,
+}
+
+/// Canonical body size per actor kind.
+pub fn body_size(kind: ActorKind) -> BodySize {
+    match kind {
+        ActorKind::Vehicle => BodySize { length: 4.5, width: 1.8, height: 1.5 },
+        ActorKind::Cyclist => BodySize { length: 1.8, width: 0.6, height: 1.7 },
+        ActorKind::Pedestrian => BodySize { length: 0.5, width: 0.5, height: 1.7 },
+    }
+}
+
+/// A scripted actor: a body moving along a [`Path`] under a
+/// [`SpeedProfile`], optionally delayed by `start_time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actor {
+    /// What kind of actor this is.
+    pub kind: ActorKind,
+    /// Route followed by the actor.
+    pub path: Path,
+    /// Longitudinal behavior along the route.
+    pub profile: SpeedProfile,
+    /// Arc length at which the actor starts (m).
+    pub start_s: f32,
+    /// Simulation time before which the actor is absent (s).
+    pub start_time: f32,
+}
+
+/// Snapshot of one actor at one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActorState {
+    /// World pose (heading = travel direction).
+    pub pose: Pose,
+    /// Speed along the path (m/s).
+    pub speed: f32,
+    /// Arc length along the actor's path (m).
+    pub s: f32,
+    /// False before `start_time` or after the path is exhausted.
+    pub active: bool,
+}
+
+impl Actor {
+    /// Creates an actor starting immediately at the beginning of `path`.
+    pub fn new(kind: ActorKind, path: Path, profile: SpeedProfile) -> Self {
+        Actor { kind, path, profile, start_s: 0.0, start_time: 0.0 }
+    }
+
+    /// Builder: initial arc length along the path.
+    #[must_use]
+    pub fn starting_at(mut self, s: f32) -> Self {
+        self.start_s = s;
+        self
+    }
+
+    /// Builder: spawn delay in seconds.
+    #[must_use]
+    pub fn delayed(mut self, t: f32) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// Body footprint for this actor's kind.
+    pub fn size(&self) -> BodySize {
+        body_size(self.kind)
+    }
+
+    /// Simulates the actor for `duration` seconds at timestep `dt`,
+    /// returning one state per step (including t=0).
+    pub fn rollout(&self, duration: f32, dt: f32) -> Vec<ActorState> {
+        let steps = (duration / dt).round() as usize;
+        let mut out = Vec::with_capacity(steps + 1);
+        let mut s = self.start_s;
+        for step in 0..=steps {
+            let t = step as f32 * dt;
+            let spawned = t >= self.start_time;
+            let on_path = s < self.path.length() - 1e-3;
+            let v = if spawned { self.profile.target_speed(s) } else { 0.0 };
+            out.push(ActorState {
+                pose: self.path.pose_at(s),
+                speed: if spawned { v } else { 0.0 },
+                s,
+                active: spawned && on_path,
+            });
+            if spawned {
+                s = (s + v * dt).min(self.path.length());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec2;
+    use std::f32::consts::FRAC_PI_2;
+
+    fn line_actor(kind: ActorKind, speed: f32) -> Actor {
+        Actor::new(kind, Path::line(Vec2::ZERO, FRAC_PI_2, 100.0), SpeedProfile::Constant(speed))
+    }
+
+    #[test]
+    fn body_sizes_are_ordered_sensibly() {
+        assert!(body_size(ActorKind::Vehicle).length > body_size(ActorKind::Cyclist).length);
+        assert!(body_size(ActorKind::Cyclist).length > body_size(ActorKind::Pedestrian).length);
+    }
+
+    #[test]
+    fn rollout_advances_at_constant_speed() {
+        let a = line_actor(ActorKind::Vehicle, 10.0);
+        let states = a.rollout(5.0, 0.1);
+        assert_eq!(states.len(), 51);
+        let last = states.last().unwrap();
+        assert!((last.s - 50.0).abs() < 0.5);
+        assert!(last.active);
+        assert!((last.pose.position.y - last.s).abs() < 0.5);
+    }
+
+    #[test]
+    fn delayed_actor_waits_then_moves() {
+        let a = line_actor(ActorKind::Pedestrian, 1.5).delayed(2.0);
+        let states = a.rollout(4.0, 0.1);
+        // Inactive during the delay, stationary at start.
+        assert!(!states[10].active);
+        assert_eq!(states[10].s, 0.0);
+        // Active and moving afterwards.
+        assert!(states[35].active);
+        assert!(states[35].s > 0.5);
+    }
+
+    #[test]
+    fn actor_deactivates_at_path_end() {
+        let a = Actor::new(
+            ActorKind::Cyclist,
+            Path::line(Vec2::ZERO, 0.0, 10.0),
+            SpeedProfile::Constant(5.0),
+        );
+        let states = a.rollout(5.0, 0.1);
+        let last = states.last().unwrap();
+        assert!(!last.active, "actor should deactivate after exhausting its path");
+        assert!((last.s - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn starting_offset_shifts_initial_position() {
+        let a = line_actor(ActorKind::Vehicle, 0.0).starting_at(30.0);
+        let states = a.rollout(1.0, 0.5);
+        assert!((states[0].pose.position.y - 30.0).abs() < 0.5);
+    }
+}

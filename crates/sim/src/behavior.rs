@@ -1,0 +1,139 @@
+//! Longitudinal behavior: speed profiles over arc length.
+
+/// Target speed as a function of distance traveled along a path.
+///
+/// Profiles are *targets*; the integrator (ego controller or scripted actor)
+/// approaches them under acceleration limits, so the realized speed is
+/// smooth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedProfile {
+    /// Hold a constant speed (m/s).
+    Constant(f32),
+    /// Cruise, then brake to a standstill at arc length `stop_s`, using a
+    /// comfortable deceleration `decel` (m/s², positive).
+    StopAt {
+        /// Cruise speed before braking (m/s).
+        cruise: f32,
+        /// Arc length at which the vehicle must be stopped (m).
+        stop_s: f32,
+        /// Braking deceleration magnitude (m/s²).
+        decel: f32,
+    },
+    /// Hold `from` until `start_s`, then accelerate at `accel` up to `to`.
+    Accelerate {
+        /// Initial speed (m/s).
+        from: f32,
+        /// Final speed (m/s).
+        to: f32,
+        /// Arc length where the acceleration begins (m).
+        start_s: f32,
+        /// Acceleration magnitude (m/s²).
+        accel: f32,
+    },
+}
+
+impl SpeedProfile {
+    /// Target speed at arc length `s`.
+    pub fn target_speed(&self, s: f32) -> f32 {
+        match *self {
+            SpeedProfile::Constant(v) => v,
+            SpeedProfile::StopAt { cruise, stop_s, decel } => {
+                if s >= stop_s {
+                    0.0
+                } else {
+                    // v such that braking at `decel` reaches 0 exactly at stop_s.
+                    let v_brake = (2.0 * decel * (stop_s - s)).sqrt();
+                    cruise.min(v_brake)
+                }
+            }
+            SpeedProfile::Accelerate { from, to, start_s, accel } => {
+                if s <= start_s {
+                    from
+                } else {
+                    let v = (from * from + 2.0 * accel * (s - start_s)).sqrt();
+                    v.min(to)
+                }
+            }
+        }
+    }
+
+    /// Nominal cruise speed of the profile (used for horizon sizing).
+    pub fn nominal_speed(&self) -> f32 {
+        match *self {
+            SpeedProfile::Constant(v) => v,
+            SpeedProfile::StopAt { cruise, .. } => cruise,
+            SpeedProfile::Accelerate { from, to, .. } => from.max(to),
+        }
+    }
+
+    /// Integrates the profile from `start_s` for `duration` seconds with
+    /// timestep `dt`, returning `(s, speed)` samples (first sample at t=0).
+    ///
+    /// The speed tracks the target exactly (scripted motion); the ego
+    /// vehicle instead tracks it through its dynamics.
+    pub fn rollout(&self, start_s: f32, duration: f32, dt: f32) -> Vec<(f32, f32)> {
+        assert!(dt > 0.0, "dt must be positive");
+        let steps = (duration / dt).round() as usize;
+        let mut out = Vec::with_capacity(steps + 1);
+        let mut s = start_s;
+        for _ in 0..=steps {
+            let v = self.target_speed(s);
+            out.push((s, v));
+            s += v * dt;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = SpeedProfile::Constant(8.0);
+        assert_eq!(p.target_speed(0.0), 8.0);
+        assert_eq!(p.target_speed(1e6), 8.0);
+        assert_eq!(p.nominal_speed(), 8.0);
+    }
+
+    #[test]
+    fn stop_profile_reaches_zero_at_stop_line() {
+        let p = SpeedProfile::StopAt { cruise: 10.0, stop_s: 50.0, decel: 2.5 };
+        assert_eq!(p.target_speed(0.0), 10.0);
+        assert_eq!(p.target_speed(50.0), 0.0);
+        assert_eq!(p.target_speed(80.0), 0.0);
+        // Just before the stop line the target is small but positive.
+        let near = p.target_speed(49.5);
+        assert!(near > 0.0 && near < 2.0, "{near}");
+        // Monotone non-increasing toward the stop line.
+        let mut last = f32::INFINITY;
+        for i in 0..100 {
+            let v = p.target_speed(i as f32 * 0.5);
+            assert!(v <= last + 1e-5);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn accelerate_profile_ramps_and_caps() {
+        let p = SpeedProfile::Accelerate { from: 2.0, to: 10.0, start_s: 20.0, accel: 2.0 };
+        assert_eq!(p.target_speed(0.0), 2.0);
+        assert_eq!(p.target_speed(20.0), 2.0);
+        assert!(p.target_speed(25.0) > 2.0);
+        assert_eq!(p.target_speed(1e5), 10.0);
+    }
+
+    #[test]
+    fn rollout_advances_monotonically_and_stops() {
+        let p = SpeedProfile::StopAt { cruise: 8.0, stop_s: 30.0, decel: 3.0 };
+        let r = p.rollout(0.0, 10.0, 0.05);
+        for w in r.windows(2) {
+            assert!(w[1].0 >= w[0].0, "arc length must not decrease");
+        }
+        // Ends stopped at (or just before) the stop line.
+        let (s_end, v_end) = *r.last().unwrap();
+        assert!(v_end < 0.5, "still moving: {v_end}");
+        assert!(s_end <= 30.5);
+    }
+}

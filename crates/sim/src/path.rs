@@ -1,0 +1,252 @@
+//! Arc-length parameterized paths.
+//!
+//! Every trajectory in the simulator — ego reference lines, NPC routes,
+//! pedestrian crossings — is a [`Path`]: a densely sampled polyline with
+//! cumulative arc length, queried by `pose_at(s)`. Constructors build the
+//! common shapes (straight segments, circular arcs, lane-change S-curves)
+//! and [`Path::then`] composes them.
+
+use crate::geometry::{Pose, Vec2};
+
+/// Sampling step used when discretizing analytic shapes (m).
+const SAMPLE_STEP: f32 = 0.5;
+
+/// An arc-length parameterized polyline path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    points: Vec<Vec2>,
+    cum_len: Vec<f32>,
+}
+
+impl Path {
+    /// Builds a path from waypoints (at least two, consecutive points
+    /// distinct).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two points or coincident consecutive points.
+    pub fn from_points(points: Vec<Vec2>) -> Self {
+        assert!(points.len() >= 2, "path needs at least two points");
+        let mut cum_len = Vec::with_capacity(points.len());
+        cum_len.push(0.0);
+        for w in points.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!(d > 1e-6, "coincident consecutive path points");
+            cum_len.push(cum_len.last().unwrap() + d);
+        }
+        Path { points, cum_len }
+    }
+
+    /// A straight segment from `start` along `heading` for `length` meters.
+    pub fn line(start: Vec2, heading: f32, length: f32) -> Self {
+        assert!(length > 0.0, "line length must be positive");
+        let dir = Vec2::from_heading(heading);
+        let n = (length / SAMPLE_STEP).ceil().max(1.0) as usize;
+        let pts = (0..=n).map(|i| start + dir * (length * i as f32 / n as f32)).collect();
+        Path::from_points(pts)
+    }
+
+    /// A circular arc starting at `start` with initial `heading`, turning
+    /// through `sweep` radians (positive = left/CCW) at `radius` meters.
+    pub fn arc(start: Vec2, heading: f32, radius: f32, sweep: f32) -> Self {
+        assert!(radius > 0.0, "arc radius must be positive");
+        assert!(sweep.abs() > 1e-3, "arc sweep must be nonzero");
+        let side = sweep.signum();
+        // Center is perpendicular to the heading, on the turning side.
+        let center = start + Vec2::from_heading(heading).perp() * (radius * side);
+        let start_angle = (start - center).heading();
+        let arc_len = radius * sweep.abs();
+        let n = (arc_len / SAMPLE_STEP).ceil().max(2.0) as usize;
+        let pts = (0..=n)
+            .map(|i| {
+                let a = start_angle + sweep * i as f32 / n as f32;
+                center + Vec2::from_heading(a) * radius
+            })
+            .collect();
+        Path::from_points(pts)
+    }
+
+    /// A lane-change S-curve: advances `length` meters along `heading` while
+    /// shifting `lateral` meters to the left (negative = right), easing with
+    /// a smoothstep profile.
+    pub fn lane_change(start: Vec2, heading: f32, length: f32, lateral: f32) -> Self {
+        assert!(length > 0.0, "lane change length must be positive");
+        let fwd = Vec2::from_heading(heading);
+        let left = fwd.perp();
+        let n = (length / SAMPLE_STEP).ceil().max(4.0) as usize;
+        let pts = (0..=n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                // Smoothstep: zero slope at both ends.
+                let ease = t * t * (3.0 - 2.0 * t);
+                start + fwd * (length * t) + left * (lateral * ease)
+            })
+            .collect();
+        Path::from_points(pts)
+    }
+
+    /// Concatenates `next` onto the end of this path.
+    ///
+    /// The first point of `next` must coincide (within 1 mm) with this
+    /// path's last point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints do not line up.
+    #[must_use]
+    pub fn then(mut self, next: &Path) -> Self {
+        let end = *self.points.last().expect("non-empty path");
+        assert!(
+            end.distance(next.points[0]) < 1e-3,
+            "paths do not join: {:?} vs {:?}",
+            end,
+            next.points[0]
+        );
+        let base = *self.cum_len.last().expect("non-empty path");
+        for (p, l) in next.points.iter().zip(&next.cum_len).skip(1) {
+            self.points.push(*p);
+            self.cum_len.push(base + l);
+        }
+        self
+    }
+
+    /// Total arc length (m).
+    pub fn length(&self) -> f32 {
+        *self.cum_len.last().expect("non-empty path")
+    }
+
+    /// Pose at arc length `s`, clamped to the path's extent.
+    ///
+    /// The heading is the direction of the local segment.
+    pub fn pose_at(&self, s: f32) -> Pose {
+        let s = s.clamp(0.0, self.length());
+        // Binary search the segment containing s.
+        let i = match self.cum_len.binary_search_by(|&l| l.partial_cmp(&s).expect("finite")) {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => (i - 1).min(self.points.len() - 2),
+        };
+        let seg_len = self.cum_len[i + 1] - self.cum_len[i];
+        let t = if seg_len > 0.0 { (s - self.cum_len[i]) / seg_len } else { 0.0 };
+        let position = self.points[i].lerp(self.points[i + 1], t);
+        let heading = (self.points[i + 1] - self.points[i]).heading();
+        Pose { position, heading }
+    }
+
+    /// First point.
+    pub fn start(&self) -> Vec2 {
+        self.points[0]
+    }
+
+    /// Last point.
+    pub fn end(&self) -> Vec2 {
+        *self.points.last().expect("non-empty path")
+    }
+
+    /// The waypoints of the polyline.
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    /// Arc length of the point on the path closest to `p` (by vertex; the
+    /// 0.5 m sampling bounds the error).
+    pub fn project(&self, p: Vec2) -> f32 {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (i, pt) in self.points.iter().enumerate() {
+            let d = pt.distance(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        self.cum_len[best]
+    }
+
+    /// Lateral offset of `p` from the path (positive = left of travel
+    /// direction), measured at the nearest vertex.
+    pub fn lateral_offset(&self, p: Vec2) -> f32 {
+        let s = self.project(p);
+        let pose = self.pose_at(s);
+        pose.world_to_local(p).y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    #[test]
+    fn line_length_and_poses() {
+        let p = Path::line(Vec2::ZERO, FRAC_PI_2, 20.0);
+        assert!((p.length() - 20.0).abs() < 1e-4);
+        let mid = p.pose_at(10.0);
+        assert!(mid.position.distance(Vec2::new(0.0, 10.0)) < 1e-4);
+        assert!((mid.heading - FRAC_PI_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pose_clamps_outside_range() {
+        let p = Path::line(Vec2::ZERO, 0.0, 5.0);
+        assert!(p.pose_at(-3.0).position.distance(Vec2::ZERO) < 1e-5);
+        assert!(p.pose_at(99.0).position.distance(Vec2::new(5.0, 0.0)) < 1e-4);
+    }
+
+    #[test]
+    fn left_arc_quarter_turn() {
+        // Start at origin heading north, turn left 90° with radius 10:
+        // ends at (-10, 10) heading west.
+        let p = Path::arc(Vec2::ZERO, FRAC_PI_2, 10.0, FRAC_PI_2);
+        assert!((p.length() - 10.0 * FRAC_PI_2).abs() < 0.05);
+        let end = p.end();
+        assert!(end.distance(Vec2::new(-10.0, 10.0)) < 0.05, "{end:?}");
+        let h = p.pose_at(p.length()).heading;
+        assert!((crate::geometry::wrap_angle(h - std::f32::consts::PI)).abs() < 0.05);
+    }
+
+    #[test]
+    fn right_arc_quarter_turn() {
+        let p = Path::arc(Vec2::ZERO, FRAC_PI_2, 10.0, -FRAC_PI_2);
+        assert!(p.end().distance(Vec2::new(10.0, 10.0)) < 0.05);
+    }
+
+    #[test]
+    fn lane_change_shifts_laterally() {
+        // Heading north, lateral +3.5 means 3.5 m to the west (left).
+        let p = Path::lane_change(Vec2::ZERO, FRAC_PI_2, 20.0, 3.5);
+        let end = p.end();
+        assert!(end.distance(Vec2::new(-3.5, 20.0)) < 0.05, "{end:?}");
+        // Midpoint is halfway through the shift.
+        let mid = p.pose_at(p.length() / 2.0).position;
+        assert!(mid.x < -1.0 && mid.x > -2.5);
+    }
+
+    #[test]
+    fn then_concatenates_lengths() {
+        let a = Path::line(Vec2::ZERO, 0.0, 10.0);
+        let b = Path::line(Vec2::new(10.0, 0.0), 0.0, 5.0);
+        let c = a.then(&b);
+        assert!((c.length() - 15.0).abs() < 1e-3);
+        assert!(c.pose_at(12.0).position.distance(Vec2::new(12.0, 0.0)) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn then_rejects_disjoint_paths() {
+        let a = Path::line(Vec2::ZERO, 0.0, 10.0);
+        let b = Path::line(Vec2::new(50.0, 0.0), 0.0, 5.0);
+        let _ = a.then(&b);
+    }
+
+    #[test]
+    fn projection_and_lateral_offset() {
+        let p = Path::line(Vec2::ZERO, FRAC_PI_2, 30.0);
+        // Point west of the path at height 12 -> s ~= 12, offset ~= +4 (left).
+        let s = p.project(Vec2::new(-4.0, 12.0));
+        assert!((s - 12.0).abs() < 0.6);
+        let off = p.lateral_offset(Vec2::new(-4.0, 12.0));
+        assert!((off - 4.0).abs() < 0.1, "{off}");
+        // East side is negative (right of travel).
+        assert!(p.lateral_offset(Vec2::new(4.0, 12.0)) < -3.9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Traffic lights: the visible *cause* of stop-and-go behavior at
+//! intersections.
+//!
+//! A light is a pole at an intersection corner with a lamp whose vertical
+//! position encodes its phase (top = red, bottom = green), mirroring how
+//! real signal heads are read when color is unavailable — the renderer
+//! works in grayscale, so the spatial code is what the models can learn.
+
+use crate::geometry::Vec2;
+
+/// Signal phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LightPhase {
+    /// Stop.
+    Red,
+    /// Go.
+    Green,
+}
+
+/// A signal head at a fixed world position with a one-switch schedule:
+/// red until `red_until` seconds, green afterwards.
+///
+/// `red_until = 0` is a permanently green light; `red_until >= clip
+/// duration` is permanently red.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficLight {
+    /// Pole base position (world, m).
+    pub position: Vec2,
+    /// Time of the red→green switch (s).
+    pub red_until: f32,
+    /// Pole height to the lamp housing (m).
+    pub pole_height: f32,
+}
+
+impl TrafficLight {
+    /// A light at `position` that is red until `red_until` seconds.
+    pub fn new(position: Vec2, red_until: f32) -> Self {
+        TrafficLight { position, red_until, pole_height: 3.2 }
+    }
+
+    /// A permanently green light.
+    pub fn green(position: Vec2) -> Self {
+        TrafficLight::new(position, 0.0)
+    }
+
+    /// Phase at simulation time `t` (s).
+    pub fn phase_at(&self, t: f32) -> LightPhase {
+        if t < self.red_until {
+            LightPhase::Red
+        } else {
+            LightPhase::Green
+        }
+    }
+
+    /// Lamp center height above ground at time `t`: the red lamp sits at
+    /// the top of the head, the green lamp lower.
+    pub fn lamp_height_at(&self, t: f32) -> f32 {
+        match self.phase_at(t) {
+            LightPhase::Red => self.pole_height,
+            LightPhase::Green => self.pole_height - 0.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_schedule() {
+        let l = TrafficLight::new(Vec2::new(5.0, -9.0), 4.0);
+        assert_eq!(l.phase_at(0.0), LightPhase::Red);
+        assert_eq!(l.phase_at(3.99), LightPhase::Red);
+        assert_eq!(l.phase_at(4.0), LightPhase::Green);
+        assert_eq!(l.phase_at(100.0), LightPhase::Green);
+    }
+
+    #[test]
+    fn green_constructor_is_always_green() {
+        let l = TrafficLight::green(Vec2::ZERO);
+        assert_eq!(l.phase_at(0.0), LightPhase::Green);
+    }
+
+    #[test]
+    fn lamp_moves_down_when_green() {
+        let l = TrafficLight::new(Vec2::ZERO, 2.0);
+        assert!(l.lamp_height_at(0.0) > l.lamp_height_at(3.0));
+        assert_eq!(l.lamp_height_at(0.0), l.pole_height);
+    }
+}

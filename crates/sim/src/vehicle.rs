@@ -1,0 +1,161 @@
+//! Kinematic bicycle model and pure-pursuit path tracking for the ego
+//! vehicle.
+
+use crate::geometry::{wrap_angle, Pose, Vec2};
+use crate::path::Path;
+
+/// Dynamic state of a bicycle-model vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BicycleState {
+    /// Pose of the rear axle.
+    pub pose: Pose,
+    /// Longitudinal speed (m/s, non-negative).
+    pub speed: f32,
+}
+
+/// Kinematic bicycle model parameters and limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BicycleModel {
+    /// Wheelbase (m).
+    pub wheelbase: f32,
+    /// Maximum steering angle magnitude (rad).
+    pub max_steer: f32,
+    /// Maximum acceleration (m/s²).
+    pub max_accel: f32,
+    /// Maximum braking deceleration (m/s², positive).
+    pub max_decel: f32,
+}
+
+impl Default for BicycleModel {
+    /// A mid-size passenger car.
+    fn default() -> Self {
+        BicycleModel { wheelbase: 2.8, max_steer: 0.55, max_accel: 3.0, max_decel: 6.0 }
+    }
+}
+
+impl BicycleModel {
+    /// Advances `state` by `dt` under `accel` (m/s²) and `steer` (rad),
+    /// clamped to the model limits. Speed never goes negative.
+    pub fn step(&self, state: BicycleState, accel: f32, steer: f32, dt: f32) -> BicycleState {
+        let accel = accel.clamp(-self.max_decel, self.max_accel);
+        let steer = steer.clamp(-self.max_steer, self.max_steer);
+        let speed = (state.speed + accel * dt).max(0.0);
+        let heading = wrap_angle(state.pose.heading + speed / self.wheelbase * steer.tan() * dt);
+        let position = state.pose.position + Vec2::from_heading(heading) * (speed * dt);
+        BicycleState { pose: Pose { position, heading }, speed }
+    }
+}
+
+/// Pure-pursuit steering controller tracking a [`Path`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurePursuit {
+    /// Lookahead distance per unit speed (s).
+    pub lookahead_gain: f32,
+    /// Minimum lookahead distance (m).
+    pub min_lookahead: f32,
+}
+
+impl Default for PurePursuit {
+    fn default() -> Self {
+        PurePursuit { lookahead_gain: 0.8, min_lookahead: 4.0 }
+    }
+}
+
+impl PurePursuit {
+    /// Steering command driving `state` toward the path point one lookahead
+    /// distance ahead of arc length `s_now`.
+    pub fn steer(&self, model: &BicycleModel, state: &BicycleState, path: &Path, s_now: f32) -> f32 {
+        let lookahead = (self.lookahead_gain * state.speed).max(self.min_lookahead);
+        let target = path.pose_at(s_now + lookahead).position;
+        let local = state.pose.world_to_local(target);
+        let d2 = local.norm_sq();
+        if d2 < 1e-6 {
+            return 0.0;
+        }
+        // Pure pursuit curvature: 2*y / L^2, steering from curvature.
+        let curvature = 2.0 * local.y / d2;
+        (model.wheelbase * curvature).atan().clamp(-model.max_steer, model.max_steer)
+    }
+}
+
+/// Proportional speed controller toward a target speed.
+pub fn speed_control(model: &BicycleModel, current: f32, target: f32) -> f32 {
+    let k = 2.0;
+    (k * (target - current)).clamp(-model.max_decel, model.max_accel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    #[test]
+    fn straight_driving_preserves_heading() {
+        let model = BicycleModel::default();
+        let mut st = BicycleState { pose: Pose::new(Vec2::ZERO, FRAC_PI_2), speed: 10.0 };
+        for _ in 0..100 {
+            st = model.step(st, 0.0, 0.0, 0.05);
+        }
+        assert!((st.pose.heading - FRAC_PI_2).abs() < 1e-5);
+        assert!((st.pose.position.y - 50.0).abs() < 0.1);
+        assert!(st.pose.position.x.abs() < 1e-4);
+    }
+
+    #[test]
+    fn braking_never_reverses() {
+        let model = BicycleModel::default();
+        let mut st = BicycleState { pose: Pose::new(Vec2::ZERO, 0.0), speed: 5.0 };
+        for _ in 0..100 {
+            st = model.step(st, -10.0, 0.0, 0.1);
+        }
+        assert_eq!(st.speed, 0.0);
+    }
+
+    #[test]
+    fn steering_turns_the_expected_way() {
+        let model = BicycleModel::default();
+        let mut st = BicycleState { pose: Pose::new(Vec2::ZERO, FRAC_PI_2), speed: 8.0 };
+        for _ in 0..40 {
+            st = model.step(st, 0.0, 0.2, 0.05); // positive steer = left
+        }
+        assert!(st.pose.heading > FRAC_PI_2, "left steer must increase heading");
+        assert!(st.pose.position.x < 0.0, "left turn from northbound drifts west");
+    }
+
+    #[test]
+    fn pure_pursuit_tracks_a_straight_lane() {
+        let model = BicycleModel::default();
+        let pp = PurePursuit::default();
+        let path = Path::line(Vec2::new(1.75, -40.0), FRAC_PI_2, 160.0);
+        // Start offset half a meter from the lane center.
+        let mut st = BicycleState { pose: Pose::new(Vec2::new(2.25, -40.0), FRAC_PI_2), speed: 8.0 };
+        let dt = 0.05;
+        for _ in 0..(10.0 / dt) as usize {
+            let s = path.project(st.pose.position);
+            let steer = pp.steer(&model, &st, &path, s);
+            let accel = speed_control(&model, st.speed, 8.0);
+            st = model.step(st, accel, steer, dt);
+        }
+        let cte = path.lateral_offset(st.pose.position).abs();
+        assert!(cte < 0.2, "cross-track error too large: {cte}");
+        assert!((st.speed - 8.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn pure_pursuit_follows_an_arc() {
+        let model = BicycleModel::default();
+        let pp = PurePursuit::default();
+        let path = Path::arc(Vec2::ZERO, FRAC_PI_2, 30.0, 1.4);
+        let mut st = BicycleState { pose: Pose::new(Vec2::ZERO, FRAC_PI_2), speed: 6.0 };
+        let dt = 0.05;
+        let mut max_cte: f32 = 0.0;
+        for _ in 0..(7.0 / dt) as usize {
+            let s = path.project(st.pose.position);
+            let steer = pp.steer(&model, &st, &path, s);
+            let accel = speed_control(&model, st.speed, 6.0);
+            st = model.step(st, accel, steer, dt);
+            max_cte = max_cte.max(path.lateral_offset(st.pose.position).abs());
+        }
+        assert!(max_cte < 0.6, "arc tracking error too large: {max_cte}");
+    }
+}

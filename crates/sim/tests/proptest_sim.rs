@@ -1,0 +1,80 @@
+//! Property-based tests of simulator invariants over randomly sampled
+//! scenarios.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_sim::{SamplerConfig, ScenarioSampler, SpeedProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sampled_worlds_simulate_without_nans(seed in 0u64..10_000) {
+        let sampler = ScenarioSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = sampler.sample(&mut rng);
+        let traj = g.world.simulate(0.1);
+        for e in &traj.ego {
+            prop_assert!(e.pose.position.x.is_finite() && e.pose.position.y.is_finite());
+            prop_assert!(e.speed.is_finite() && e.speed >= 0.0);
+            prop_assert!(e.speed < 20.0, "ego ran away: {}", e.speed);
+        }
+        for states in &traj.actors {
+            for a in states {
+                prop_assert!(a.pose.position.x.is_finite() && a.pose.position.y.is_finite());
+                prop_assert!(a.speed >= 0.0 && a.speed < 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ego_tracks_its_reference_path(seed in 0u64..10_000) {
+        let sampler = ScenarioSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = sampler.sample(&mut rng);
+        let traj = g.world.simulate(0.05);
+        for e in traj.ego.iter().step_by(10) {
+            let cte = g.world.ego.path.lateral_offset(e.pose.position).abs();
+            prop_assert!(cte < 1.2, "cross-track error {cte} in `{}`", g.truth);
+        }
+    }
+
+    #[test]
+    fn ego_arc_length_is_monotone(seed in 0u64..10_000) {
+        let sampler = ScenarioSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = sampler.sample(&mut rng);
+        let traj = g.world.simulate(0.1);
+        for w in traj.ego.windows(2) {
+            prop_assert!(w[1].s >= w[0].s - 1e-4);
+        }
+    }
+
+    #[test]
+    fn stop_profiles_never_exceed_cruise(cruise in 3.0f32..12.0, stop_s in 20.0f32..60.0) {
+        let p = SpeedProfile::StopAt { cruise, stop_s, decel: 2.5 };
+        for i in 0..200 {
+            let s = i as f32 * 0.5;
+            let v = p.target_speed(s);
+            prop_assert!(v <= cruise + 1e-5);
+            prop_assert!(v >= 0.0);
+            if s >= stop_s {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn truth_matches_world_structure(seed in 0u64..10_000) {
+        let sampler = ScenarioSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = sampler.sample(&mut rng);
+        prop_assert!(g.truth.validate().is_ok());
+        prop_assert_eq!(g.world.actors.len(), g.truth.actors.len());
+        prop_assert_eq!(g.world.road.kind(), g.truth.road);
+        for (actor, clause) in g.world.actors.iter().zip(&g.truth.actors) {
+            prop_assert_eq!(actor.kind, clause.kind);
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! Reverse-mode automatic differentiation on a tape of tensor operations.
+//!
+//! A [`Graph`] records every operation applied to its [`Var`] handles in
+//! construction order, which is already a topological order. Calling
+//! [`Graph::backward`] on a scalar loss walks the tape in reverse and
+//! accumulates gradients for every variable that requires them.
+//!
+//! The tape is rebuilt for every training step (define-by-run), which keeps
+//! control flow in plain Rust — loops over timesteps or layers simply record
+//! more nodes.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsdx_tensor::{Graph, Tensor};
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![2.0], &[1]));
+//! let y = g.mul(x, x); // y = x^2
+//! let loss = g.sum_all(y);
+//! let grads = g.backward(loss);
+//! assert_eq!(grads.get(x).unwrap().data(), &[4.0]); // dy/dx = 2x
+//! ```
+
+use crate::ops;
+use crate::ops::Conv2dSpec;
+use crate::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// The node index inside its graph (useful for debugging).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Matmul(Var, Var),
+    Relu(Var),
+    Gelu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    Ln(Var),
+    Reshape(Var),
+    Permute(Var, Vec<usize>),
+    Concat(Vec<Var>, usize),
+    Narrow { input: Var, axis: usize, start: usize },
+    IndexSelect { input: Var, indices: Vec<usize> },
+    SoftmaxLast(Var),
+    LogSoftmaxLast(Var),
+    LayerNorm { x: Var, gamma: Var, beta: Var, mean: Tensor, rstd: Tensor },
+    SumAll(Var),
+    MeanAll(Var),
+    SumAxis { input: Var, axis: usize, keepdim: bool },
+    MeanAxis { input: Var, axis: usize, keepdim: bool },
+    CrossEntropy { logits: Var, labels: Vec<usize>, probs: Tensor },
+    BceLogits { logits: Var, targets: Tensor, sigmoids: Tensor },
+    Conv2d { input: Var, weight: Var, spec: Conv2dSpec, cols: Tensor },
+    AvgPool2d { input: Var, k: usize },
+    MaxPool2d { input: Var, argmax: Vec<usize> },
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Tensor,
+    needs_grad: bool,
+}
+
+/// A tape of tensor operations supporting reverse-mode differentiation.
+///
+/// See the crate-level documentation for an overview and example.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `v`, if `v` required one and was reached.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Takes ownership of the gradient for `v`, leaving `None` behind.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a differentiable input (a parameter or an input requiring
+    /// sensitivity analysis).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value, true)
+    }
+
+    /// Records a non-differentiable input (data, masks, targets).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value, false)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> &[usize] {
+        self.nodes[v.0].value.shape()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
+        self.nodes.push(Node { op, value, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    fn unary(&mut self, input: Var, value: Tensor, op: Op) -> Var {
+        let needs = self.needs(input);
+        self.push(op, value, needs)
+    }
+
+    fn binary(&mut self, a: Var, b: Var, value: Tensor, op: Op) -> Var {
+        let needs = self.needs(a) || self.needs(b);
+        self.push(op, value, needs)
+    }
+
+    // ---- arithmetic -----------------------------------------------------
+
+    /// Broadcasting addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = ops::add(self.value(a), self.value(b));
+        self.binary(a, b, v, Op::Add(a, b))
+    }
+
+    /// Broadcasting subtraction.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = ops::sub(self.value(a), self.value(b));
+        self.binary(a, b, v, Op::Sub(a, b))
+    }
+
+    /// Broadcasting multiplication.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = ops::mul(self.value(a), self.value(b));
+        self.binary(a, b, v, Op::Mul(a, b))
+    }
+
+    /// Broadcasting division.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = ops::div(self.value(a), self.value(b));
+        self.binary(a, b, v, Op::Div(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = ops::neg(self.value(a));
+        self.unary(a, v, Op::Neg(a))
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = ops::scale(self.value(a), c);
+        self.unary(a, v, Op::Scale(a, c))
+    }
+
+    /// Addition of a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = ops::add_scalar(self.value(a), c);
+        self.unary(a, v, Op::AddScalar(a))
+    }
+
+    /// Batched matrix multiplication (see [`ops::matmul`]).
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = ops::matmul(self.value(a), self.value(b));
+        self.binary(a, b, v, Op::Matmul(a, b))
+    }
+
+    // ---- activations -----------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = ops::relu(self.value(a));
+        self.unary(a, v, Op::Relu(a))
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = ops::gelu(self.value(a));
+        self.unary(a, v, Op::Gelu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = ops::sigmoid(self.value(a));
+        self.unary(a, v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = ops::tanh(self.value(a));
+        self.unary(a, v, Op::Tanh(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = ops::exp(self.value(a));
+        self.unary(a, v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = ops::ln(self.value(a));
+        self.unary(a, v, Op::Ln(a))
+    }
+
+    // ---- shape -----------------------------------------------------------
+
+    /// Reshape (supports one `usize::MAX` wildcard, see [`Tensor::reshape`]).
+    pub fn reshape(&mut self, a: Var, new_shape: &[usize]) -> Var {
+        let v = self.value(a).reshape(new_shape);
+        self.unary(a, v, Op::Reshape(a))
+    }
+
+    /// Dimension permutation (see [`ops::permute`]).
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
+        let v = ops::permute(self.value(a), perm);
+        self.unary(a, v, Op::Permute(a, perm.to_vec()))
+    }
+
+    /// Swap of the last two dimensions.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let rank = self.shape(a).len();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.swap(rank - 2, rank - 1);
+        self.permute(a, &perm)
+    }
+
+    /// Concatenation along `axis`.
+    pub fn concat(&mut self, inputs: &[Var], axis: usize) -> Var {
+        let tensors: Vec<&Tensor> = inputs.iter().map(|&v| self.value(v)).collect();
+        let v = ops::concat(&tensors, axis);
+        let needs = inputs.iter().any(|&i| self.needs(i));
+        self.push(Op::Concat(inputs.to_vec(), axis), v, needs)
+    }
+
+    /// Contiguous slice along `axis` (see [`ops::narrow`]).
+    pub fn narrow(&mut self, a: Var, axis: usize, start: usize, len: usize) -> Var {
+        let v = ops::narrow(self.value(a), axis, start, len);
+        self.unary(a, v, Op::Narrow { input: a, axis, start })
+    }
+
+    /// Row gather along dimension 0 (embedding lookup).
+    pub fn index_select(&mut self, a: Var, indices: &[usize]) -> Var {
+        let v = ops::index_select(self.value(a), indices);
+        self.unary(a, v, Op::IndexSelect { input: a, indices: indices.to_vec() })
+    }
+
+    // ---- normalization / softmax ------------------------------------------
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let v = ops::softmax_last(self.value(a));
+        self.unary(a, v, Op::SoftmaxLast(a))
+    }
+
+    /// Log-softmax over the last dimension.
+    pub fn log_softmax_last(&mut self, a: Var) -> Var {
+        let v = ops::log_softmax_last(self.value(a));
+        self.unary(a, v, Op::LogSoftmaxLast(a))
+    }
+
+    /// Layer normalization over the last dimension with affine parameters.
+    ///
+    /// `gamma` and `beta` must be rank-1 of length `D` where `D` is the last
+    /// dimension of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = *xv.shape().last().expect("layer_norm requires rank >= 1");
+        assert_eq!(self.shape(gamma), &[d], "gamma must be [D]");
+        assert_eq!(self.shape(beta), &[d], "beta must be [D]");
+        let rows = xv.numel() / d;
+        let xd = xv.data();
+        let gd = self.value(gamma).data().to_vec();
+        let bd = self.value(beta).data().to_vec();
+        let mut out = Vec::with_capacity(xv.numel());
+        let mut means = Vec::with_capacity(rows);
+        let mut rstds = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &xd[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let rstd = 1.0 / (var + eps).sqrt();
+            means.push(mean);
+            rstds.push(rstd);
+            for (i, &v) in row.iter().enumerate() {
+                out.push((v - mean) * rstd * gd[i] + bd[i]);
+            }
+        }
+        let value = Tensor::from_vec(out, xv.shape());
+        let needs = self.needs(x) || self.needs(gamma) || self.needs(beta);
+        self.push(
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                mean: Tensor::from_vec(means, &[rows]),
+                rstd: Tensor::from_vec(rstds, &[rows]),
+            },
+            value,
+            needs,
+        )
+    }
+
+    // ---- reductions -------------------------------------------------------
+
+    /// Sum of all elements (scalar result).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = ops::sum_all(self.value(a));
+        self.unary(a, v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements (scalar result).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = ops::mean_all(self.value(a));
+        self.unary(a, v, Op::MeanAll(a))
+    }
+
+    /// Sum over one axis.
+    pub fn sum_axis(&mut self, a: Var, axis: usize, keepdim: bool) -> Var {
+        let v = ops::sum_axis(self.value(a), axis, keepdim);
+        self.unary(a, v, Op::SumAxis { input: a, axis, keepdim })
+    }
+
+    /// Mean over one axis.
+    pub fn mean_axis(&mut self, a: Var, axis: usize, keepdim: bool) -> Var {
+        let v = ops::mean_axis(self.value(a), axis, keepdim);
+        self.unary(a, v, Op::MeanAxis { input: a, axis, keepdim })
+    }
+
+    // ---- losses -----------------------------------------------------------
+
+    /// Mean cross-entropy from logits `[N, C]` against integer labels.
+    pub fn cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let (loss, probs) = ops::cross_entropy_logits(self.value(logits), labels);
+        let needs = self.needs(logits);
+        self.push(
+            Op::CrossEntropy { logits, labels: labels.to_vec(), probs },
+            Tensor::scalar(loss),
+            needs,
+        )
+    }
+
+    /// Mean binary cross-entropy with logits against 0/1 `targets`.
+    pub fn bce_logits(&mut self, logits: Var, targets: &Tensor) -> Var {
+        let (loss, sigmoids) = ops::bce_with_logits(self.value(logits), targets);
+        let needs = self.needs(logits);
+        self.push(
+            Op::BceLogits { logits, targets: targets.clone(), sigmoids },
+            Tensor::scalar(loss),
+            needs,
+        )
+    }
+
+    // ---- convolution ------------------------------------------------------
+
+    /// 2-D convolution: input `[B, C, H, W]`, weight `[O, C, KH, KW]`.
+    ///
+    /// The unfolded column matrix is cached for the backward pass.
+    pub fn conv2d(&mut self, input: Var, weight: Var, spec: Conv2dSpec) -> Var {
+        let iv = self.value(input);
+        let wv = self.value(weight);
+        let ish = iv.shape().to_vec();
+        let wsh = wv.shape().to_vec();
+        let (oh, ow) = spec.out_size(ish[2], ish[3]);
+        let cols = ops::im2col(iv, &spec);
+        let wmat = wv.reshape(&[wsh[0], wsh[1] * spec.kh * spec.kw]);
+        let out = ops::matmul(&wmat, &cols).reshape(&[ish[0], wsh[0], oh, ow]);
+        let needs = self.needs(input) || self.needs(weight);
+        self.push(Op::Conv2d { input, weight, spec, cols }, out, needs)
+    }
+
+    /// Average pooling with square window `k`, stride `k`.
+    pub fn avg_pool2d(&mut self, input: Var, k: usize) -> Var {
+        let v = ops::avg_pool2d(self.value(input), k);
+        self.unary(input, v, Op::AvgPool2d { input, k })
+    }
+
+    /// Max pooling with square window `k`, stride `k`.
+    pub fn max_pool2d(&mut self, input: Var, k: usize) -> Var {
+        let (v, argmax) = ops::max_pool2d(self.value(input), k);
+        self.unary(input, v, Op::MaxPool2d { input, argmax })
+    }
+
+    // ---- backward -----------------------------------------------------------
+
+    /// Computes gradients of the scalar `loss` w.r.t. every differentiable
+    /// variable reachable on the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).numel(), 1, "backward requires a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::full(self.value(loss).shape(), 1.0));
+
+        for id in (0..=loss.0).rev() {
+            if !self.nodes[id].needs_grad {
+                grads[id] = None;
+                continue;
+            }
+            let Some(g) = grads[id].take() else { continue };
+            self.backprop_node(id, &g, &mut grads);
+            // Keep the gradient available for callers (leaves and
+            // intermediates alike).
+            grads[id] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(existing) => *existing = ops::add(existing, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn backprop_node(&self, id: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        match &self.nodes[id].op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                let ga = ops::unbroadcast(g, self.shape(*a));
+                let gb = ops::unbroadcast(g, self.shape(*b));
+                self.accumulate(grads, *a, ga);
+                self.accumulate(grads, *b, gb);
+            }
+            Op::Sub(a, b) => {
+                let ga = ops::unbroadcast(g, self.shape(*a));
+                let gb = ops::unbroadcast(&ops::neg(g), self.shape(*b));
+                self.accumulate(grads, *a, ga);
+                self.accumulate(grads, *b, gb);
+            }
+            Op::Mul(a, b) => {
+                let ga = ops::unbroadcast(&ops::mul(g, self.value(*b)), self.shape(*a));
+                let gb = ops::unbroadcast(&ops::mul(g, self.value(*a)), self.shape(*b));
+                self.accumulate(grads, *a, ga);
+                self.accumulate(grads, *b, gb);
+            }
+            Op::Div(a, b) => {
+                let bv = self.value(*b);
+                let ga = ops::unbroadcast(&ops::div(g, bv), self.shape(*a));
+                // db = -g * a / b^2
+                let num = ops::mul(g, self.value(*a));
+                let b2 = ops::mul(bv, bv);
+                let gb = ops::unbroadcast(&ops::neg(&ops::div(&num, &b2)), self.shape(*b));
+                self.accumulate(grads, *a, ga);
+                self.accumulate(grads, *b, gb);
+            }
+            Op::Neg(a) => self.accumulate(grads, *a, ops::neg(g)),
+            Op::Scale(a, c) => self.accumulate(grads, *a, ops::scale(g, *c)),
+            Op::AddScalar(a) => self.accumulate(grads, *a, g.clone()),
+            Op::Matmul(a, b) => {
+                let av = self.value(*a);
+                let bv = self.value(*b);
+                // dA = g @ B^T ; dB = A^T @ g, reduced over broadcast batches.
+                let bt = ops::transpose_last2(bv);
+                let at = ops::transpose_last2(av);
+                let da = ops::matmul(g, &bt);
+                let db = ops::matmul(&at, g);
+                self.accumulate(grads, *a, reduce_batch(&da, av.shape()));
+                self.accumulate(grads, *b, reduce_batch(&db, bv.shape()));
+            }
+            Op::Relu(a) => {
+                self.accumulate(grads, *a, ops::relu_backward(self.value(*a), g));
+            }
+            Op::Gelu(a) => {
+                self.accumulate(grads, *a, ops::gelu_backward(self.value(*a), g));
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[id].value;
+                let dg = y.zip(g, |yv, gv| gv * yv * (1.0 - yv));
+                self.accumulate(grads, *a, dg);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[id].value;
+                let dg = y.zip(g, |yv, gv| gv * (1.0 - yv * yv));
+                self.accumulate(grads, *a, dg);
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[id].value;
+                self.accumulate(grads, *a, ops::mul(g, y));
+            }
+            Op::Ln(a) => {
+                self.accumulate(grads, *a, ops::div(g, self.value(*a)));
+            }
+            Op::Reshape(a) => {
+                self.accumulate(grads, *a, g.reshape(self.shape(*a)));
+            }
+            Op::Permute(a, perm) => {
+                let mut inv = vec![0usize; perm.len()];
+                for (i, &p) in perm.iter().enumerate() {
+                    inv[p] = i;
+                }
+                self.accumulate(grads, *a, ops::permute(g, &inv));
+            }
+            Op::Concat(inputs, axis) => {
+                let mut start = 0;
+                for &inp in inputs {
+                    let len = self.shape(inp)[*axis];
+                    let piece = ops::narrow(g, *axis, start, len);
+                    self.accumulate(grads, inp, piece);
+                    start += len;
+                }
+            }
+            Op::Narrow { input, axis, start } => {
+                let back =
+                    crate::ops_internal::narrow_backward(g, self.shape(*input), *axis, *start);
+                self.accumulate(grads, *input, back);
+            }
+            Op::IndexSelect { input, indices } => {
+                let back =
+                    crate::ops_internal::index_select_backward(g, self.shape(*input), indices);
+                self.accumulate(grads, *input, back);
+            }
+            Op::SoftmaxLast(a) => {
+                let y = &self.nodes[id].value;
+                self.accumulate(grads, *a, crate::ops_internal::softmax_last_backward(y, g));
+            }
+            Op::LogSoftmaxLast(a) => {
+                let y = &self.nodes[id].value;
+                self.accumulate(grads, *a, crate::ops_internal::log_softmax_last_backward(y, g));
+            }
+            Op::LayerNorm { x, gamma, beta, mean, rstd } => {
+                let (dx, dgamma, dbeta) =
+                    layer_norm_backward(self.value(*x), self.value(*gamma), mean, rstd, g);
+                self.accumulate(grads, *x, dx);
+                self.accumulate(grads, *gamma, dgamma);
+                self.accumulate(grads, *beta, dbeta);
+            }
+            Op::SumAll(a) => {
+                let scalar = g.item();
+                self.accumulate(grads, *a, Tensor::full(self.shape(*a), scalar));
+            }
+            Op::MeanAll(a) => {
+                let n = self.value(*a).numel() as f32;
+                let scalar = g.item() / n;
+                self.accumulate(grads, *a, Tensor::full(self.shape(*a), scalar));
+            }
+            Op::SumAxis { input, axis, keepdim } => {
+                let back = spread_axis(g, self.shape(*input), *axis, *keepdim, 1.0);
+                self.accumulate(grads, *input, back);
+            }
+            Op::MeanAxis { input, axis, keepdim } => {
+                let d = self.shape(*input)[*axis] as f32;
+                let back = spread_axis(g, self.shape(*input), *axis, *keepdim, 1.0 / d);
+                self.accumulate(grads, *input, back);
+            }
+            Op::CrossEntropy { logits, labels, probs } => {
+                let back = ops::cross_entropy_logits_backward(probs, labels, g.item());
+                self.accumulate(grads, *logits, back);
+            }
+            Op::BceLogits { logits, targets, sigmoids } => {
+                let back = ops::bce_with_logits_backward(sigmoids, targets, g.item());
+                self.accumulate(grads, *logits, back);
+            }
+            Op::Conv2d { input, weight, spec, cols } => {
+                let ish = self.shape(*input).to_vec();
+                let wsh = self.shape(*weight).to_vec();
+                let (o, ckk) = (wsh[0], wsh[1] * spec.kh * spec.kw);
+                let (oh, ow) = spec.out_size(ish[2], ish[3]);
+                let gmat = g.reshape(&[ish[0], o, oh * ow]);
+                // dW = sum_b g_b @ cols_b^T
+                let colst = ops::transpose_last2(cols);
+                let dw_b = ops::matmul(&gmat, &colst); // [B, O, CKK]
+                let dw = ops::sum_axis(&dw_b, 0, false).reshape(&wsh);
+                // dX = col2im(W^T @ g)
+                let wmat = self.value(*weight).reshape(&[o, ckk]);
+                let wt = ops::transpose_last2(&wmat);
+                let dcols = ops::matmul(&wt, &gmat); // [B, CKK, OHOW]
+                let dx = ops::col2im(&dcols, spec, ish[1], ish[2], ish[3]);
+                self.accumulate(grads, *weight, dw);
+                self.accumulate(grads, *input, dx);
+            }
+            Op::AvgPool2d { input, k } => {
+                let ish = self.shape(*input);
+                let back = ops::avg_pool2d_backward(g, *k, ish[2], ish[3]);
+                self.accumulate(grads, *input, back);
+            }
+            Op::MaxPool2d { input, argmax } => {
+                let back = ops::max_pool2d_backward(g, argmax, self.value(*input).numel());
+                self.accumulate(grads, *input, back);
+            }
+        }
+    }
+}
+
+/// Reduces matmul gradients over broadcast batch dimensions back to the
+/// operand's shape.
+fn reduce_batch(grad: &Tensor, target: &[usize]) -> Tensor {
+    if grad.shape() == target {
+        grad.clone()
+    } else {
+        ops::unbroadcast(grad, target)
+    }
+}
+
+/// Broadcasts an axis-reduced gradient back over `orig_shape`, scaling by
+/// `factor` (1/d for means).
+fn spread_axis(g: &Tensor, orig_shape: &[usize], axis: usize, keepdim: bool, factor: f32) -> Tensor {
+    let outer: usize = orig_shape[..axis].iter().product();
+    let d = orig_shape[axis];
+    let inner: usize = orig_shape[axis + 1..].iter().product();
+    let gd = g.data();
+    debug_assert_eq!(gd.len(), outer * inner, "reduced grad size mismatch (keepdim={keepdim})");
+    let mut out = Vec::with_capacity(outer * d * inner);
+    for o in 0..outer {
+        let row = &gd[o * inner..(o + 1) * inner];
+        for _ in 0..d {
+            out.extend(row.iter().map(|&v| v * factor));
+        }
+    }
+    Tensor::from_vec(out, orig_shape)
+}
+
+/// Layer-norm backward over the last dimension.
+fn layer_norm_backward(
+    x: &Tensor,
+    gamma: &Tensor,
+    mean: &Tensor,
+    rstd: &Tensor,
+    g: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let d = *x.shape().last().expect("rank >= 1");
+    let rows = x.numel() / d;
+    let xd = x.data();
+    let gd = g.data();
+    let gam = gamma.data();
+    let md = mean.data();
+    let rd = rstd.data();
+    let mut dx = vec![0.0f32; x.numel()];
+    let mut dgamma = vec![0.0f32; d];
+    let mut dbeta = vec![0.0f32; d];
+    for r in 0..rows {
+        let xrow = &xd[r * d..(r + 1) * d];
+        let grow = &gd[r * d..(r + 1) * d];
+        let (m, rs) = (md[r], rd[r]);
+        // xhat and the two row means needed by the dx formula.
+        let mut mean_dxhat = 0.0;
+        let mut mean_dxhat_xhat = 0.0;
+        for i in 0..d {
+            let xhat = (xrow[i] - m) * rs;
+            let dxhat = grow[i] * gam[i];
+            dgamma[i] += grow[i] * xhat;
+            dbeta[i] += grow[i];
+            mean_dxhat += dxhat;
+            mean_dxhat_xhat += dxhat * xhat;
+        }
+        mean_dxhat /= d as f32;
+        mean_dxhat_xhat /= d as f32;
+        let drow = &mut dx[r * d..(r + 1) * d];
+        for i in 0..d {
+            let xhat = (xrow[i] - m) * rs;
+            let dxhat = grow[i] * gam[i];
+            drow[i] = rs * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat);
+        }
+    }
+    (
+        Tensor::from_vec(dx, x.shape()),
+        Tensor::from_vec(dgamma, &[d]),
+        Tensor::from_vec(dbeta, &[d]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_chain_rule() {
+        // f = sum((x * 3 + 1)^2), df/dx = 2*(3x+1)*3
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        let a = g.scale(x, 3.0);
+        let b = g.add_scalar(a, 1.0);
+        let c = g.mul(b, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        let dx = grads.get(x).unwrap();
+        assert_eq!(dx.data(), &[24.0, -30.0]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let c = g.constant(Tensor::scalar(5.0));
+        let y = g.mul(x, c);
+        let grads = g.backward(y);
+        assert_eq!(grads.get(x).unwrap().item(), 5.0);
+        assert!(grads.get(c).is_none());
+    }
+
+    #[test]
+    fn gradient_accumulates_on_reuse() {
+        // f = x*x + x  ->  df/dx = 2x + 1
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(3.0));
+        let sq = g.mul(x, x);
+        let f = g.add(sq, x);
+        let grads = g.backward(f);
+        assert_eq!(grads.get(x).unwrap().item(), 7.0);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // loss = sum(A @ B); dA = ones @ B^T, dB = A^T @ ones.
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_bias_grad_is_summed() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::arange(6).reshape(&[2, 3]));
+        let bias = g.leaf(Tensor::zeros(&[3]));
+        let y = g.add(x, bias);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(bias).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn cross_entropy_leaf_grad_shape() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Tensor::zeros(&[2, 3]));
+        let loss = g.cross_entropy(logits, &[0, 2]);
+        let grads = g.backward(loss);
+        let dl = grads.get(logits).unwrap();
+        assert_eq!(dl.shape(), &[2, 3]);
+        // Each row sums to zero (softmax - onehot property).
+        for r in 0..2 {
+            let s: f32 = dl.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn broadcast_batched_matmul_grad_reduces() {
+        // a: [2,2,2] (batch), b: [2,2] shared -> db must sum over batch.
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(&[2, 2, 2]));
+        let b = g.leaf(Tensor::ones(&[2, 2]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(b).unwrap().shape(), &[2, 2]);
+        assert_eq!(grads.get(b).unwrap().data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2]));
+        let y = g.relu(x);
+        g.backward(y);
+    }
+}

@@ -1,0 +1,53 @@
+//! # tsdx-tensor
+//!
+//! A small, dependency-free dense `f32` tensor library with reverse-mode
+//! automatic differentiation, purpose-built for the `tsdx` traffic-scenario
+//! extraction stack.
+//!
+//! The crate has three layers:
+//!
+//! 1. [`Tensor`] — an immutable, contiguous, row-major value type with cheap
+//!    (`Arc`-backed) clones.
+//! 2. [`ops`] — pure forward kernels: broadcasting arithmetic, batched
+//!    matmul, softmax, layer norm, im2col convolution, pooling, and fused
+//!    classification losses.
+//! 3. [`Graph`] — a define-by-run autograd tape recording op applications
+//!    and replaying them in reverse to produce [`Gradients`].
+//!
+//! # Examples
+//!
+//! Train-step skeleton — build a tape, compute a loss, read gradients:
+//!
+//! ```
+//! use tsdx_tensor::{Graph, Tensor};
+//!
+//! let w = Tensor::from_vec(vec![0.5, -0.5], &[2, 1]);
+//! let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//!
+//! let mut g = Graph::new();
+//! let wv = g.leaf(w);
+//! let xv = g.constant(x);
+//! let y = g.matmul(xv, wv);          // [2, 1]
+//! let loss = g.mean_all(y);
+//! let grads = g.backward(loss);
+//! assert_eq!(grads.get(wv).unwrap().shape(), &[2, 1]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod grad_check;
+mod graph;
+pub mod ops;
+pub mod shape;
+mod tensor;
+
+pub use graph::{Gradients, Graph, Var};
+pub use tensor::Tensor;
+
+/// Crate-internal backward kernels shared between `ops` and `graph`.
+pub(crate) mod ops_internal {
+    pub(crate) use crate::ops::{
+        index_select_backward, log_softmax_last_backward, narrow_backward, softmax_last_backward,
+    };
+}

@@ -1,0 +1,292 @@
+//! Elementwise arithmetic and activation functions with NumPy broadcasting.
+
+use crate::shape;
+use crate::Tensor;
+
+/// Applies `f` elementwise over the broadcast of `a` and `b`.
+///
+/// This is the generic engine behind [`add`], [`sub`], [`mul`], and [`div`];
+/// it is public so downstream crates can define their own broadcast kernels.
+///
+/// # Panics
+///
+/// Panics if the shapes do not broadcast together.
+pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    if a.shape() == b.shape() {
+        return a.zip(b, f);
+    }
+    let out_shape = shape::broadcast(a.shape(), b.shape())
+        .unwrap_or_else(|| panic!("shapes {:?} and {:?} do not broadcast", a.shape(), b.shape()));
+    let sa = shape::broadcast_strides(a.shape(), &out_shape);
+    let sb = shape::broadcast_strides(b.shape(), &out_shape);
+    let n = shape::numel(&out_shape);
+    let rank = out_shape.len();
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = Vec::with_capacity(n);
+
+    // Fast path: `b` broadcasts along the last axis only (bias-add pattern).
+    let last = rank.saturating_sub(1);
+    let contiguous_tail = rank > 0
+        && sa == shape::strides(&out_shape)
+        && sb[..last].iter().all(|&s| s == 0)
+        && sb[last] == 1
+        && b.numel() == out_shape[last];
+    if contiguous_tail {
+        let d = out_shape[last];
+        for chunk in ad.chunks_exact(d) {
+            for (x, y) in chunk.iter().zip(bd.iter()) {
+                out.push(f(*x, *y));
+            }
+        }
+        return Tensor::from_vec(out, &out_shape);
+    }
+
+    let mut ia = vec![0usize; rank];
+    let mut offset_a = 0usize;
+    let mut offset_b = 0usize;
+    for _ in 0..n {
+        out.push(f(ad[offset_a], bd[offset_b]));
+        // Odometer increment, updating both offsets incrementally.
+        for dim in (0..rank).rev() {
+            ia[dim] += 1;
+            offset_a += sa[dim];
+            offset_b += sb[dim];
+            if ia[dim] < out_shape[dim] {
+                break;
+            }
+            offset_a -= sa[dim] * out_shape[dim];
+            offset_b -= sb[dim] * out_shape[dim];
+            ia[dim] = 0;
+        }
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Broadcasting elementwise addition.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    binary_broadcast(a, b, |x, y| x + y)
+}
+
+/// Broadcasting elementwise subtraction.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    binary_broadcast(a, b, |x, y| x - y)
+}
+
+/// Broadcasting elementwise multiplication.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    binary_broadcast(a, b, |x, y| x * y)
+}
+
+/// Broadcasting elementwise division.
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    binary_broadcast(a, b, |x, y| x / y)
+}
+
+/// Multiplies every element by `c`.
+pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    a.map(|x| x * c)
+}
+
+/// Adds `c` to every element.
+pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
+    a.map(|x| x + c)
+}
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Tensor {
+    a.map(|x| -x)
+}
+
+/// Elementwise natural exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    a.map(f32::exp)
+}
+
+/// Elementwise natural logarithm.
+pub fn ln(a: &Tensor) -> Tensor {
+    a.map(f32::ln)
+}
+
+/// Elementwise square root.
+pub fn sqrt(a: &Tensor) -> Tensor {
+    a.map(f32::sqrt)
+}
+
+/// Rectified linear unit: `max(x, 0)`.
+pub fn relu(a: &Tensor) -> Tensor {
+    a.map(|x| x.max(0.0))
+}
+
+/// Gradient of [`relu`] given the op *input* and upstream gradient.
+pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
+    input.zip(grad, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    a.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Elementwise hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    a.map(f32::tanh)
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+/// GELU activation (tanh approximation), as used in transformer MLPs.
+pub fn gelu(a: &Tensor) -> Tensor {
+    a.map(|x| 0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh()))
+}
+
+/// Gradient of [`gelu`] given the op *input* and upstream gradient.
+pub fn gelu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
+    input.zip(grad, |x, g| {
+        let u = GELU_C * (x + 0.044_715 * x * x * x);
+        let t = u.tanh();
+        let du = GELU_C * (1.0 + 3.0 * 0.044_715 * x * x);
+        g * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+    })
+}
+
+/// Reduces `grad` (shaped like a broadcast result) back to `target_shape` by
+/// summing over the dimensions that were expanded.
+///
+/// This is the adjoint of broadcasting and is used by every broadcasting
+/// backward rule.
+pub fn unbroadcast(grad: &Tensor, target_shape: &[usize]) -> Tensor {
+    if grad.shape() == target_shape {
+        return grad.clone();
+    }
+    let rank = grad.rank();
+    let padded = shape::pad_rank(target_shape, rank);
+    let gs = shape::strides(grad.shape());
+    let n_out = shape::numel(&padded);
+    let mut out = vec![0.0f32; n_out];
+    let ts = shape::strides(&padded);
+    let gd = grad.data();
+    let gshape = grad.shape().to_vec();
+    let mut idx = vec![0usize; rank];
+    let mut goff = 0usize;
+    let mut toff = 0usize;
+    // Map every grad element to its (possibly collapsed) target slot.
+    for _ in 0..grad.numel() {
+        out[toff] += gd[goff];
+        for dim in (0..rank).rev() {
+            idx[dim] += 1;
+            goff += gs[dim];
+            if padded[dim] != 1 {
+                toff += ts[dim];
+            }
+            if idx[dim] < gshape[dim] {
+                break;
+            }
+            goff -= gs[dim] * gshape[dim];
+            if padded[dim] != 1 {
+                toff -= ts[dim] * gshape[dim];
+            }
+            idx[dim] = 0;
+        }
+    }
+    Tensor::from_vec(out, target_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(add(&a, &b).data(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn bias_add_fast_path() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = add(&a, &b);
+        assert_eq!(c.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn general_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]);
+        let c = mul(&a, &b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let a = Tensor::arange(4).reshape(&[2, 2]);
+        let s = Tensor::scalar(2.0);
+        assert_eq!(mul(&a, &s).data(), &[0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(mul(&s, &a).data(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn incompatible_shapes_panic() {
+        add(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn unbroadcast_sums_expanded_dims() {
+        // grad of shape [2,3], original was [1,3] -> sum over rows
+        let g = Tensor::arange(6).reshape(&[2, 3]);
+        let r = unbroadcast(&g, &[1, 3]);
+        assert_eq!(r.data(), &[3.0, 5.0, 7.0]);
+        // original was [3] (rank padded) -> same sums
+        let r2 = unbroadcast(&g, &[3]);
+        assert_eq!(r2.data(), &[3.0, 5.0, 7.0]);
+        // original was scalar
+        let r3 = unbroadcast(&g, &[]);
+        assert_eq!(r3.item(), 15.0);
+        // original was [2,1]
+        let r4 = unbroadcast(&g, &[2, 1]);
+        assert_eq!(r4.data(), &[3.0, 12.0]);
+    }
+
+    #[test]
+    fn activations_match_reference_values() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let s = sigmoid(&x);
+        assert!((s.data()[0] - 0.268_941).abs() < 1e-5);
+        assert!((s.data()[1] - 0.5).abs() < 1e-7);
+        let g = gelu(&x);
+        assert!((g.data()[0] - (-0.158_808)).abs() < 1e-4);
+        assert!((g.data()[2] - 1.954_597).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_backward_matches_numerical() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.7, 3.0], &[5]);
+        let g1 = Tensor::ones(&[5]);
+        let analytic = gelu_backward(&x, &g1);
+        let eps = 1e-3;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.data_mut()[i] += eps;
+            xm.data_mut()[i] -= eps;
+            let num = (gelu(&xp).data()[i] - gelu(&xm).data()[i]) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < 1e-3,
+                "gelu grad mismatch at {i}: {num} vs {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_backward_masks_negative_inputs() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        let g = Tensor::from_vec(vec![5.0, 5.0], &[2]);
+        assert_eq!(relu_backward(&x, &g).data(), &[0.0, 5.0]);
+    }
+}

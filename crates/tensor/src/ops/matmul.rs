@@ -1,0 +1,149 @@
+//! Batched matrix multiplication.
+
+use crate::shape;
+use crate::Tensor;
+
+/// Batched matrix product `a @ b`.
+///
+/// Both operands must have rank ≥ 2. The trailing two dimensions are the
+/// matrix dimensions (`[m, k] @ [k, n] -> [m, n]`); all leading dimensions
+/// are batch dimensions and broadcast against each other under NumPy rules.
+///
+/// # Panics
+///
+/// Panics on rank < 2, inner-dimension mismatch, or non-broadcastable batch
+/// dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_tensor::{ops, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert_eq!(ops::matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert!(a.rank() >= 2 && b.rank() >= 2, "matmul requires rank >= 2 operands");
+    let (ash, bsh) = (a.shape(), b.shape());
+    let (m, ka) = (ash[ash.len() - 2], ash[ash.len() - 1]);
+    let (kb, n) = (bsh[bsh.len() - 2], bsh[bsh.len() - 1]);
+    assert_eq!(ka, kb, "matmul inner dims: {:?} @ {:?}", ash, bsh);
+    let k = ka;
+
+    let batch_a = &ash[..ash.len() - 2];
+    let batch_b = &bsh[..bsh.len() - 2];
+    let batch = shape::broadcast(batch_a, batch_b)
+        .unwrap_or_else(|| panic!("matmul batch dims do not broadcast: {ash:?} @ {bsh:?}"));
+    let n_batch = shape::numel(&batch);
+
+    // Per-batch offsets honoring broadcasting (stride 0 on expanded dims).
+    let sa = shape::broadcast_strides(batch_a, &batch);
+    let sb = shape::broadcast_strides(batch_b, &batch);
+
+    let mut out_shape = batch.clone();
+    out_shape.push(m);
+    out_shape.push(n);
+    let mut out = vec![0.0f32; n_batch * m * n];
+
+    let ad = a.data();
+    let bd = b.data();
+    let (am, bm) = (m * k, k * n);
+
+    for bi in 0..n_batch {
+        let idx = shape::index_of(&batch, bi);
+        let aoff = matrix_offset(&idx, &sa) * am;
+        let boff = matrix_offset(&idx, &sb) * bm;
+        let a_mat = &ad[aoff..aoff + am];
+        let b_mat = &bd[boff..boff + bm];
+        let o = &mut out[bi * m * n..(bi + 1) * m * n];
+        // ikj loop order: the inner j-loop is a contiguous SAXPY.
+        for i in 0..m {
+            let arow = &a_mat[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b_mat[kk * n..(kk + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += av * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Flat matrix index of batch coordinate `idx` under batch strides `strides`
+/// (strides measured in matrices, with 0 on broadcast dims).
+fn matrix_offset(idx: &[usize], strides: &[usize]) -> usize {
+    idx.iter().zip(strides).map(|(&i, &s)| i * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular() {
+        // [1,3] @ [3,2]
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[1, 2]);
+        assert_eq!(c.data(), &[14.0, 32.0]);
+    }
+
+    #[test]
+    fn batched_same_batch() {
+        // Two independent 2x2 multiplications.
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn broadcast_batch_dims() {
+        // a: [2,2,2] batch of two, b: [2,2] broadcast across batch.
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[2, 2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.data()[4..], &[3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        // Pseudo-random but deterministic inputs.
+        let a = Tensor::from_fn(&[3, 5], |i| ((i * 7 + 3) % 11) as f32 - 5.0);
+        let b = Tensor::from_fn(&[5, 4], |i| ((i * 5 + 1) % 13) as f32 - 6.0);
+        let c = matmul(&a, &b);
+        for i in 0..3 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..5 {
+                    acc += a.at(&[i, k]) * b.at(&[k, j]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_dim_mismatch_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,247 @@
+//! Reductions and softmax-family operations.
+
+use crate::Tensor;
+
+/// Sum of all elements as a scalar tensor.
+pub fn sum_all(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.sum())
+}
+
+/// Mean of all elements as a scalar tensor.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.mean())
+}
+
+/// Sums over dimension `axis`.
+///
+/// With `keepdim` the reduced dimension is retained with extent 1; otherwise
+/// it is removed from the shape.
+///
+/// # Panics
+///
+/// Panics if `axis >= a.rank()`.
+pub fn sum_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    reduce_axis(a, axis, keepdim, 0.0, |acc, x| acc + x)
+}
+
+/// Mean over dimension `axis`.
+pub fn mean_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    let d = a.dim(axis) as f32;
+    let summed = sum_axis(a, axis, keepdim);
+    summed.map(|x| x / d)
+}
+
+/// Maximum over dimension `axis`.
+pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
+    reduce_axis(a, axis, keepdim, f32::NEG_INFINITY, f32::max)
+}
+
+fn reduce_axis(
+    a: &Tensor,
+    axis: usize,
+    keepdim: bool,
+    init: f32,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert!(axis < a.rank(), "axis {axis} out of range for rank {}", a.rank());
+    let sh = a.shape();
+    let outer: usize = sh[..axis].iter().product();
+    let d = sh[axis];
+    let inner: usize = sh[axis + 1..].iter().product();
+    let mut out = vec![init; outer * inner];
+    let data = a.data();
+    for o in 0..outer {
+        for k in 0..d {
+            let base = (o * d + k) * inner;
+            let orow = &mut out[o * inner..(o + 1) * inner];
+            for (ov, &x) in orow.iter_mut().zip(&data[base..base + inner]) {
+                *ov = f(*ov, x);
+            }
+        }
+    }
+    let mut out_shape: Vec<usize> = sh.to_vec();
+    if keepdim {
+        out_shape[axis] = 1;
+    } else {
+        out_shape.remove(axis);
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Index of the maximum along the last dimension.
+///
+/// Returns a tensor shaped like `a` without its last dimension, holding the
+/// winning indices as `f32` values (ties break toward the lower index).
+///
+/// # Panics
+///
+/// Panics on rank-0 input or an empty last dimension.
+pub fn argmax_last(a: &Tensor) -> Tensor {
+    assert!(a.rank() >= 1, "argmax_last requires rank >= 1");
+    let d = *a.shape().last().expect("non-empty shape");
+    assert!(d > 0, "argmax_last over empty dimension");
+    let rows = a.numel() / d;
+    let data = a.data();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        let mut best = 0usize;
+        for (i, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = i;
+            }
+        }
+        out.push(best as f32);
+    }
+    Tensor::from_vec(out, &a.shape()[..a.rank() - 1])
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax_last(a: &Tensor) -> Tensor {
+    let d = *a.shape().last().expect("softmax_last requires rank >= 1");
+    let rows = a.numel() / d;
+    let data = a.data();
+    let mut out = Vec::with_capacity(a.numel());
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        let start = out.len();
+        for &x in row {
+            let e = (x - m).exp();
+            denom += e;
+            out.push(e);
+        }
+        for v in &mut out[start..] {
+            *v /= denom;
+        }
+    }
+    Tensor::from_vec(out, a.shape())
+}
+
+/// Numerically-stable log-softmax over the last dimension.
+pub fn log_softmax_last(a: &Tensor) -> Tensor {
+    let d = *a.shape().last().expect("log_softmax_last requires rank >= 1");
+    let rows = a.numel() / d;
+    let data = a.data();
+    let mut out = Vec::with_capacity(a.numel());
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        out.extend(row.iter().map(|&x| x - lse));
+    }
+    Tensor::from_vec(out, a.shape())
+}
+
+/// Backward rule for [`softmax_last`]: given saved output `y` and upstream
+/// gradient `g`, returns `y * (g - sum(g*y, last))` row by row.
+pub(crate) fn softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
+    let d = *y.shape().last().expect("rank >= 1");
+    let rows = y.numel() / d;
+    let yd = y.data();
+    let gd = g.data();
+    let mut out = Vec::with_capacity(y.numel());
+    for r in 0..rows {
+        let yr = &yd[r * d..(r + 1) * d];
+        let gr = &gd[r * d..(r + 1) * d];
+        let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+        out.extend(yr.iter().zip(gr).map(|(&yv, &gv)| yv * (gv - dot)));
+    }
+    Tensor::from_vec(out, y.shape())
+}
+
+/// Backward rule for [`log_softmax_last`]: `g - softmax(x) * sum(g, last)`,
+/// where `y` is the saved log-softmax output.
+pub(crate) fn log_softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
+    let d = *y.shape().last().expect("rank >= 1");
+    let rows = y.numel() / d;
+    let yd = y.data();
+    let gd = g.data();
+    let mut out = Vec::with_capacity(y.numel());
+    for r in 0..rows {
+        let yr = &yd[r * d..(r + 1) * d];
+        let gr = &gd[r * d..(r + 1) * d];
+        let gsum: f32 = gr.iter().sum();
+        out.extend(yr.iter().zip(gr).map(|(&yv, &gv)| gv - yv.exp() * gsum));
+    }
+    Tensor::from_vec(out, y.shape())
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean_axis() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let s0 = sum_axis(&t, 0, false);
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.data(), &[3.0, 5.0, 7.0]);
+        let s1 = sum_axis(&t, 1, true);
+        assert_eq!(s1.shape(), &[2, 1]);
+        assert_eq!(s1.data(), &[3.0, 12.0]);
+        let m1 = mean_axis(&t, 1, false);
+        assert_eq!(m1.data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn max_axis_picks_maxima() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, -3.0, 4.0, 0.0, 2.0], &[2, 3]);
+        assert_eq!(max_axis(&t, 1, false).data(), &[9.0, 4.0]);
+        assert_eq!(max_axis(&t, 0, false).data(), &[4.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]);
+        let a = argmax_last(&t);
+        assert_eq!(a.shape(), &[2]);
+        assert_eq!(a.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0, 999.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let s = softmax_last(&t);
+        for r in 0..2 {
+            let row: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+        }
+        assert!(!s.has_non_finite());
+        // Larger logit -> larger probability.
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let ls = log_softmax_last(&t);
+        let s = softmax_last(&t);
+        for i in 0..3 {
+            assert!((ls.data()[i].exp() - s.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_numerical() {
+        let x = Tensor::from_vec(vec![0.2, -0.5, 1.3, 0.0], &[1, 4]);
+        let g = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[1, 4]);
+        let y = softmax_last(&x);
+        let analytic = softmax_last_backward(&y, &g);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.data_mut()[i] += eps;
+            xm.data_mut()[i] -= eps;
+            let fp: f32 =
+                softmax_last(&xp).data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
+            let fm: f32 =
+                softmax_last(&xm).data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - analytic.data()[i]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Shape-rearranging operations: permute, transpose, concat, narrow, gather.
+
+use crate::shape;
+use crate::Tensor;
+
+/// Reorders dimensions according to `perm` (a permutation of `0..rank`).
+///
+/// The result is materialized contiguously.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of the dimension indices.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_tensor::{ops, Tensor};
+/// let t = Tensor::arange(6).reshape(&[2, 3]);
+/// let p = ops::permute(&t, &[1, 0]);
+/// assert_eq!(p.shape(), &[3, 2]);
+/// assert_eq!(p.at(&[2, 1]), t.at(&[1, 2]));
+/// ```
+pub fn permute(a: &Tensor, perm: &[usize]) -> Tensor {
+    let rank = a.rank();
+    assert_eq!(perm.len(), rank, "permutation rank mismatch");
+    let mut seen = vec![false; rank];
+    for &p in perm {
+        assert!(p < rank && !seen[p], "invalid permutation {perm:?}");
+        seen[p] = true;
+    }
+    let in_shape = a.shape();
+    let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+    let in_strides = shape::strides(in_shape);
+    // Stride to step in the *input* for each output dimension.
+    let step: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let n = a.numel();
+    let data = a.data();
+    let mut out = Vec::with_capacity(n);
+    let mut idx = vec![0usize; rank];
+    let mut in_off = 0usize;
+    for _ in 0..n {
+        out.push(data[in_off]);
+        for dim in (0..rank).rev() {
+            idx[dim] += 1;
+            in_off += step[dim];
+            if idx[dim] < out_shape[dim] {
+                break;
+            }
+            in_off -= step[dim] * out_shape[dim];
+            idx[dim] = 0;
+        }
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Swaps the last two dimensions (matrix transpose over the batch).
+///
+/// # Panics
+///
+/// Panics if `a.rank() < 2`.
+pub fn transpose_last2(a: &Tensor) -> Tensor {
+    let rank = a.rank();
+    assert!(rank >= 2, "transpose_last2 requires rank >= 2");
+    let mut perm: Vec<usize> = (0..rank).collect();
+    perm.swap(rank - 2, rank - 1);
+    permute(a, &perm)
+}
+
+/// Concatenates tensors along dimension `axis`.
+///
+/// All inputs must agree on every dimension except `axis`.
+///
+/// # Panics
+///
+/// Panics on an empty input list, mismatched shapes, or `axis` out of range.
+pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!tensors.is_empty(), "concat of zero tensors");
+    let first = tensors[0].shape();
+    assert!(axis < first.len(), "concat axis out of range");
+    let mut axis_total = 0;
+    for t in tensors {
+        let sh = t.shape();
+        assert_eq!(sh.len(), first.len(), "concat rank mismatch");
+        for (d, (&a, &b)) in sh.iter().zip(first).enumerate() {
+            assert!(d == axis || a == b, "concat shape mismatch on dim {d}");
+        }
+        axis_total += sh[axis];
+    }
+    let mut out_shape = first.to_vec();
+    out_shape[axis] = axis_total;
+
+    let outer: usize = first[..axis].iter().product();
+    let inner: usize = first[axis + 1..].iter().product();
+    let mut out = Vec::with_capacity(shape::numel(&out_shape));
+    for o in 0..outer {
+        for t in tensors {
+            let d = t.shape()[axis];
+            let chunk = d * inner;
+            let src = &t.data()[o * chunk..(o + 1) * chunk];
+            out.extend_from_slice(src);
+        }
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Extracts `len` consecutive slices starting at `start` along `axis`.
+///
+/// # Panics
+///
+/// Panics if the range exceeds the dimension extent.
+pub fn narrow(a: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
+    let sh = a.shape();
+    assert!(axis < sh.len(), "narrow axis out of range");
+    assert!(start + len <= sh[axis], "narrow range {start}..{} exceeds dim {}", start + len, sh[axis]);
+    let outer: usize = sh[..axis].iter().product();
+    let inner: usize = sh[axis + 1..].iter().product();
+    let d = sh[axis];
+    let mut out = Vec::with_capacity(outer * len * inner);
+    let data = a.data();
+    for o in 0..outer {
+        let base = (o * d + start) * inner;
+        out.extend_from_slice(&data[base..base + len * inner]);
+    }
+    let mut out_shape = sh.to_vec();
+    out_shape[axis] = len;
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Adjoint of [`narrow`]: scatters `grad` back into a zero tensor shaped like
+/// the original input.
+pub(crate) fn narrow_backward(
+    grad: &Tensor,
+    orig_shape: &[usize],
+    axis: usize,
+    start: usize,
+) -> Tensor {
+    let outer: usize = orig_shape[..axis].iter().product();
+    let inner: usize = orig_shape[axis + 1..].iter().product();
+    let d = orig_shape[axis];
+    let len = grad.shape()[axis];
+    let mut out = vec![0.0f32; shape::numel(orig_shape)];
+    let gd = grad.data();
+    for o in 0..outer {
+        let dst = (o * d + start) * inner;
+        let src = o * len * inner;
+        out[dst..dst + len * inner].copy_from_slice(&gd[src..src + len * inner]);
+    }
+    Tensor::from_vec(out, orig_shape)
+}
+
+/// Stacks same-shaped tensors along a new leading dimension.
+///
+/// # Panics
+///
+/// Panics on an empty list or mismatched shapes.
+pub fn stack(tensors: &[&Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "stack of zero tensors");
+    let shape = tensors[0].shape();
+    let mut out = Vec::with_capacity(tensors.len() * tensors[0].numel());
+    for t in tensors {
+        assert_eq!(t.shape(), shape, "stack shape mismatch");
+        out.extend_from_slice(t.data());
+    }
+    let mut out_shape = vec![tensors.len()];
+    out_shape.extend_from_slice(shape);
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Splits a tensor into `parts` equal chunks along `axis` (inverse of a
+/// same-axis [`concat`] of equal parts).
+///
+/// # Panics
+///
+/// Panics if `parts` does not divide the axis extent.
+pub fn split(a: &Tensor, axis: usize, parts: usize) -> Vec<Tensor> {
+    let sh = a.shape();
+    assert!(axis < sh.len(), "split axis out of range");
+    assert!(parts > 0 && sh[axis] % parts == 0, "{parts} parts must divide dim {}", sh[axis]);
+    let chunk = sh[axis] / parts;
+    (0..parts).map(|i| narrow(a, axis, i * chunk, chunk)).collect()
+}
+
+/// Gathers slices along dimension 0: `out[i] = a[indices[i]]`.
+///
+/// This doubles as an embedding lookup for integer token ids.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn index_select(a: &Tensor, indices: &[usize]) -> Tensor {
+    let sh = a.shape();
+    assert!(!sh.is_empty(), "index_select requires rank >= 1");
+    let inner: usize = sh[1..].iter().product();
+    let data = a.data();
+    let mut out = Vec::with_capacity(indices.len() * inner);
+    for &i in indices {
+        assert!(i < sh[0], "index {i} out of bounds for dim {}", sh[0]);
+        out.extend_from_slice(&data[i * inner..(i + 1) * inner]);
+    }
+    let mut out_shape = sh.to_vec();
+    out_shape[0] = indices.len();
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Adjoint of [`index_select`]: scatter-adds `grad` rows back to their
+/// source rows (duplicated indices accumulate).
+pub(crate) fn index_select_backward(grad: &Tensor, orig_shape: &[usize], indices: &[usize]) -> Tensor {
+    let inner: usize = orig_shape[1..].iter().product();
+    let mut out = vec![0.0f32; shape::numel(orig_shape)];
+    let gd = grad.data();
+    for (row, &i) in indices.iter().enumerate() {
+        let dst = &mut out[i * inner..(i + 1) * inner];
+        let src = &gd[row * inner..(row + 1) * inner];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    Tensor::from_vec(out, orig_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let p = permute(&t, &[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.at(&[k, i, j]), t.at(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_identity_roundtrip() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        let back = permute(&permute(&t, &[1, 0]), &[1, 0]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn permute_rejects_duplicates() {
+        permute(&Tensor::zeros(&[2, 2]), &[0, 0]);
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = transpose_last2(&t);
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_middle_axis() {
+        let a = Tensor::arange(4).reshape(&[2, 1, 2]);
+        let b = Tensor::from_vec(vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0], &[2, 2, 2]);
+        let c = concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 3, 2]);
+        assert_eq!(c.data(), &[0.0, 1.0, 10.0, 11.0, 12.0, 13.0, 2.0, 3.0, 14.0, 15.0, 16.0, 17.0]);
+    }
+
+    #[test]
+    fn narrow_and_backward_roundtrip() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        let n = narrow(&t, 1, 1, 2);
+        assert_eq!(n.shape(), &[3, 2]);
+        assert_eq!(n.data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        let back = narrow_backward(&n, &[3, 4], 1, 1);
+        assert_eq!(back.data(), &[0.0, 1.0, 2.0, 0.0, 0.0, 5.0, 6.0, 0.0, 0.0, 9.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn narrow_axis0() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        let n = narrow(&t, 0, 2, 1);
+        assert_eq!(n.shape(), &[1, 4]);
+        assert_eq!(n.data(), &[8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn index_select_and_scatter_add() {
+        let t = Tensor::arange(6).reshape(&[3, 2]);
+        let g = index_select(&t, &[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        let grad = Tensor::ones(&[3, 2]);
+        let back = index_select_backward(&grad, &[3, 2], &[2, 0, 2]);
+        // Row 2 selected twice -> accumulates to 2.
+        assert_eq!(back.data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Shape algebra shared by every tensor operation.
+//!
+//! Tensors in this crate are always contiguous and row-major, so a shape is
+//! just a `Vec<usize>` of dimension extents. This module centralizes the
+//! arithmetic on those extents: element counts, strides, broadcasting, and
+//! multi-dimensional index/offset conversions.
+
+/// Returns the number of elements implied by `shape`.
+///
+/// The empty shape `[]` denotes a scalar and has one element.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tsdx_tensor::shape::numel(&[2, 3, 4]), 24);
+/// assert_eq!(tsdx_tensor::shape::numel(&[]), 1);
+/// ```
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Returns row-major strides for `shape`.
+///
+/// `strides(&[2, 3, 4]) == [12, 4, 1]`. The empty shape yields an empty
+/// stride vector.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tsdx_tensor::shape::strides(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![0; shape.len()];
+    let mut acc = 1;
+    for i in (0..shape.len()).rev() {
+        s[i] = acc;
+        acc *= shape[i];
+    }
+    s
+}
+
+/// Converts a multi-dimensional `index` into a flat row-major offset.
+///
+/// # Panics
+///
+/// Panics if `index` has a different rank than `shape` or any coordinate is
+/// out of bounds (debug assertions).
+pub fn offset_of(shape: &[usize], index: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), index.len(), "rank mismatch in offset_of");
+    let mut off = 0;
+    let mut acc = 1;
+    for i in (0..shape.len()).rev() {
+        debug_assert!(index[i] < shape[i], "index out of bounds in offset_of");
+        off += index[i] * acc;
+        acc *= shape[i];
+    }
+    off
+}
+
+/// Converts a flat row-major `offset` into a multi-dimensional index.
+pub fn index_of(shape: &[usize], mut offset: usize) -> Vec<usize> {
+    let mut idx = vec![0; shape.len()];
+    for i in (0..shape.len()).rev() {
+        idx[i] = offset % shape[i];
+        offset /= shape[i];
+    }
+    idx
+}
+
+/// Computes the broadcast shape of `a` and `b` under NumPy rules.
+///
+/// Shapes are right-aligned; each pair of extents must be equal or one of
+/// them must be `1`. Returns `None` when the shapes are incompatible.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_tensor::shape::broadcast;
+/// assert_eq!(broadcast(&[4, 1, 3], &[2, 3]), Some(vec![4, 2, 3]));
+/// assert_eq!(broadcast(&[2], &[3]), None);
+/// ```
+pub fn broadcast(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Right-aligns `shape` to `rank` dimensions by prepending `1`s.
+pub fn pad_rank(shape: &[usize], rank: usize) -> Vec<usize> {
+    assert!(shape.len() <= rank, "cannot pad shape to a smaller rank");
+    let mut out = vec![1; rank];
+    out[rank - shape.len()..].copy_from_slice(shape);
+    out
+}
+
+/// Strides of `shape` viewed as broadcast to `to` (stride 0 on expanded dims).
+///
+/// `shape` must broadcast to `to`; both are given right-aligned.
+pub fn broadcast_strides(shape: &[usize], to: &[usize]) -> Vec<usize> {
+    let padded = pad_rank(shape, to.len());
+    let base = strides(&padded);
+    padded
+        .iter()
+        .zip(to)
+        .zip(base)
+        .map(|((&d, &t), s)| {
+            assert!(d == t || d == 1, "shape does not broadcast to target");
+            if d == t {
+                s
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// An iterator over all multi-dimensional indices of `shape` in row-major
+/// order. Used by generic (non-hot-path) kernels.
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl IndexIter {
+    /// Creates an iterator over every index of `shape`.
+    pub fn new(shape: &[usize]) -> Self {
+        let next = if numel(shape) == 0 { None } else { Some(vec![0; shape.len()]) };
+        IndexIter { shape: shape.to_vec(), next }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.clone()?;
+        // Advance like an odometer.
+        let mut idx = cur.clone();
+        let mut dim = self.shape.len();
+        loop {
+            if dim == 0 {
+                self.next = None;
+                break;
+            }
+            dim -= 1;
+            idx[dim] += 1;
+            if idx[dim] < self.shape[dim] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[dim] = 0;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_handles_scalars_and_zeros() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 3]), 0);
+        assert_eq!(numel(&[2, 5]), 10);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[7]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_and_index_roundtrip() {
+        let shape = [3, 4, 5];
+        for off in 0..numel(&shape) {
+            let idx = index_of(&shape, off);
+            assert_eq!(offset_of(&shape, &idx), off);
+        }
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast(&[5, 1, 3], &[4, 3]), Some(vec![5, 4, 3]));
+        assert_eq!(broadcast(&[], &[2, 2]), Some(vec![2, 2]));
+        assert_eq!(broadcast(&[3], &[4]), None);
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_dims() {
+        assert_eq!(broadcast_strides(&[1, 3], &[4, 2, 3]), vec![0, 0, 1]);
+        assert_eq!(broadcast_strides(&[2, 3], &[2, 3]), vec![3, 1]);
+    }
+
+    #[test]
+    fn index_iter_visits_all_in_order() {
+        let v: Vec<_> = IndexIter::new(&[2, 2]).collect();
+        assert_eq!(v, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(IndexIter::new(&[0]).count(), 0);
+        assert_eq!(IndexIter::new(&[]).count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pad_rank_rejects_shrinking() {
+        pad_rank(&[2, 3], 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! The dense, contiguous, row-major `f32` tensor value type.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::shape;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` has value semantics: operations return new tensors and never
+/// mutate their inputs. Cloning is cheap — the buffer is behind an [`Arc`]
+/// and is copied lazily on mutation ([`Tensor::data_mut`]).
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the element count of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape::numel(shape),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape: shape.to_vec(), data: Arc::new(data) }
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(vec![v], &[])
+    }
+
+    /// Creates a tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Tensor::from_vec(vec![v; shape::numel(shape)], shape)
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = shape::numel(shape);
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            data.push(f(i));
+        }
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Creates a rank-1 tensor holding `0.0, 1.0, ..., (n-1).0`.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_fn(&[n], |i| i as f32)
+    }
+
+    /// The dimension extents of this tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        shape::numel(&self.shape)
+    }
+
+    /// The extent of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.rank()`.
+    pub fn dim(&self, dim: usize) -> usize {
+        self.shape[dim]
+    }
+
+    /// Read-only view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer, copying if the buffer is shared.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Consumes the tensor, returning its flat buffer (cloning if shared).
+    pub fn into_vec(self) -> Vec<f32> {
+        Arc::try_unwrap(self.data).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Element at a multi-dimensional `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or coordinates are invalid.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[shape::offset_of(&self.shape, index)]
+    }
+
+    /// Sets the element at `index` to `v`.
+    pub fn set(&mut self, index: &[usize], v: f32) {
+        let off = shape::offset_of(&self.shape, index);
+        self.data_mut()[off] = v;
+    }
+
+    /// The value of a scalar (single-element) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires a single-element tensor, shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns a tensor with the same buffer and a new shape.
+    ///
+    /// A `usize::MAX` entry acts as a wildcard inferred from the remaining
+    /// extents (at most one wildcard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ or inference is impossible.
+    pub fn reshape(&self, new_shape: &[usize]) -> Tensor {
+        let resolved = resolve_wildcard(new_shape, self.numel());
+        assert_eq!(
+            shape::numel(&resolved),
+            self.numel(),
+            "reshape from {:?} to {:?} changes element count",
+            self.shape,
+            resolved
+        );
+        Tensor { shape: resolved, data: Arc::clone(&self.data) }
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|&x| f(x)).collect(), &self.shape)
+    }
+
+    /// Combines two same-shaped tensors elementwise (no broadcasting; see
+    /// [`crate::ops`] for broadcasting arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip requires identical shapes");
+        Tensor::from_vec(
+            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            &self.shape,
+        )
+    }
+
+    /// True when all elements of `self` and `other` differ by at most `tol`.
+    ///
+    /// Shapes must match exactly; returns `false` otherwise.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`NaN` for empty tensors).
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element (`-inf` for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// True if any element is `NaN` or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// The scalar `0.0`.
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+fn resolve_wildcard(shape: &[usize], numel: usize) -> Vec<usize> {
+    let wilds = shape.iter().filter(|&&d| d == usize::MAX).count();
+    assert!(wilds <= 1, "at most one wildcard dimension allowed in reshape");
+    if wilds == 0 {
+        return shape.to_vec();
+    }
+    let known: usize = shape.iter().filter(|&&d| d != usize::MAX).product();
+    assert!(known > 0 && numel.is_multiple_of(known), "cannot infer wildcard dimension for {numel} elements");
+    shape.iter().map(|&d| if d == usize::MAX { numel / known } else { d }).collect()
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ", self.shape)?;
+        const LIMIT: usize = 16;
+        if self.numel() <= LIMIT {
+            write!(f, "{:?}", &self.data[..])
+        } else {
+            write!(f, "{:?}...", &self.data[..LIMIT])
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f32> for Tensor {
+    fn from(v: f32) -> Self {
+        Tensor::scalar(v)
+    }
+}
+
+impl From<Vec<f32>> for Tensor {
+    /// Builds a rank-1 tensor from a flat vector.
+    fn from(v: Vec<f32>) -> Self {
+        let n = v.len();
+        Tensor::from_vec(v, &[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.dim(1), 3);
+        assert_eq!(t.at(&[0, 2]), 3.0);
+        assert_eq!(t.at(&[1, 0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_wrong_length() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let a = Tensor::zeros(&[4]);
+        let mut b = a.clone();
+        b.set(&[0], 9.0);
+        assert_eq!(a.at(&[0]), 0.0);
+        assert_eq!(b.at(&[0]), 9.0);
+    }
+
+    #[test]
+    fn reshape_shares_buffer_and_infers_wildcard() {
+        let t = Tensor::arange(12);
+        let r = t.reshape(&[3, usize::MAX]);
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.at(&[2, 3]), 11.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reshape_rejects_bad_count() {
+        Tensor::arange(12).reshape(&[5, 3]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_diffs() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0], &[2]);
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&b.reshape(&[2, 1]), 1e-5));
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(7.5).item(), 7.5);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(a.map(|x| x * 2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y).data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(!t.has_non_finite());
+        t.set(&[1], f32::NAN);
+        assert!(t.has_non_finite());
+    }
+}

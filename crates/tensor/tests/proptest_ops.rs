@@ -1,0 +1,135 @@
+//! Property-based tests of tensor-op algebraic invariants.
+
+use proptest::prelude::*;
+use tsdx_tensor::{ops, shape, Tensor};
+
+/// Strategy: a small shape with 1-3 dims of extent 1-4.
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=4, 1..=3)
+}
+
+/// Strategy: a tensor of the given shape with bounded finite values.
+fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n = shape::numel(&shape);
+    prop::collection::vec(-10.0f32..10.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, &shape))
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(tensor_of)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in arb_tensor()) {
+        let u = t.map(|x| x * 0.5 + 1.0);
+        prop_assert!(ops::add(&t, &u).allclose(&ops::add(&u, &t), 1e-6));
+    }
+
+    #[test]
+    fn add_zero_is_identity(t in arb_tensor()) {
+        let z = Tensor::zeros(t.shape());
+        prop_assert!(ops::add(&t, &z).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(t in arb_tensor()) {
+        prop_assert!(ops::mul(&t, &Tensor::scalar(1.0)).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn neg_is_involutive(t in arb_tensor()) {
+        prop_assert!(ops::neg(&ops::neg(&t)).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn reshape_preserves_data(t in arb_tensor()) {
+        let flat = t.reshape(&[t.numel()]);
+        prop_assert_eq!(flat.data(), t.data());
+    }
+
+    #[test]
+    fn permute_preserves_multiset(t in arb_tensor()) {
+        let rank = t.rank();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.reverse();
+        let p = ops::permute(&t, &perm);
+        let mut a: Vec<f32> = t.data().to_vec();
+        let mut b: Vec<f32> = p.data().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permute_roundtrips(t in arb_tensor()) {
+        let rank = t.rank();
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.rotate_left(1);
+        let mut inv = vec![0usize; rank];
+        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        let back = ops::permute(&ops::permute(&t, &perm), &inv);
+        prop_assert!(back.allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in arb_tensor()) {
+        let s = ops::softmax_last(&t);
+        let d = *t.shape().last().unwrap();
+        for row in s.data().chunks(d) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn sum_axis_totals_match_sum_all(t in arb_tensor()) {
+        for axis in 0..t.rank() {
+            let s = ops::sum_axis(&t, axis, false);
+            prop_assert!((s.sum() - t.sum()).abs() < 1e-3 * (1.0 + t.sum().abs()));
+        }
+    }
+
+    #[test]
+    fn unbroadcast_inverts_broadcast_total(t in arb_tensor()) {
+        // Broadcasting t against ones of a larger shape then unbroadcasting
+        // preserves totals scaled by the expansion factor.
+        let mut big_shape = vec![3usize];
+        big_shape.extend_from_slice(t.shape());
+        let ones = Tensor::ones(&big_shape);
+        let expanded = ops::mul(&ones, &t);
+        let back = ops::unbroadcast(&expanded, t.shape());
+        let expected = ops::scale(&t, 3.0);
+        prop_assert!(back.allclose(&expected, 1e-4));
+    }
+
+    #[test]
+    fn matmul_identity(n in 1usize..5, seed in 0u32..1000) {
+        let a = Tensor::from_fn(&[n, n], |i| ((i as u32).wrapping_mul(seed + 1) % 17) as f32 - 8.0);
+        let eye = Tensor::from_fn(&[n, n], |i| if i / n == i % n { 1.0 } else { 0.0 });
+        prop_assert!(ops::matmul(&a, &eye).allclose(&a, 1e-5));
+        prop_assert!(ops::matmul(&eye, &a).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u32..500) {
+        let f = |s: u32| Tensor::from_fn(&[3, 4], move |i| (((i as u32 + 1).wrapping_mul(s + 3)) % 13) as f32 * 0.1 - 0.6);
+        let a = f(seed);
+        let b = f(seed + 7);
+        let c = Tensor::from_fn(&[4, 2], |i| ((i * 5 + 2) % 7) as f32 * 0.2 - 0.7);
+        let lhs = ops::matmul(&ops::add(&a, &b), &c);
+        let rhs = ops::add(&ops::matmul(&a, &c), &ops::matmul(&b, &c));
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn concat_then_narrow_recovers_parts(t in arb_tensor()) {
+        let u = t.map(|x| x + 1.0);
+        let c = ops::concat(&[&t, &u], 0);
+        let t2 = ops::narrow(&c, 0, 0, t.shape()[0]);
+        let u2 = ops::narrow(&c, 0, t.shape()[0], u.shape()[0]);
+        prop_assert!(t2.allclose(&t, 0.0));
+        prop_assert!(u2.allclose(&u, 0.0));
+    }
+}
