@@ -56,7 +56,14 @@ impl CnnGru {
         );
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let conv1 = Conv2d::new(&mut store, &mut rng, "cnn.conv1", 1, cfg.channels, Conv2dSpec::new(3, 1, 1));
+        let conv1 = Conv2d::new(
+            &mut store,
+            &mut rng,
+            "cnn.conv1",
+            1,
+            cfg.channels,
+            Conv2dSpec::new(3, 1, 1),
+        );
         let conv2 = Conv2d::new(
             &mut store,
             &mut rng,
@@ -134,7 +141,8 @@ mod tests {
     use tsdx_render::RenderConfig;
 
     fn tiny() -> (CnnGru, Vec<tsdx_data::Clip>) {
-        let cfg = CnnGruConfig { frames: 4, height: 16, width: 16, channels: 4, feature: 16, hidden: 16 };
+        let cfg =
+            CnnGruConfig { frames: 4, height: 16, width: 16, channels: 4, feature: 16, hidden: 16 };
         let clips = generate_dataset(&DatasetConfig {
             n_clips: 6,
             render: RenderConfig { width: 16, height: 16, frames: 4, ..RenderConfig::default() },
@@ -169,10 +177,7 @@ mod tests {
         let p = model.params().bind_frozen(&mut g);
         let a = model.forward(&mut g, &p, &forward, &mut rng, false);
         let b = model.forward(&mut g, &p, &reversed, &mut rng, false);
-        assert!(
-            !g.value(a.ego).allclose(g.value(b.ego), 1e-6),
-            "GRU should be order-sensitive"
-        );
+        assert!(!g.value(a.ego).allclose(g.value(b.ego), 1e-6), "GRU should be order-sensitive");
     }
 
     #[test]

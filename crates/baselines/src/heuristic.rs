@@ -121,9 +121,7 @@ impl HeuristicExtractor {
         // A stopped clip's final frame pairs bottom out at the sensor-noise
         // floor, well below the peak motion of the moving phase.
         let peak = motion.iter().fold(0.0f32, |a, &b| a.max(b));
-        let rest = motion[motion.len() - 2..]
-            .iter()
-            .fold(f32::INFINITY, |a, &b| a.min(b));
+        let rest = motion[motion.len() - 2..].iter().fold(f32::INFINITY, |a, &b| a.min(b));
         let stopped = peak > 1e-5 && rest < self.cfg.rest_ratio * peak;
 
         // --- scene streaming (marking centroid inter-frame drift) -----------
@@ -207,10 +205,7 @@ impl HeuristicExtractor {
         let (event, position) = if presence[ActorKind::Pedestrian.index()] > 0.5 {
             let (action, pos) =
                 classify_blob(&stats, |s| (s.ped_px, s.ped_col), ActorKind::Pedestrian, w);
-            (
-                vocab::event_index(ActorKind::Pedestrian, action).unwrap_or(vocab::EVENT_NONE),
-                pos,
-            )
+            (vocab::event_index(ActorKind::Pedestrian, action).unwrap_or(vocab::EVENT_NONE), pos)
         } else if presence[ActorKind::Vehicle.index()] > 0.5 {
             let (action, pos) =
                 classify_blob(&stats, |s| (s.vehicle_px, s.vehicle_col), ActorKind::Vehicle, w);
@@ -261,8 +256,7 @@ fn classify_blob(
     kind: ActorKind,
     w: usize,
 ) -> (ActorAction, usize) {
-    let visible: Vec<(usize, f32)> =
-        stats.iter().map(&get).filter(|&(px, _)| px > 0).collect();
+    let visible: Vec<(usize, f32)> = stats.iter().map(&get).filter(|&(px, _)| px > 0).collect();
     if visible.is_empty() {
         return (ActorAction::Stopped, POSITION_NONE);
     }
@@ -415,7 +409,11 @@ mod tests {
     fn clips_with(road: RoadKind, ego: EgoManeuver, n: usize) -> Vec<Clip> {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        let sampler = ScenarioSampler::new(SamplerConfig { duration: 8.0, max_events: 0, ..SamplerConfig::default() });
+        let sampler = ScenarioSampler::new(SamplerConfig {
+            duration: 8.0,
+            max_events: 0,
+            ..SamplerConfig::default()
+        });
         let render = RenderConfig::default();
         (0..n)
             .map(|i| {
@@ -479,7 +477,11 @@ mod tests {
     fn pedestrian_presence_is_detected() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        let sampler = ScenarioSampler::new(SamplerConfig { duration: 8.0, max_events: 2, ..SamplerConfig::default() });
+        let sampler = ScenarioSampler::new(SamplerConfig {
+            duration: 8.0,
+            max_events: 2,
+            ..SamplerConfig::default()
+        });
         let render = RenderConfig::default();
         let h = HeuristicExtractor::default();
         let mut with_ped = 0;

@@ -50,7 +50,9 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("video-transformer-joint", |b| b.iter(|| forward_once(&vt_joint, &clip1)));
     group.bench_function("cnn-gru", |b| b.iter(|| forward_once(&gru, &clip1)));
     group.bench_function("frame-mlp", |b| b.iter(|| forward_once(&mlp, &clip1)));
-    group.bench_function("heuristic", |b| b.iter(|| std::hint::black_box(heuristic.predict(&single))));
+    group.bench_function("heuristic", |b| {
+        b.iter(|| std::hint::black_box(heuristic.predict(&single)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("table4_batch8");
@@ -58,6 +60,18 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("video-transformer", |b| b.iter(|| forward_once(&vt, &clip8)));
     group.bench_function("cnn-gru", |b| b.iter(|| forward_once(&gru, &clip8)));
     group.bench_function("frame-mlp", |b| b.iter(|| forward_once(&mlp, &clip8)));
+    group.finish();
+
+    // Encoder forward under explicit matmul thread counts (the env override
+    // is read per matmul call, so setting it between runs is safe here).
+    let mut group = c.benchmark_group("encoder_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        std::env::set_var("TSDX_NUM_THREADS", threads.to_string());
+        group
+            .bench_function(format!("batch8_t{threads}"), |b| b.iter(|| forward_once(&vt, &clip8)));
+    }
+    std::env::remove_var("TSDX_NUM_THREADS");
     group.finish();
 }
 

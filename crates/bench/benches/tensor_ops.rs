@@ -21,6 +21,50 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("256x256x256", |b| {
         b.iter(|| std::hint::black_box(ops::matmul(&a256, &b256)))
     });
+    for threads in [1usize, 2, ops::configured_threads()] {
+        group.bench_function(format!("256x256x256_t{threads}"), |b| {
+            b.iter(|| std::hint::black_box(ops::matmul_with_threads(&a256, &b256, threads)))
+        });
+    }
+    group.finish();
+
+    // Strided views vs forced materialization: the same permute+narrow+matmul
+    // chain, once consuming views directly and once copying after every
+    // layout op (the pre-view behaviour).
+    let mut group = c.benchmark_group("views");
+    let x = Tensor::from_fn(&[8, 17, 4, 16], |i| (i % 19) as f32 * 0.05 - 0.45);
+    group.bench_function("head_split_view", |b| {
+        b.iter(|| {
+            let heads = ops::permute(&x, &[0, 2, 1, 3]); // [8, 4, 17, 16]
+            let kt = ops::transpose_last2(&heads);
+            std::hint::black_box(ops::matmul(&heads, &kt))
+        })
+    });
+    group.bench_function("head_split_copy", |b| {
+        b.iter(|| {
+            let heads = ops::permute(&x, &[0, 2, 1, 3]).contiguous();
+            let kt = ops::transpose_last2(&heads).contiguous();
+            std::hint::black_box(ops::matmul(&heads, &kt))
+        })
+    });
+    group.bench_function("narrow_chain_view", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for t in 0..17 {
+                acc += ops::narrow(&x, 1, t, 1).sum();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("narrow_chain_copy", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for t in 0..17 {
+                acc += ops::narrow(&x, 1, t, 1).contiguous().sum();
+            }
+            std::hint::black_box(acc)
+        })
+    });
     group.finish();
 
     let mut group = c.benchmark_group("rowwise");

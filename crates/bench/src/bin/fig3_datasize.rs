@@ -8,7 +8,9 @@
 //! Run with `cargo run -p tsdx-bench --release --bin fig3_datasize`.
 
 use tsdx_baselines::{CnnGru, CnnGruConfig};
-use tsdx_bench::{fit_model, fit_transformer, is_quick, pct, print_table, standard_clips, standard_split};
+use tsdx_bench::{
+    fit_model, fit_transformer, is_quick, pct, print_table, standard_clips, standard_split,
+};
 use tsdx_core::{evaluate, ModelConfig};
 
 fn main() {

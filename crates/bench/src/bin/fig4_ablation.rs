@@ -34,12 +34,7 @@ fn main() {
         let s = evaluate(&model, &clips, &split.test);
 
         // Measured single-clip inference latency (median of 20).
-        let video = clips[split.test[0]].video.reshape(&[
-            1,
-            cfg.frames,
-            cfg.height,
-            cfg.width,
-        ]);
+        let video = clips[split.test[0]].video.reshape(&[1, cfg.frames, cfg.height, cfg.width]);
         let mut times: Vec<f64> = (0..20)
             .map(|_| {
                 let t = Instant::now();

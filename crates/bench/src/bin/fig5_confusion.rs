@@ -30,9 +30,8 @@ fn main() {
     // Event confusion as the companion panel.
     let t_event: Vec<usize> = split.test.iter().map(|&i| clips[i].labels.event).collect();
     let p_event: Vec<usize> = predictions.iter().map(|l| l.event).collect();
-    let mut event_cm = ConfusionMatrix::with_names(
-        (0..vocab::EVENT_COUNT).map(vocab::event_name).collect(),
-    );
+    let mut event_cm =
+        ConfusionMatrix::with_names((0..vocab::EVENT_COUNT).map(vocab::event_name).collect());
     event_cm.record_all(&t_event, &p_event);
     println!("\n== Fig 5b: primary-event confusion (rows = truth) ==");
     println!("{event_cm}");

@@ -16,10 +16,8 @@ use tsdx_render::Weather;
 /// Regenerates the clips selected by `idx` under a different weather (the
 /// scenario sampling is deterministic per index, so only pixels change).
 fn rerender(base: &DatasetConfig, idx: &[usize], weather: Weather) -> Vec<Clip> {
-    let cfg = DatasetConfig {
-        render: tsdx_render::RenderConfig { weather, ..base.render },
-        ..*base
-    };
+    let cfg =
+        DatasetConfig { render: tsdx_render::RenderConfig { weather, ..base.render }, ..*base };
     idx.iter().map(|&i| tsdx_data::generate_clip(&cfg, i)).collect()
 }
 

@@ -17,9 +17,21 @@ fn main() {
     println!("{stats}");
 
     let rows = vec![
-        vec!["train".to_string(), split.train.len().to_string(), pct(split.train.len() as f32 / n as f32)],
-        vec!["val".to_string(), split.val.len().to_string(), pct(split.val.len() as f32 / n as f32)],
-        vec!["test".to_string(), split.test.len().to_string(), pct(split.test.len() as f32 / n as f32)],
+        vec![
+            "train".to_string(),
+            split.train.len().to_string(),
+            pct(split.train.len() as f32 / n as f32),
+        ],
+        vec![
+            "val".to_string(),
+            split.val.len().to_string(),
+            pct(split.val.len() as f32 / n as f32),
+        ],
+        vec![
+            "test".to_string(),
+            split.test.len().to_string(),
+            pct(split.test.len() as f32 / n as f32),
+        ],
     ];
     print_table("Table 1b: stratified split", &["part", "clips", "%"], &rows);
 }

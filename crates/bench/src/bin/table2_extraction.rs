@@ -8,7 +8,9 @@
 //! (`--quick` shrinks the dataset and epochs by ~5×).
 
 use tsdx_baselines::{CnnGru, CnnGruConfig, FrameMlp, FrameMlpConfig, HeuristicExtractor};
-use tsdx_bench::{fit_model, fit_transformer, is_quick, pct, print_table, standard_clips, standard_split};
+use tsdx_bench::{
+    fit_model, fit_transformer, is_quick, pct, print_table, standard_clips, standard_split,
+};
 use tsdx_core::{evaluate, summarize, EvalSummary, ModelConfig};
 use tsdx_data::ClipLabels;
 
@@ -34,8 +36,7 @@ fn main() {
     let split = standard_split(&clips);
     eprintln!("train {} / val {} / test {}", split.train.len(), split.val.len(), split.test.len());
 
-    let truths: Vec<ClipLabels> =
-        split.test.iter().map(|&i| clips[i].labels.clone()).collect();
+    let truths: Vec<ClipLabels> = split.test.iter().map(|&i| clips[i].labels.clone()).collect();
     let mut rows = Vec::new();
 
     // Heuristic (no training).
@@ -59,15 +60,14 @@ fn main() {
     // Video transformer (the paper's model).
     eprintln!("training video-transformer...");
     let vt = fit_transformer(ModelConfig::default(), &clips, &split.train, epochs);
-    rows.push(row(
-        "video-transformer",
-        Some(vt.num_params()),
-        &evaluate(&vt, &clips, &split.test),
-    ));
+    rows.push(row("video-transformer", Some(vt.num_params()), &evaluate(&vt, &clips, &split.test)));
 
     print_table(
         "Table 2: SDL extraction quality (test split, %)",
-        &["model", "params", "ego", "ego-F1", "road", "event", "event-F1", "pos", "pres-F1", "mean"],
+        &[
+            "model", "params", "ego", "ego-F1", "road", "event", "event-F1", "pos", "pres-F1",
+            "mean",
+        ],
         &rows,
     );
 }

@@ -129,9 +129,11 @@ mod tests {
 
     #[test]
     fn temporal_map_shape_for_factorized_none_for_joint() {
-        let factorized = VideoScenarioTransformer::new(cfg(AttentionKind::Factorized, Readout::Cls), 3);
+        let factorized =
+            VideoScenarioTransformer::new(cfg(AttentionKind::Factorized, Readout::Cls), 3);
         let videos = Tensor::from_fn(&[2, 4, 16, 16], |i| (i % 5) as f32 / 5.0);
-        let map = factorized.temporal_attention_map(&videos).expect("factorized has temporal stage");
+        let map =
+            factorized.temporal_attention_map(&videos).expect("factorized has temporal stage");
         assert_eq!(map.shape(), &[2, 2]);
         for row in map.data().chunks(2) {
             let s: f32 = row.iter().sum();
@@ -143,10 +145,8 @@ mod tests {
 
     #[test]
     fn meanpool_variant_also_works() {
-        let model = VideoScenarioTransformer::new(
-            cfg(AttentionKind::Factorized, Readout::MeanPool),
-            1,
-        );
+        let model =
+            VideoScenarioTransformer::new(cfg(AttentionKind::Factorized, Readout::MeanPool), 1);
         let videos = Tensor::zeros(&[1, 4, 16, 16]);
         let map = model.attention_map(&videos);
         assert_eq!(map.shape(), &[1, 2, 4]);

@@ -106,7 +106,10 @@ impl ModelConfig {
         if self.tubelet_t == 0 || !self.frames.is_multiple_of(self.tubelet_t) {
             return Err(format!("tubelet_t {} must divide frames {}", self.tubelet_t, self.frames));
         }
-        if self.patch == 0 || !self.height.is_multiple_of(self.patch) || !self.width.is_multiple_of(self.patch) {
+        if self.patch == 0
+            || !self.height.is_multiple_of(self.patch)
+            || !self.width.is_multiple_of(self.patch)
+        {
             return Err(format!(
                 "patch {} must divide frame size {}x{}",
                 self.patch, self.height, self.width

@@ -247,8 +247,7 @@ mod tests {
         let enc = ClipEncoder::new(&mut store, &mut rng, "enc", &cfg);
         let mut g = Graph::new();
         let p = store.bind(&mut g);
-        let tokens =
-            g.constant(Tensor::from_fn(&[2, 8, 8], |i| ((i % 13) as f32 - 6.0) * 0.1));
+        let tokens = g.constant(Tensor::from_fn(&[2, 8, 8], |i| ((i % 13) as f32 - 6.0) * 0.1));
         let out = enc.forward(&mut g, &p, tokens, &mut rng, false);
         assert_eq!(g.shape(out), &[2, 8]);
         (store.num_scalars(), g.value(out).data().to_vec())

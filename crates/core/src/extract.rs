@@ -62,10 +62,7 @@ impl ScenarioExtractor {
     /// Extracts descriptions for a batch of clips.
     pub fn extract_batch(&self, clips: &[Clip]) -> Vec<Scenario> {
         let idx: Vec<usize> = (0..clips.len()).collect();
-        predict_labels(&self.model, clips, &idx)
-            .into_iter()
-            .map(|l| l.to_scenario())
-            .collect()
+        predict_labels(&self.model, clips, &idx).into_iter().map(|l| l.to_scenario()).collect()
     }
 
     /// The wrapped model.

@@ -29,8 +29,7 @@ pub fn clip_macs(cfg: &ModelConfig) -> u64 {
     let embed = (nt * ns as u64) * (cfg.tubelet_volume() as u64) * d as u64;
     let encoder = match cfg.attention {
         AttentionKind::Factorized => {
-            let spatial =
-                nt * cfg.spatial_depth as u64 * block_macs(ns + cls, d, cfg.mlp_ratio);
+            let spatial = nt * cfg.spatial_depth as u64 * block_macs(ns + cls, d, cfg.mlp_ratio);
             let temporal =
                 cfg.temporal_depth as u64 * block_macs(cfg.n_time() + cls, d, cfg.mlp_ratio);
             spatial + temporal

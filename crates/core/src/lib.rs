@@ -50,5 +50,7 @@ pub use extract::ScenarioExtractor;
 pub use flops::clip_macs;
 pub use heads::{multitask_loss, HeadLogits, LossWeights, SdlHeads};
 pub use model::{decode_logits, ClipModel, VideoScenarioTransformer};
-pub use train::{evaluate, predict_labels, summarize, train, EvalSummary, TrainConfig, TrainReport};
+pub use train::{
+    evaluate, predict_labels, summarize, train, EvalSummary, TrainConfig, TrainReport,
+};
 pub use tubelet::{extract_tubelets, TubeletEmbed};

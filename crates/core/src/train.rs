@@ -262,10 +262,7 @@ mod tests {
         assert_eq!(report.epoch_losses.len(), 12);
         let first = report.epoch_losses[0];
         let last = report.final_loss();
-        assert!(
-            last < first * 0.7,
-            "training did not reduce loss: {first:.3} -> {last:.3}"
-        );
+        assert!(last < first * 0.7, "training did not reduce loss: {first:.3} -> {last:.3}");
         assert!(last.is_finite());
     }
 

@@ -34,6 +34,7 @@ pub fn extract_tubelets(cfg: &ModelConfig, videos: &Tensor) -> Tensor {
     let ns = nh * nw;
     let vol = cfg.tubelet_volume();
     let (h, w) = (cfg.height, cfg.width);
+    let videos = videos.contiguous(); // the pixel gather below indexes the flat buffer
     let src = videos.data();
     let mut out = Vec::with_capacity(b * nt * ns * vol);
     for bi in 0..b {
@@ -96,9 +97,10 @@ impl TubeletEmbed {
     /// `[B, nt*ns, D]` with positional information added.
     pub fn forward(&self, g: &mut Graph, p: &Binding, tubelets: Var) -> Var {
         let b = g.shape(tubelets)[0];
-        let tokens = self.proj.forward(g, p, tubelets); // [B, nt*ns, D]
-        // Add separable positions: reshape to [B, nt, ns, D], add
-        // pos_space [1, ns, D] and pos_time [nt, 1, D] (both broadcast).
+        // Project to [B, nt*ns, D], then add separable positions: reshape to
+        // [B, nt, ns, D], add pos_space [1, ns, D] and pos_time [nt, 1, D]
+        // (both broadcast).
+        let tokens = self.proj.forward(g, p, tubelets);
         let grid = g.reshape(tokens, &[b, self.n_time, self.n_space, self.dim]);
         let ps = p.var(self.pos_space);
         let pt = p.var(self.pos_time);

@@ -85,8 +85,9 @@ mod tests {
 
     #[test]
     fn flip_scenario_swaps_sided_labels() {
-        let s = Scenario::new(EgoManeuver::TurnLeft, RoadKind::Intersection)
-            .with_actor(ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Left));
+        let s = Scenario::new(EgoManeuver::TurnLeft, RoadKind::Intersection).with_actor(
+            ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Left),
+        );
         let f = flip_scenario(&s);
         assert_eq!(f.ego, EgoManeuver::TurnRight);
         assert_eq!(f.actors[0].position, Some(Position::Right));
@@ -96,8 +97,11 @@ mod tests {
 
     #[test]
     fn flip_scenario_preserves_unsided_labels() {
-        let s = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
-            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead));
+        let s = Scenario::new(EgoManeuver::Cruise, RoadKind::Straight).with_actor(ActorClause::at(
+            ActorKind::Vehicle,
+            ActorAction::Leading,
+            Position::Ahead,
+        ));
         let f = flip_scenario(&s);
         assert_eq!(f, s);
     }
@@ -113,8 +117,9 @@ mod tests {
 
     #[test]
     fn flipped_clip_labels_stay_consistent() {
-        let truth = Scenario::new(EgoManeuver::LaneChangeLeft, RoadKind::Straight)
-            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Overtaking, Position::Left));
+        let truth = Scenario::new(EgoManeuver::LaneChangeLeft, RoadKind::Straight).with_actor(
+            ActorClause::at(ActorKind::Vehicle, ActorAction::Overtaking, Position::Left),
+        );
         let clip = Clip {
             video: Tensor::zeros(&[2, 4, 4]),
             labels: ClipLabels::from_scenario(&truth),

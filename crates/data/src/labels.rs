@@ -93,10 +93,17 @@ mod tests {
     #[test]
     fn primary_actor_defines_event_and_position() {
         let s = Scenario::new(EgoManeuver::DecelerateToStop, RoadKind::Intersection)
-            .with_actor(ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Right))
+            .with_actor(ActorClause::at(
+                ActorKind::Pedestrian,
+                ActorAction::Crossing,
+                Position::Right,
+            ))
             .with_actor(ActorClause::new(ActorKind::Vehicle, ActorAction::Stopped));
         let l = ClipLabels::from_scenario(&s);
-        assert_eq!(l.event, vocab::event_index(ActorKind::Pedestrian, ActorAction::Crossing).unwrap());
+        assert_eq!(
+            l.event,
+            vocab::event_index(ActorKind::Pedestrian, ActorAction::Crossing).unwrap()
+        );
         assert_eq!(l.position, Position::Right.index());
         assert_eq!(l.presence[ActorKind::Pedestrian.index()], 1.0);
         assert_eq!(l.presence[ActorKind::Vehicle.index()], 1.0);

@@ -91,8 +91,7 @@ mod tests {
         let clips = dataset(40);
         let s = stratified_split(&clips, (0.6, 0.2), 5);
         assert_eq!(s.len(), 40);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..40).collect::<Vec<_>>());
     }
@@ -120,8 +119,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let clips = dataset(30);
-        assert_eq!(stratified_split(&clips, (0.6, 0.2), 9), stratified_split(&clips, (0.6, 0.2), 9));
-        assert_ne!(stratified_split(&clips, (0.6, 0.2), 9), stratified_split(&clips, (0.6, 0.2), 10));
+        assert_eq!(
+            stratified_split(&clips, (0.6, 0.2), 9),
+            stratified_split(&clips, (0.6, 0.2), 9)
+        );
+        assert_ne!(
+            stratified_split(&clips, (0.6, 0.2), 9),
+            stratified_split(&clips, (0.6, 0.2), 10)
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl DatasetStats {
             road_counts,
             event_counts,
             presence_counts,
-            mean_actors: if clips.is_empty() { 0.0 } else { actor_total as f32 / clips.len() as f32 },
+            mean_actors: if clips.is_empty() {
+                0.0
+            } else {
+                actor_total as f32 / clips.len() as f32
+            },
         }
     }
 }

@@ -13,7 +13,11 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an empty matrix with numeric class names.
     pub fn new(k: usize) -> Self {
-        ConfusionMatrix { k, counts: vec![0; k * k], names: (0..k).map(|i| i.to_string()).collect() }
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+            names: (0..k).map(|i| i.to_string()).collect(),
+        }
     }
 
     /// Creates an empty matrix with explicit class names.

@@ -55,8 +55,11 @@ pub fn multilabel_report(
     }
     let precision = if tp + fp > 0 { tp as f32 / (tp + fp) as f32 } else { 0.0 };
     let recall = if tp + fne > 0 { tp as f32 / (tp + fne) as f32 } else { 0.0 };
-    let micro_f1 =
-        if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+    let micro_f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
 
     // mAP over labels.
     let mut ap_sum = 0.0;

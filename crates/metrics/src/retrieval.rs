@@ -87,10 +87,8 @@ mod tests {
 
     #[test]
     fn queries_without_relevant_items_are_skipped() {
-        let queries = vec![
-            (vec![0.9, 0.1], vec![true, false]),
-            (vec![0.9, 0.1], vec![false, false]),
-        ];
+        let queries =
+            vec![(vec![0.9, 0.1], vec![true, false]), (vec![0.9, 0.1], vec![false, false])];
         assert_eq!(mean_average_precision(&queries), 1.0);
         assert_eq!(mean_average_precision(&[]), 0.0);
     }
@@ -98,8 +96,8 @@ mod tests {
     #[test]
     fn mean_precision_at_k_averages_queries() {
         let queries = vec![
-            (vec![0.9, 0.8], vec![true, false]),  // P@1 = 1
-            (vec![0.9, 0.8], vec![false, true]),  // P@1 = 0
+            (vec![0.9, 0.8], vec![true, false]), // P@1 = 1
+            (vec![0.9, 0.8], vec![false, true]), // P@1 = 0
         ];
         assert_eq!(mean_precision_at_k(&queries, 1), 0.5);
     }

@@ -60,8 +60,11 @@ mod tests {
     use tsdx_sdl::{ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind};
 
     fn s1() -> Scenario {
-        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
-            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead))
+        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight).with_actor(ActorClause::at(
+            ActorKind::Vehicle,
+            ActorAction::Leading,
+            Position::Ahead,
+        ))
     }
 
     #[test]

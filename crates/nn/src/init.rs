@@ -25,7 +25,12 @@ pub fn uniform(shape: &[usize], bound: f32, rng: &mut impl Rng) -> Tensor {
 }
 
 /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
-pub fn xavier_uniform(fan_in: usize, fan_out: usize, shape: &[usize], rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    fan_in: usize,
+    fan_out: usize,
+    shape: &[usize],
+    rng: &mut impl Rng,
+) -> Tensor {
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(shape, bound, rng)
 }
@@ -72,8 +77,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let big = xavier_uniform(10, 10, &[100], &mut rng);
         let small = xavier_uniform(1000, 1000, &[100], &mut rng);
-        assert!(big.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
-            > small.data().iter().map(|x| x.abs()).fold(0.0, f32::max));
+        assert!(
+            big.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
+                > small.data().iter().map(|x| x.abs()).fold(0.0, f32::max)
+        );
     }
 
     #[test]

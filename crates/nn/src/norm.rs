@@ -43,7 +43,8 @@ mod tests {
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let mut g = Graph::new();
         let p = store.bind(&mut g);
-        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0], &[2, 4]));
+        let x =
+            g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0], &[2, 4]));
         let y = ln.forward(&mut g, &p, x);
         let yd = g.value(y);
         for r in 0..2 {

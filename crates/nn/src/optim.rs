@@ -79,7 +79,15 @@ pub struct AdamW {
 impl AdamW {
     /// Creates AdamW with the standard betas `(0.9, 0.999)`.
     pub fn new(weight_decay: f32) -> Self {
-        AdamW { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        AdamW {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.

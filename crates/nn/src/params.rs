@@ -76,10 +76,7 @@ impl ParamStore {
     /// Panics if `name` is already registered.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            self.params.iter().all(|p| p.name != name),
-            "duplicate parameter name: {name}"
-        );
+        assert!(self.params.iter().all(|p| p.name != name), "duplicate parameter name: {name}");
         self.params.push(Param { name, value });
         ParamId(self.params.len() - 1)
     }

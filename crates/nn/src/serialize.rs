@@ -71,7 +71,7 @@ pub fn save_checkpoint(store: &ParamStore, path: impl AsRef<Path>) -> Result<(),
         for &d in tensor.shape() {
             w.write_all(&(d as u32).to_le_bytes())?;
         }
-        for &v in tensor.data() {
+        for v in tensor.to_vec() {
             w.write_all(&v.to_le_bytes())?;
         }
     }
@@ -141,7 +141,10 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Vec<(String, Tensor)>, 
 ///
 /// Panics if a matching name has a mismatched shape (that indicates a model
 /// configuration mismatch, which must not be silently ignored).
-pub fn load_checkpoint(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<usize, CheckpointError> {
+pub fn load_checkpoint(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<usize, CheckpointError> {
     let entries = read_checkpoint(path)?;
     Ok(store.load_named(&entries))
 }

@@ -18,7 +18,13 @@ pub struct Mlp {
 
 impl Mlp {
     /// Registers an MLP expanding `dim` to `hidden` and back.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, dim: usize, hidden: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+    ) -> Self {
         Mlp {
             fc1: Linear::new(store, rng, &format!("{name}.fc1"), dim, hidden),
             fc2: Linear::new(store, rng, &format!("{name}.fc2"), hidden, dim),
@@ -120,10 +126,21 @@ impl TransformerEncoder {
     ) -> Self {
         let blocks = (0..depth)
             .map(|i| {
-                TransformerBlock::new(store, rng, &format!("{name}.block{i}"), dim, heads, mlp_ratio, dropout)
+                TransformerBlock::new(
+                    store,
+                    rng,
+                    &format!("{name}.block{i}"),
+                    dim,
+                    heads,
+                    mlp_ratio,
+                    dropout,
+                )
             })
             .collect();
-        TransformerEncoder { blocks, ln_final: LayerNorm::new(store, &format!("{name}.ln_final"), dim) }
+        TransformerEncoder {
+            blocks,
+            ln_final: LayerNorm::new(store, &format!("{name}.ln_final"), dim),
+        }
     }
 
     /// Number of blocks.

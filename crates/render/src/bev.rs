@@ -95,19 +95,16 @@ pub fn render_bev(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::f32::consts::FRAC_PI_2;
     use tsdx_sdl::RoadKind;
     use tsdx_sim::geometry::Pose;
     use tsdx_sim::RoadLayout;
-    use std::f32::consts::FRAC_PI_2;
 
     fn setup() -> (WorldMap, EgoState) {
         let road = RoadLayout::build(RoadKind::Straight);
         let map = WorldMap::build(&road);
-        let ego = EgoState {
-            pose: Pose::new(Vec2::new(5.25, 0.0), FRAC_PI_2),
-            speed: 8.0,
-            s: 80.0,
-        };
+        let ego =
+            EgoState { pose: Pose::new(Vec2::new(5.25, 0.0), FRAC_PI_2), speed: 8.0, s: 80.0 };
         (map, ego)
     }
 

@@ -54,9 +54,7 @@ pub fn render_frame(
     let mut order: Vec<usize> = (0..actors.len()).collect();
     let depth = |a: &ActorState| ego.pose.world_to_local(a.pose.position).x;
     order.sort_by(|&i, &j| {
-        depth(&actors[j].1)
-            .partial_cmp(&depth(&actors[i].1))
-            .expect("finite depths")
+        depth(&actors[j].1).partial_cmp(&depth(&actors[i].1)).expect("finite depths")
     });
 
     for i in order {
@@ -101,10 +99,11 @@ pub fn draw_traffic_light(
     let lamp_h = light.lamp_height_at(time);
     let Some((_, r_lamp)) = cam.project_local(fwd, left, lamp_h) else { return };
     let lamp_half = (cam.focal_px * 0.25 / fwd).max(1.0);
-    for r in ((r_lamp - lamp_half).floor() as isize).max(0)..((r_lamp + lamp_half).ceil() as isize).min(h)
+    for r in ((r_lamp - lamp_half).floor() as isize).max(0)
+        ..((r_lamp + lamp_half).ceil() as isize).min(h)
     {
-        for c in ((col - lamp_half).floor() as isize).max(0)
-            ..((col + lamp_half).ceil() as isize).min(w)
+        for c in
+            ((col - lamp_half).floor() as isize).max(0)..((col + lamp_half).ceil() as isize).min(w)
         {
             img[(r * w + c) as usize] = LAMP_SHADE;
         }
@@ -147,19 +146,16 @@ fn draw_actor(cam: &Camera, ego: &Pose, kind: ActorKind, state: &ActorState, img
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::f32::consts::FRAC_PI_2;
     use tsdx_sdl::RoadKind;
     use tsdx_sim::geometry::Vec2;
     use tsdx_sim::RoadLayout;
-    use std::f32::consts::FRAC_PI_2;
 
     fn setup() -> (Camera, WorldMap, EgoState) {
         let road = RoadLayout::build(RoadKind::Straight);
         let map = WorldMap::build(&road);
-        let ego = EgoState {
-            pose: Pose::new(Vec2::new(5.25, -20.0), FRAC_PI_2),
-            speed: 8.0,
-            s: 60.0,
-        };
+        let ego =
+            EgoState { pose: Pose::new(Vec2::new(5.25, -20.0), FRAC_PI_2), speed: 8.0, s: 60.0 };
         (Camera::standard(32, 32), map, ego)
     }
 

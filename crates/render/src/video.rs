@@ -64,23 +64,16 @@ pub fn render_video(
     let mut data = Vec::with_capacity(cfg.frames * cfg.height * cfg.width);
     for &i in &indices {
         let ego = &traj.ego[i];
-        let actors: Vec<_> = world
-            .actors
-            .iter()
-            .zip(&traj.actors)
-            .map(|(a, states)| (a.kind, states[i]))
-            .collect();
+        let actors: Vec<_> =
+            world.actors.iter().zip(&traj.actors).map(|(a, states)| (a.kind, states[i])).collect();
         let mut frame = render_frame(&cam, &map, ego, &actors);
         if let Some(light) = &world.light {
             draw_traffic_light(&cam, &ego.pose, light, traj.time_at(i), frame.data_mut());
         }
         apply_weather(cfg.weather, &cam, frame.data_mut());
         for &v in frame.data() {
-            let noise = if cfg.noise_std > 0.0 {
-                tsdx_nn_free_normal(rng) * cfg.noise_std
-            } else {
-                0.0
-            };
+            let noise =
+                if cfg.noise_std > 0.0 { tsdx_nn_free_normal(rng) * cfg.noise_std } else { 0.0 };
             data.push((v + brightness + noise).clamp(0.0, 1.0));
         }
     }
@@ -133,7 +126,8 @@ mod tests {
     #[test]
     fn noise_free_config_is_pure_function_of_world() {
         let (world, traj) = sample_world();
-        let cfg = RenderConfig { noise_std: 0.0, brightness_jitter: 0.0, ..RenderConfig::default() };
+        let cfg =
+            RenderConfig { noise_std: 0.0, brightness_jitter: 0.0, ..RenderConfig::default() };
         let a = render_video(&world, &traj, &cfg, &mut StdRng::seed_from_u64(1));
         let b = render_video(&world, &traj, &cfg, &mut StdRng::seed_from_u64(999));
         assert_eq!(a, b);
@@ -142,7 +136,8 @@ mod tests {
     #[test]
     fn frames_change_over_time_when_ego_moves() {
         let (world, traj) = sample_world();
-        let cfg = RenderConfig { noise_std: 0.0, brightness_jitter: 0.0, ..RenderConfig::default() };
+        let cfg =
+            RenderConfig { noise_std: 0.0, brightness_jitter: 0.0, ..RenderConfig::default() };
         let v = render_video(&world, &traj, &cfg, &mut StdRng::seed_from_u64(0));
         let hw = 32 * 32;
         let first = &v.data()[..hw];

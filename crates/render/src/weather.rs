@@ -135,7 +135,7 @@ mod tests {
         dense[14 * 16 + 8] = 1.0;
         apply_weather(Weather::Fog(0.02), &cam, &mut light);
         apply_weather(Weather::Fog(0.12), &cam, &mut dense);
-        let contrast = |f: &[f32]| f[14 * 16 + 8] - f[14 * 16 + 0];
+        let contrast = |f: &[f32]| f[14 * 16 + 8] - f[14 * 16];
         assert!(contrast(&dense) < contrast(&light));
     }
 
@@ -145,7 +145,7 @@ mod tests {
         let mut f = test_frame(&cam);
         apply_weather(Weather::Night, &cam, &mut f);
         let sky = f[16]; // top row
-        // Bottom center: close ground dead ahead = inside the cone.
+                         // Bottom center: close ground dead ahead = inside the cone.
         let road_ahead = f[31 * 32 + 16];
         assert!(sky < 0.15, "sky must be dark at night: {sky}");
         assert!(road_ahead > sky * 2.0, "headlights must lift the road: {road_ahead} vs {sky}");

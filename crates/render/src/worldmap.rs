@@ -5,8 +5,8 @@
 //! path length. Instead we rasterize the static road once per world into a
 //! coarse grid — painting along each lane path — and bilinearly sample it.
 
-use tsdx_sim::RoadLayout;
 use tsdx_sim::geometry::Vec2;
+use tsdx_sim::RoadLayout;
 
 /// Grayscale intensities of the static world.
 pub mod intensity {
@@ -63,13 +63,8 @@ impl WorldMap {
         max = max + Vec2::new(margin, margin);
         let cols = ((max.x - min.x) / cell).ceil() as usize + 1;
         let rows = ((max.y - min.y) / cell).ceil() as usize + 1;
-        let mut map = WorldMap {
-            origin: min,
-            cell,
-            cols,
-            rows,
-            data: vec![intensity::TERRAIN; cols * rows],
-        };
+        let mut map =
+            WorldMap { origin: min, cell, cols, rows, data: vec![intensity::TERRAIN; cols * rows] };
 
         // Paint road surfaces, then markings on top.
         for lane in road.surfaces() {
@@ -83,7 +78,13 @@ impl WorldMap {
 
     /// Paints a strip of `width` around `path`, optionally dashed by arc
     /// length `(period, on)`.
-    fn paint_strip(&mut self, path: &tsdx_sim::Path, width: f32, value: f32, dash: Option<(f32, f32)>) {
+    fn paint_strip(
+        &mut self,
+        path: &tsdx_sim::Path,
+        width: f32,
+        value: f32,
+        dash: Option<(f32, f32)>,
+    ) {
         let half = width / 2.0;
         let mut s = 0.0;
         let len = path.length();
@@ -164,9 +165,8 @@ mod tests {
         let road = RoadLayout::build(RoadKind::Straight);
         let map = WorldMap::build(&road);
         // Scan along the center marking: some cells must be bright.
-        let bright = (0..200)
-            .map(|i| map.sample(Vec2::new(0.0, -80.0 + i as f32)))
-            .fold(0.0f32, f32::max);
+        let bright =
+            (0..200).map(|i| map.sample(Vec2::new(0.0, -80.0 + i as f32))).fold(0.0f32, f32::max);
         assert!(bright > 0.7, "no marking found along centerline: {bright}");
     }
 

@@ -102,7 +102,8 @@ mod traffic_light_tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = sampler.sample_on_road(&mut rng, RoadKind::Intersection);
         let traj = g.world.simulate(0.1);
-        let cfg = RenderConfig { noise_std: 0.0, brightness_jitter: 0.0, ..RenderConfig::default() };
+        let cfg =
+            RenderConfig { noise_std: 0.0, brightness_jitter: 0.0, ..RenderConfig::default() };
         let with = render_video(&g.world, &traj, &cfg, &mut StdRng::seed_from_u64(0));
         let mut no_light = g.world.clone();
         no_light.light = None;

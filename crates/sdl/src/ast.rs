@@ -337,7 +337,10 @@ mod tests {
             .with_actor(ActorClause::new(ActorKind::Pedestrian, ActorAction::Overtaking));
         assert!(matches!(
             s.validate(),
-            Err(ValidateScenarioError::InvalidCombination(ActorKind::Pedestrian, ActorAction::Overtaking))
+            Err(ValidateScenarioError::InvalidCombination(
+                ActorKind::Pedestrian,
+                ActorAction::Overtaking
+            ))
         ));
     }
 
@@ -352,8 +355,9 @@ mod tests {
 
     #[test]
     fn validate_accepts_canonical_scenario() {
-        let s = Scenario::new(EgoManeuver::TurnLeft, RoadKind::Intersection)
-            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Oncoming, Position::Ahead));
+        let s = Scenario::new(EgoManeuver::TurnLeft, RoadKind::Intersection).with_actor(
+            ActorClause::at(ActorKind::Vehicle, ActorAction::Oncoming, Position::Ahead),
+        );
         assert!(s.validate().is_ok());
     }
 }

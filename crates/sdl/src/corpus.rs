@@ -112,9 +112,9 @@ impl ScenarioFilter {
             return true;
         }
         scenario.actors.iter().any(|c| {
-            self.actor.map_or(true, |k| c.kind == k)
-                && self.action.map_or(true, |a| c.action == a)
-                && self.position.map_or(true, |p| c.position == Some(p))
+            self.actor.is_none_or(|k| c.kind == k)
+                && self.action.is_none_or(|a| c.action == a)
+                && self.position.is_none_or(|p| c.position == Some(p))
         })
     }
 }
@@ -236,12 +236,8 @@ impl ScenarioCorpus {
     /// most similar first. Returns `(id, similarity)` pairs.
     pub fn query_similar(&self, query: &Scenario, k: usize) -> Vec<(usize, f32)> {
         let qe = embed(query);
-        let mut scored: Vec<(usize, f32)> = self
-            .embeddings
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i, cosine(&qe, e)))
-            .collect();
+        let mut scored: Vec<(usize, f32)> =
+            self.embeddings.iter().enumerate().map(|(i, e)| (i, cosine(&qe, e))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
         scored.truncate(k);
         scored

@@ -75,8 +75,11 @@ mod tests {
     use crate::ast::{ActorAction, ActorClause, ActorKind};
 
     fn s1() -> Scenario {
-        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
-            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead))
+        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight).with_actor(ActorClause::at(
+            ActorKind::Vehicle,
+            ActorAction::Leading,
+            Position::Ahead,
+        ))
     }
 
     #[test]

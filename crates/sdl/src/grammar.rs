@@ -121,7 +121,9 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
     for clause in actor_clauses {
         let words: Vec<&str> = clause.split_whitespace().collect();
         let actor = match words.as_slice() {
-            [kind, action] => ActorClause { kind: kind.parse()?, action: action.parse()?, position: None },
+            [kind, action] => {
+                ActorClause { kind: kind.parse()?, action: action.parse()?, position: None }
+            }
             [kind, action, pos] => ActorClause {
                 kind: kind.parse()?,
                 action: action.parse()?,
@@ -155,7 +157,11 @@ mod tests {
 
     fn sample() -> Scenario {
         Scenario::new(EgoManeuver::DecelerateToStop, RoadKind::Intersection)
-            .with_actor(ActorClause::at(ActorKind::Pedestrian, ActorAction::Crossing, Position::Right))
+            .with_actor(ActorClause::at(
+                ActorKind::Pedestrian,
+                ActorAction::Crossing,
+                Position::Right,
+            ))
             .with_actor(ActorClause::new(ActorKind::Vehicle, ActorAction::Stopped))
     }
 
@@ -181,17 +187,15 @@ mod tests {
 
     #[test]
     fn parse_tolerates_extra_whitespace() {
-        let s = parse_scenario("  ego turn-left ;  vehicle oncoming ahead ;  road intersection ").unwrap();
+        let s = parse_scenario("  ego turn-left ;  vehicle oncoming ahead ;  road intersection ")
+            .unwrap();
         assert_eq!(s.ego, EgoManeuver::TurnLeft);
         assert_eq!(s.actors[0].position, Some(Position::Ahead));
     }
 
     #[test]
     fn errors_are_specific() {
-        assert!(matches!(
-            parse_scenario(""),
-            Err(ParseScenarioError::MissingClause("ego"))
-        ));
+        assert!(matches!(parse_scenario(""), Err(ParseScenarioError::MissingClause("ego"))));
         assert!(matches!(
             parse_scenario("ego cruise"),
             Err(ParseScenarioError::MissingClause("road"))

@@ -73,8 +73,11 @@ mod tests {
     use crate::ast::{ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind};
 
     fn base() -> Scenario {
-        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight)
-            .with_actor(ActorClause::at(ActorKind::Vehicle, ActorAction::Leading, Position::Ahead))
+        Scenario::new(EgoManeuver::Cruise, RoadKind::Straight).with_actor(ActorClause::at(
+            ActorKind::Vehicle,
+            ActorAction::Leading,
+            Position::Ahead,
+        ))
     }
 
     #[test]
@@ -120,9 +123,11 @@ mod tests {
         let a = base();
         let mut b = base();
         b.road = RoadKind::Intersection;
-        let road_heavy = slot_similarity(&a, &b, SimilarityWeights { ego: 0.0, road: 1.0, actors: 0.0 });
+        let road_heavy =
+            slot_similarity(&a, &b, SimilarityWeights { ego: 0.0, road: 1.0, actors: 0.0 });
         assert_eq!(road_heavy, 0.0);
-        let actors_only = slot_similarity(&a, &b, SimilarityWeights { ego: 0.0, road: 0.0, actors: 1.0 });
+        let actors_only =
+            slot_similarity(&a, &b, SimilarityWeights { ego: 0.0, road: 0.0, actors: 1.0 });
         assert_eq!(actors_only, 1.0);
     }
 

@@ -15,10 +15,7 @@ fn arb_road() -> impl Strategy<Value = RoadKind> {
 }
 
 fn arb_position() -> impl Strategy<Value = Option<Position>> {
-    prop_oneof![
-        Just(None),
-        (0..Position::COUNT).prop_map(|i| Some(Position::from_index(i))),
-    ]
+    prop_oneof![Just(None), (0..Position::COUNT).prop_map(|i| Some(Position::from_index(i))),]
 }
 
 /// Only taxonomy-valid (kind, action) pairs.

@@ -122,7 +122,8 @@ impl RoadLayout {
         // Approach in the ego lane up to the intersection edge, arc right
         // onto y = -HALF_LANE heading east, then exit east.
         let entry_y = -8.0;
-        let approach = Path::line(Vec2::new(HALF_LANE, -APPROACH_LEN), FRAC_PI_2, APPROACH_LEN + entry_y);
+        let approach =
+            Path::line(Vec2::new(HALF_LANE, -APPROACH_LEN), FRAC_PI_2, APPROACH_LEN + entry_y);
         // Arc from (HALF_LANE, -8) to (8, -HALF_LANE): radius such that the
         // quarter arc meets both; center at (HALF_LANE + r, -8).
         let r = 8.0 - HALF_LANE;
@@ -140,7 +141,8 @@ impl RoadLayout {
             return None;
         }
         let entry_y = -8.0;
-        let approach = Path::line(Vec2::new(HALF_LANE, -APPROACH_LEN), FRAC_PI_2, APPROACH_LEN + entry_y);
+        let approach =
+            Path::line(Vec2::new(HALF_LANE, -APPROACH_LEN), FRAC_PI_2, APPROACH_LEN + entry_y);
         // Arc from (HALF_LANE, -8) to (-8, HALF_LANE) heading west.
         let r = 8.0 + HALF_LANE;
         let arc = Path::arc(Vec2::new(HALF_LANE, entry_y), FRAC_PI_2, r, FRAC_PI_2);

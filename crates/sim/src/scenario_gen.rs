@@ -9,9 +9,7 @@
 
 use rand::Rng;
 
-use tsdx_sdl::{
-    ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind, Scenario,
-};
+use tsdx_sdl::{ActorAction, ActorClause, ActorKind, EgoManeuver, Position, RoadKind, Scenario};
 
 use crate::actors::Actor;
 use crate::behavior::SpeedProfile;
@@ -167,13 +165,7 @@ impl ScenarioSampler {
             }
         });
 
-        let world = World {
-            road,
-            ego: plan.setup,
-            actors,
-            light,
-            duration: self.cfg.duration,
-        };
+        let world = World { road, ego: plan.setup, actors, light, duration: self.cfg.duration };
         GeneratedScenario { world, truth }
     }
 }
@@ -432,8 +424,7 @@ fn place_event(
             // Start the actor so it reaches the ego's y at t_meet.
             let meet_s = lane.project(ego_meet);
             let s0 = (meet_s - v * t_meet).max(0.0);
-            let actor =
-                Actor::new(kind, lane.clone(), SpeedProfile::Constant(v)).starting_at(s0);
+            let actor = Actor::new(kind, lane.clone(), SpeedProfile::Constant(v)).starting_at(s0);
             (actor, ActorClause::at(kind, action, Position::Ahead))
         }
         (K::Vehicle, A::CutIn) => {
@@ -447,8 +438,8 @@ fn place_event(
             let change = Path::lane_change(pre.end(), north, 25.0, -LANE_WIDTH);
             let post = Path::line(change.end(), north, 90.0);
             let path = pre.then(&change).then(&post);
-            let actor = Actor::new(kind, path, SpeedProfile::Constant(v))
-                .starting_at(ego_start + gap);
+            let actor =
+                Actor::new(kind, path, SpeedProfile::Constant(v)).starting_at(ego_start + gap);
             (actor, ActorClause::at(kind, action, Position::Ahead))
         }
         (K::Vehicle, A::Overtaking) => {
@@ -502,7 +493,8 @@ fn place_event(
                 rng.random_range(1.0..(t_ego_arrive - 1.5).max(1.2))
             };
             // Arc length where the lane crosses the ego path (x = 1.75).
-            let cross_s = lane.project(Vec2::new(HALF_LANE, if from_west { -HALF_LANE } else { HALF_LANE }));
+            let cross_s =
+                lane.project(Vec2::new(HALF_LANE, if from_west { -HALF_LANE } else { HALF_LANE }));
             let s0 = (cross_s - v * t_cross).max(0.0);
             let actor = Actor::new(kind, lane.clone(), SpeedProfile::Constant(v)).starting_at(s0);
             let pos = if from_west { Position::Left } else { Position::Right };
@@ -524,8 +516,8 @@ fn place_event(
             let path = Path::line(Vec2::new(edge_x, -APPROACH_LEN), north, 190.0);
             let v = rng.random_range(4.0..5.0);
             let ahead = rng.random_range(15.0..25.0);
-            let actor = Actor::new(kind, path, SpeedProfile::Constant(v))
-                .starting_at(ego_start + ahead);
+            let actor =
+                Actor::new(kind, path, SpeedProfile::Constant(v)).starting_at(ego_start + ahead);
             (actor, ActorClause::at(kind, action, Position::Ahead))
         }
         _ => return None,

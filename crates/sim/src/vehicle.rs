@@ -64,7 +64,13 @@ impl Default for PurePursuit {
 impl PurePursuit {
     /// Steering command driving `state` toward the path point one lookahead
     /// distance ahead of arc length `s_now`.
-    pub fn steer(&self, model: &BicycleModel, state: &BicycleState, path: &Path, s_now: f32) -> f32 {
+    pub fn steer(
+        &self,
+        model: &BicycleModel,
+        state: &BicycleState,
+        path: &Path,
+        s_now: f32,
+    ) -> f32 {
         let lookahead = (self.lookahead_gain * state.speed).max(self.min_lookahead);
         let target = path.pose_at(s_now + lookahead).position;
         let local = state.pose.world_to_local(target);
@@ -128,7 +134,8 @@ mod tests {
         let pp = PurePursuit::default();
         let path = Path::line(Vec2::new(1.75, -40.0), FRAC_PI_2, 160.0);
         // Start offset half a meter from the lane center.
-        let mut st = BicycleState { pose: Pose::new(Vec2::new(2.25, -40.0), FRAC_PI_2), speed: 8.0 };
+        let mut st =
+            BicycleState { pose: Pose::new(Vec2::new(2.25, -40.0), FRAC_PI_2), speed: 8.0 };
         let dt = 0.05;
         for _ in 0..(10.0 / dt) as usize {
             let s = path.project(st.pose.position);

@@ -171,7 +171,8 @@ mod tests {
         let mut w = cruise_world();
         let lead_path = w.road.ego_lane().clone();
         w.actors.push(
-            Actor::new(ActorKind::Vehicle, lead_path, SpeedProfile::Constant(7.0)).starting_at(45.0),
+            Actor::new(ActorKind::Vehicle, lead_path, SpeedProfile::Constant(7.0))
+                .starting_at(45.0),
         );
         let traj = w.simulate(0.05);
         assert_eq!(traj.actors.len(), 1);

@@ -83,7 +83,12 @@ pub fn check_gradients(
 /// # Panics
 ///
 /// Panics with a diagnostic when any check fails.
-pub fn assert_gradients(inputs: &[Tensor], eps: f32, tol: f32, f: impl Fn(&mut Graph, &[Var]) -> Var) {
+pub fn assert_gradients(
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f32,
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) {
     let reports = check_gradients(inputs, eps, f);
     for (i, r) in reports.iter().enumerate() {
         assert!(

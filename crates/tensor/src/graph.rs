@@ -319,9 +319,10 @@ impl Graph {
         assert_eq!(self.shape(gamma), &[d], "gamma must be [D]");
         assert_eq!(self.shape(beta), &[d], "beta must be [D]");
         let rows = xv.numel() / d;
-        let xd = xv.data();
-        let gd = self.value(gamma).data().to_vec();
-        let bd = self.value(beta).data().to_vec();
+        let xc = xv.contiguous(); // row kernel below needs packed rows
+        let xd = xc.data();
+        let gd = self.value(gamma).to_vec();
+        let bd = self.value(beta).to_vec();
         let mut out = Vec::with_capacity(xv.numel());
         let mut means = Vec::with_capacity(rows);
         let mut rstds = Vec::with_capacity(rows);
@@ -454,6 +455,14 @@ impl Graph {
             // Keep the gradient available for callers (leaves and
             // intermediates alike).
             grads[id] = Some(g);
+        }
+        // Gradients of view ops are views themselves (e.g. a permute's
+        // gradient is the inverse permute view). Materialize at the API
+        // boundary so callers can rely on `Gradients::get(..).data()`.
+        for g in grads.iter_mut().flatten() {
+            if !g.is_contiguous() {
+                *g = g.contiguous();
+            }
         }
         Gradients { grads }
     }
@@ -649,10 +658,17 @@ fn reduce_batch(grad: &Tensor, target: &[usize]) -> Tensor {
 
 /// Broadcasts an axis-reduced gradient back over `orig_shape`, scaling by
 /// `factor` (1/d for means).
-fn spread_axis(g: &Tensor, orig_shape: &[usize], axis: usize, keepdim: bool, factor: f32) -> Tensor {
+fn spread_axis(
+    g: &Tensor,
+    orig_shape: &[usize],
+    axis: usize,
+    keepdim: bool,
+    factor: f32,
+) -> Tensor {
     let outer: usize = orig_shape[..axis].iter().product();
     let d = orig_shape[axis];
     let inner: usize = orig_shape[axis + 1..].iter().product();
+    let g = g.contiguous(); // the slice kernel below needs packed rows
     let gd = g.data();
     debug_assert_eq!(gd.len(), outer * inner, "reduced grad size mismatch (keepdim={keepdim})");
     let mut out = Vec::with_capacity(outer * d * inner);
@@ -675,9 +691,10 @@ fn layer_norm_backward(
 ) -> (Tensor, Tensor, Tensor) {
     let d = *x.shape().last().expect("rank >= 1");
     let rows = x.numel() / d;
+    let (x, g) = (x.contiguous(), g.contiguous());
     let xd = x.data();
     let gd = g.data();
-    let gam = gamma.data();
+    let gam = gamma.to_vec();
     let md = mean.data();
     let rd = rstd.data();
     let mut dx = vec![0.0f32; x.numel()];
@@ -707,11 +724,7 @@ fn layer_norm_backward(
             drow[i] = rs * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat);
         }
     }
-    (
-        Tensor::from_vec(dx, x.shape()),
-        Tensor::from_vec(dgamma, &[d]),
-        Tensor::from_vec(dbeta, &[d]),
-    )
+    (Tensor::from_vec(dx, x.shape()), Tensor::from_vec(dgamma, &[d]), Tensor::from_vec(dbeta, &[d]))
 }
 
 #[cfg(test)]

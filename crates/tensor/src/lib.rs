@@ -6,13 +6,20 @@
 //!
 //! The crate has three layers:
 //!
-//! 1. [`Tensor`] — an immutable, contiguous, row-major value type with cheap
-//!    (`Arc`-backed) clones.
-//! 2. [`ops`] — pure forward kernels: broadcasting arithmetic, batched
-//!    matmul, softmax, layer norm, im2col convolution, pooling, and fused
-//!    classification losses.
+//! 1. [`Tensor`] — an immutable, row-major value type with cheap
+//!    (`Arc`-backed) clones and zero-copy strided views: `reshape` (of
+//!    contiguous tensors), `permute`, `transpose`, `narrow`, `slice`, and
+//!    `split` are O(1) metadata edits over a shared buffer, with
+//!    [`Tensor::contiguous`] as the explicit materialization point.
+//! 2. [`ops`] — pure forward kernels: broadcasting arithmetic, a
+//!    cache-blocked parallel batched matmul (thread count via
+//!    `TSDX_NUM_THREADS`), softmax, layer norm, im2col convolution, pooling,
+//!    and fused classification losses. Elementwise and reduction kernels are
+//!    stride-aware and consume views directly.
 //! 3. [`Graph`] — a define-by-run autograd tape recording op applications
-//!    and replaying them in reverse to produce [`Gradients`].
+//!    and replaying them in reverse to produce [`Gradients`]. View-op
+//!    backwards are themselves views (a permute's gradient is the inverse
+//!    permute view — no copy).
 //!
 //! # Examples
 //!
@@ -43,7 +50,7 @@ pub mod shape;
 mod tensor;
 
 pub use graph::{Gradients, Graph, Var};
-pub use tensor::Tensor;
+pub use tensor::{copy_metrics, Tensor};
 
 /// Crate-internal backward kernels shared between `ops` and `graph`.
 pub(crate) mod ops_internal {

@@ -48,6 +48,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let cols = oh * ow;
     let rows = c * spec.kh * spec.kw;
     let mut out = vec![0.0f32; b * rows * cols];
+    let input = input.contiguous(); // patch gather below indexes the flat buffer
     let data = input.data();
     let pad = spec.padding as isize;
     for bi in 0..b {
@@ -90,6 +91,7 @@ pub fn col2im(cols_t: &Tensor, spec: &Conv2dSpec, c: usize, h: usize, w: usize) 
     assert_eq!(sh[1], rows, "col2im row mismatch");
     assert_eq!(sh[2], cols, "col2im column mismatch");
     let mut out = vec![0.0f32; b * c * h * w];
+    let cols_t = cols_t.contiguous();
     let data = cols_t.data();
     let pad = spec.padding as isize;
     for bi in 0..b {
@@ -139,7 +141,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let (oh, ow) = spec.out_size(ish[2], ish[3]);
     let cols = im2col(input, spec); // [B, CKK, OHOW]
     let wmat = weight.reshape(&[o, wsh[1] * spec.kh * spec.kw]); // [O, CKK]
-    // Broadcast the weight matrix across the batch.
+                                                                 // Broadcast the weight matrix across the batch.
     let out = super::matmul(&wmat, &cols); // [B, O, OHOW]
     out.reshape(&[b, o, oh, ow])
 }
@@ -155,6 +157,7 @@ pub fn avg_pool2d(input: &Tensor, k: usize) -> Tensor {
     let (b, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
     assert!(h % k == 0 && w % k == 0, "pool size {k} must divide {h}x{w}");
     let (oh, ow) = (h / k, w / k);
+    let input = input.contiguous();
     let data = input.data();
     let mut out = vec![0.0f32; b * c * oh * ow];
     let inv = 1.0 / (k * k) as f32;
@@ -191,6 +194,7 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
     let (b, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
     assert!(h % k == 0 && w % k == 0, "pool size {k} must divide {h}x{w}");
     let (oh, ow) = (h / k, w / k);
+    let input = input.contiguous();
     let data = input.data();
     let mut out = Vec::with_capacity(b * c * oh * ow);
     let mut argmax = Vec::with_capacity(b * c * oh * ow);
@@ -223,7 +227,7 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
 pub fn max_pool2d_backward(grad: &Tensor, argmax: &[usize], input_numel: usize) -> Tensor {
     assert_eq!(grad.numel(), argmax.len(), "grad/argmax mismatch");
     let mut out = vec![0.0f32; input_numel];
-    for (g, &i) in grad.data().iter().zip(argmax) {
+    for (g, &i) in grad.to_vec().iter().zip(argmax) {
         out[i] += g;
     }
     let sh = grad.shape();
@@ -240,6 +244,7 @@ pub fn pad2d(input: &Tensor, pad: usize) -> Tensor {
     let (b, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
     let (nh, nw) = (h + 2 * pad, w + 2 * pad);
     let mut out = vec![0.0f32; b * c * nh * nw];
+    let input = input.contiguous();
     let data = input.data();
     for bc in 0..b * c {
         for r in 0..h {
@@ -257,6 +262,7 @@ pub fn avg_pool2d_backward(grad: &Tensor, k: usize, h: usize, w: usize) -> Tenso
     let sh = grad.shape();
     let (b, c, oh, ow) = (sh[0], sh[1], sh[2], sh[3]);
     assert_eq!((oh * k, ow * k), (h, w), "pool backward geometry mismatch");
+    let grad = grad.contiguous();
     let gd = grad.data();
     let mut out = vec![0.0f32; b * c * h * w];
     let inv = 1.0 / (k * k) as f32;

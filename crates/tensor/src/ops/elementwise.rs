@@ -17,25 +17,32 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
     }
     let out_shape = shape::broadcast(a.shape(), b.shape())
         .unwrap_or_else(|| panic!("shapes {:?} and {:?} do not broadcast", a.shape(), b.shape()));
-    let sa = shape::broadcast_strides(a.shape(), &out_shape);
-    let sb = shape::broadcast_strides(b.shape(), &out_shape);
+    // Walk both operands through their *view* strides (0 on broadcast dims),
+    // so strided views feed the kernel directly with no materialization.
+    let sa = shape::broadcast_view_strides(a.shape(), a.strides(), &out_shape);
+    let sb = shape::broadcast_view_strides(b.shape(), b.strides(), &out_shape);
     let n = shape::numel(&out_shape);
     let rank = out_shape.len();
-    let ad = a.data();
-    let bd = b.data();
+    let ad = a.raw_data();
+    let bd = b.raw_data();
     let mut out = Vec::with_capacity(n);
 
-    // Fast path: `b` broadcasts along the last axis only (bias-add pattern).
+    // Fast path: contiguous `a`, and `b` broadcasts along the last axis only
+    // (bias-add pattern).
     let last = rank.saturating_sub(1);
     let contiguous_tail = rank > 0
-        && sa == shape::strides(&out_shape)
+        && a.shape() == out_shape.as_slice()
+        && a.is_contiguous()
         && sb[..last].iter().all(|&s| s == 0)
         && sb[last] == 1
+        && b.is_contiguous()
         && b.numel() == out_shape[last];
     if contiguous_tail {
         let d = out_shape[last];
-        for chunk in ad.chunks_exact(d) {
-            for (x, y) in chunk.iter().zip(bd.iter()) {
+        let a_flat = &ad[a.offset()..a.offset() + n];
+        let b_flat = &bd[b.offset()..b.offset() + d];
+        for chunk in a_flat.chunks_exact(d) {
+            for (x, y) in chunk.iter().zip(b_flat.iter()) {
                 out.push(f(*x, *y));
             }
         }
@@ -43,8 +50,8 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
     }
 
     let mut ia = vec![0usize; rank];
-    let mut offset_a = 0usize;
-    let mut offset_b = 0usize;
+    let mut offset_a = a.offset();
+    let mut offset_b = b.offset();
     for _ in 0..n {
         out.push(f(ad[offset_a], bd[offset_b]));
         // Odometer increment, updating both offsets incrementally.
@@ -161,14 +168,15 @@ pub fn unbroadcast(grad: &Tensor, target_shape: &[usize]) -> Tensor {
     }
     let rank = grad.rank();
     let padded = shape::pad_rank(target_shape, rank);
-    let gs = shape::strides(grad.shape());
+    // Walk the (possibly non-contiguous) gradient through its view strides.
+    let gs = grad.strides().to_vec();
     let n_out = shape::numel(&padded);
     let mut out = vec![0.0f32; n_out];
     let ts = shape::strides(&padded);
-    let gd = grad.data();
+    let gd = grad.raw_data();
     let gshape = grad.shape().to_vec();
     let mut idx = vec![0usize; rank];
-    let mut goff = 0usize;
+    let mut goff = grad.offset();
     let mut toff = 0usize;
     // Map every grad element to its (possibly collapsed) target slot.
     for _ in 0..grad.numel() {

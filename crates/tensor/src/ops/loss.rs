@@ -58,6 +58,7 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
     assert!(n > 0, "bce over empty tensor");
     let mut loss = 0.0;
     let mut sig = Vec::with_capacity(n);
+    let (logits, targets) = (logits.contiguous(), targets.contiguous());
     for (&x, &t) in logits.data().iter().zip(targets.data()) {
         loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
         sig.push(1.0 / (1.0 + (-x).exp()));

@@ -1,13 +1,57 @@
-//! Batched matrix multiplication.
+//! Batched matrix multiplication: cache-blocked, parallel, stride-aware.
+//!
+//! The kernel reads both operands through their `(strides, offset)` view
+//! metadata, so the transposed and permuted views produced by attention
+//! (`q @ kᵀ`, head split/merge) multiply directly with no materialization:
+//!
+//! - `B` with unit column stride (row-major matrices, head-split views) runs
+//!   a k-blocked `ikj` SAXPY kernel — the inner loop is a contiguous AXPY
+//!   over an output row, and blocking over `k` keeps the active slab of `B`
+//!   in cache while it is reused across output rows.
+//! - `B` with unit *row* stride (a `transpose_last2` view) runs a
+//!   dot-product kernel where both the `A` row and the logical `B` column
+//!   are contiguous slices.
+//! - Anything else is materialized once with `contiguous()` and dispatched
+//!   to the SAXPY kernel.
+//!
+//! Work is parallelized across the flattened batch×row space with scoped
+//! threads. The thread count comes from the `TSDX_NUM_THREADS` environment
+//! variable when set, else from the machine's available parallelism; tiny
+//! problems stay on the calling thread.
+
+use std::sync::OnceLock;
 
 use crate::shape;
 use crate::Tensor;
+
+/// Block size over the shared dimension `k`: 64 rows of `B` at f32 keep the
+/// active slab within L1/L2 for the row widths this workspace uses.
+const K_BLOCK: usize = 64;
+
+/// Below this many scalar multiply-adds, thread spawn overhead exceeds the
+/// kernel time and the multiply runs on the calling thread.
+const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// The number of worker threads [`matmul`] uses: `TSDX_NUM_THREADS` if set
+/// to a positive integer, else the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("TSDX_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
 
 /// Batched matrix product `a @ b`.
 ///
 /// Both operands must have rank ≥ 2. The trailing two dimensions are the
 /// matrix dimensions (`[m, k] @ [k, n] -> [m, n]`); all leading dimensions
 /// are batch dimensions and broadcast against each other under NumPy rules.
+/// Strided views (transposes, permutes, narrows) are consumed directly.
 ///
 /// # Panics
 ///
@@ -23,11 +67,29 @@ use crate::Tensor;
 /// assert_eq!(ops::matmul(&a, &i), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert!(a.rank() >= 2 && b.rank() >= 2, "matmul requires rank >= 2 operands");
     let (ash, bsh) = (a.shape(), b.shape());
+    if ash.len() >= 2 && bsh.len() >= 2 {
+        // Tiny multiplies stay on the calling thread: spawn overhead would
+        // dominate the kernel.
+        let flops = a.numel() / ash[ash.len() - 1] * bsh[bsh.len() - 1] * ash[ash.len() - 1];
+        if flops < PARALLEL_THRESHOLD {
+            return matmul_with_threads(a, b, 1);
+        }
+    }
+    matmul_with_threads(a, b, configured_threads())
+}
+
+/// [`matmul`] with an explicit worker-thread count (1 = fully sequential).
+///
+/// The result is bit-identical for every `threads` value: threads partition
+/// the output rows, and each row is always computed by exactly one thread in
+/// the same order.
+pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert!(a.rank() >= 2 && b.rank() >= 2, "matmul requires rank >= 2 operands");
+    let (ash, bsh) = (a.shape().to_vec(), b.shape().to_vec());
     let (m, ka) = (ash[ash.len() - 2], ash[ash.len() - 1]);
     let (kb, n) = (bsh[bsh.len() - 2], bsh[bsh.len() - 1]);
-    assert_eq!(ka, kb, "matmul inner dims: {:?} @ {:?}", ash, bsh);
+    assert_eq!(ka, kb, "matmul inner dims: {ash:?} @ {bsh:?}");
     let k = ka;
 
     let batch_a = &ash[..ash.len() - 2];
@@ -36,53 +98,180 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         .unwrap_or_else(|| panic!("matmul batch dims do not broadcast: {ash:?} @ {bsh:?}"));
     let n_batch = shape::numel(&batch);
 
-    // Per-batch offsets honoring broadcasting (stride 0 on expanded dims).
-    let sa = shape::broadcast_strides(batch_a, &batch);
-    let sb = shape::broadcast_strides(batch_b, &batch);
-
     let mut out_shape = batch.clone();
     out_shape.push(m);
     out_shape.push(n);
     let mut out = vec![0.0f32; n_batch * m * n];
+    if out.is_empty() || k == 0 {
+        return Tensor::from_vec(out, &out_shape);
+    }
 
-    let ad = a.data();
-    let bd = b.data();
-    let (am, bm) = (m * k, k * n);
+    // Pick a kernel from B's last-two-dim strides, materializing an operand
+    // only when no stride pattern fits (the clones are Arc-cheap otherwise).
+    let (bcs, brs) = last2_strides(b);
+    let (b, use_dot) = if bcs == 1 {
+        (b.clone(), false)
+    } else if brs == 1 {
+        (b.clone(), true)
+    } else {
+        (b.contiguous(), false)
+    };
+    let a = if use_dot && last2_strides(a).0 != 1 { a.contiguous() } else { a.clone() };
 
-    for bi in 0..n_batch {
-        let idx = shape::index_of(&batch, bi);
-        let aoff = matrix_offset(&idx, &sa) * am;
-        let boff = matrix_offset(&idx, &sb) * bm;
-        let a_mat = &ad[aoff..aoff + am];
-        let b_mat = &bd[boff..boff + bm];
-        let o = &mut out[bi * m * n..(bi + 1) * m * n];
-        // ikj loop order: the inner j-loop is a contiguous SAXPY.
-        for i in 0..m {
-            let arow = &a_mat[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
+    let (acs, ars) = last2_strides(&a);
+    let (bcs, brs) = last2_strides(&b);
+    let sa_batch = shape::broadcast_view_strides(batch_a, &a.strides()[..batch_a.len()], &batch);
+    let sb_batch = shape::broadcast_view_strides(batch_b, &b.strides()[..batch_b.len()], &batch);
+
+    let ctx = KernelCtx {
+        ad: a.raw_data(),
+        bd: b.raw_data(),
+        a_off: a.offset(),
+        b_off: b.offset(),
+        batch: &batch,
+        sa_batch: &sa_batch,
+        sb_batch: &sb_batch,
+        m,
+        n,
+        k,
+        ars,
+        acs,
+        brs,
+        bcs,
+        use_dot,
+    };
+
+    let total_rows = n_batch * m;
+    let threads = threads.max(1).min(total_rows);
+    if threads == 1 {
+        compute_rows(&mut out, 0, &ctx);
+    } else {
+        let rows_per = total_rows.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let ctx = &ctx;
+                s.spawn(move || compute_rows(chunk, t * rows_per, ctx));
+            }
+        });
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// `(column stride, row stride)` of the trailing matrix dimensions.
+fn last2_strides(t: &Tensor) -> (usize, usize) {
+    let s = t.strides();
+    (s[s.len() - 1], s[s.len() - 2])
+}
+
+/// Everything a worker needs to compute a span of output rows.
+struct KernelCtx<'a> {
+    ad: &'a [f32],
+    bd: &'a [f32],
+    a_off: usize,
+    b_off: usize,
+    batch: &'a [usize],
+    sa_batch: &'a [usize],
+    sb_batch: &'a [usize],
+    m: usize,
+    n: usize,
+    k: usize,
+    ars: usize,
+    acs: usize,
+    brs: usize,
+    bcs: usize,
+    use_dot: bool,
+}
+
+/// Computes the output rows `[start_row, start_row + chunk.len() / n)` of
+/// the flattened batch×row space into `chunk`.
+fn compute_rows(chunk: &mut [f32], start_row: usize, ctx: &KernelCtx<'_>) {
+    let KernelCtx { m, n, .. } = *ctx;
+    let rows = chunk.len() / n;
+    let mut r = start_row;
+    let end = start_row + rows;
+    while r < end {
+        // All rows of one batch matrix share their operand base offsets.
+        let bi = r / m;
+        let idx = shape::index_of(ctx.batch, bi);
+        let a_base = ctx.a_off + dot_idx(&idx, ctx.sa_batch);
+        let b_base = ctx.b_off + dot_idx(&idx, ctx.sb_batch);
+        let i0 = r % m;
+        let i1 = (end - bi * m).min(m);
+        let rows_here = i1 - i0;
+        let o = &mut chunk[(r - start_row) * n..(r - start_row + rows_here) * n];
+        if ctx.use_dot {
+            dot_kernel(o, a_base, b_base, i0, rows_here, ctx);
+        } else {
+            saxpy_kernel(o, a_base, b_base, i0, rows_here, ctx);
+        }
+        r += rows_here;
+    }
+}
+
+fn dot_idx(idx: &[usize], strides: &[usize]) -> usize {
+    idx.iter().zip(strides).map(|(&i, &s)| i * s).sum()
+}
+
+/// k-blocked `ikj` kernel for unit-column-stride `B`: the inner loop is a
+/// contiguous AXPY over the output row, and each `K_BLOCK`-row slab of `B`
+/// is reused across all `rows` output rows before moving on.
+fn saxpy_kernel(
+    o: &mut [f32],
+    a_base: usize,
+    b_base: usize,
+    i0: usize,
+    rows: usize,
+    ctx: &KernelCtx<'_>,
+) {
+    let KernelCtx { ad, bd, n, k, ars, acs, brs, .. } = *ctx;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + K_BLOCK).min(k);
+        for row in 0..rows {
+            let i = i0 + row;
+            let orow = &mut o[row * n..(row + 1) * n];
+            for kk in kb..kend {
+                let av = ad[a_base + i * ars + kk * acs];
                 if av == 0.0 {
                     continue;
                 }
-                let brow = &b_mat[kk * n..(kk + 1) * n];
+                let brow = &bd[b_base + kk * brs..b_base + kk * brs + n];
                 for (ov, &bv) in orow.iter_mut().zip(brow) {
                     *ov += av * bv;
                 }
             }
         }
+        kb = kend;
     }
-    Tensor::from_vec(out, &out_shape)
 }
 
-/// Flat matrix index of batch coordinate `idx` under batch strides `strides`
-/// (strides measured in matrices, with 0 on broadcast dims).
-fn matrix_offset(idx: &[usize], strides: &[usize]) -> usize {
-    idx.iter().zip(strides).map(|(&i, &s)| i * s).sum()
+/// Dot-product kernel for unit-row-stride `B` (a transposed view): both the
+/// `A` row and the logical `B` column are contiguous `k`-long slices.
+fn dot_kernel(
+    o: &mut [f32],
+    a_base: usize,
+    b_base: usize,
+    i0: usize,
+    rows: usize,
+    ctx: &KernelCtx<'_>,
+) {
+    let KernelCtx { ad, bd, n, k, ars, bcs, .. } = *ctx;
+    for row in 0..rows {
+        let i = i0 + row;
+        let arow = &ad[a_base + i * ars..a_base + i * ars + k];
+        let orow = &mut o[row * n..(row + 1) * n];
+        for (j, ov) in orow.iter_mut().enumerate() {
+            let bcol = &bd[b_base + j * bcs..b_base + j * bcs + k];
+            *ov = arow.iter().zip(bcol).map(|(&x, &y)| x * y).sum();
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::copy_metrics;
+    use crate::ops::{permute, transpose_last2};
 
     #[test]
     fn two_by_two() {
@@ -138,6 +327,50 @@ mod tests {
                 }
                 assert!((c.at(&[i, j]) - acc).abs() < 1e-5);
             }
+        }
+    }
+
+    #[test]
+    fn transposed_view_operand_needs_no_copy() {
+        let a = Tensor::from_fn(&[4, 6], |i| (i as f32).sin());
+        let b = Tensor::from_fn(&[5, 6], |i| (i as f32).cos());
+        let bt = transpose_last2(&b); // [6,5] view, unit row stride
+        let before = copy_metrics::copies();
+        let c = matmul(&a, &bt);
+        assert_eq!(copy_metrics::copies(), before, "dot kernel must consume the view directly");
+        for i in 0..4 {
+            for j in 0..5 {
+                let mut acc = 0.0;
+                for k in 0..6 {
+                    acc += a.at(&[i, k]) * b.at(&[j, k]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn head_split_views_multiply_without_copies() {
+        // The attention layout: [B,T,H,Dh] permuted to [B,H,T,Dh].
+        let x = Tensor::from_fn(&[2, 3, 2, 4], |i| ((i % 17) as f32) * 0.25 - 2.0);
+        let q = permute(&x, &[0, 2, 1, 3]); // [2,2,3,4]
+        let kt = transpose_last2(&q); // [2,2,4,3]
+        let before = copy_metrics::copies();
+        let scores = matmul(&q, &kt); // [2,2,3,3]
+        assert_eq!(copy_metrics::copies(), before);
+        assert_eq!(scores.shape(), &[2, 2, 3, 3]);
+        let scores_ref = matmul(&q.contiguous(), &kt.contiguous());
+        assert!(scores.allclose(&scores_ref, 1e-5));
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let a = Tensor::from_fn(&[3, 7, 9], |i| ((i * 31 + 5) % 23) as f32 - 11.0);
+        let b = Tensor::from_fn(&[3, 9, 8], |i| ((i * 13 + 2) % 19) as f32 - 9.0);
+        let c1 = matmul_with_threads(&a, &b, 1);
+        for threads in [2, 3, 8] {
+            let ct = matmul_with_threads(&a, &b, threads);
+            assert_eq!(c1, ct, "thread count {threads} changed the result");
         }
     }
 

@@ -12,7 +12,10 @@ mod matmul;
 mod reduce;
 mod shapeops;
 
-pub use conv::{avg_pool2d, avg_pool2d_backward, col2im, conv2d, im2col, max_pool2d, max_pool2d_backward, pad2d, Conv2dSpec};
+pub use conv::{
+    avg_pool2d, avg_pool2d_backward, col2im, conv2d, im2col, max_pool2d, max_pool2d_backward,
+    pad2d, Conv2dSpec,
+};
 pub use elementwise::{
     add, add_scalar, binary_broadcast, div, exp, gelu, gelu_backward, ln, mul, neg, relu,
     relu_backward, scale, sigmoid, sqrt, sub, tanh, unbroadcast,
@@ -20,11 +23,11 @@ pub use elementwise::{
 pub use loss::{
     bce_with_logits, bce_with_logits_backward, cross_entropy_logits, cross_entropy_logits_backward,
 };
-pub use matmul::matmul;
+pub use matmul::{configured_threads, matmul, matmul_with_threads};
 pub use reduce::{
     argmax_last, log_softmax_last, max_axis, mean_all, mean_axis, softmax_last, sum_all, sum_axis,
 };
-pub use shapeops::{concat, index_select, narrow, permute, split, stack, transpose_last2};
+pub use shapeops::{concat, index_select, narrow, permute, slice, split, stack, transpose_last2};
 
 pub(crate) use reduce::{log_softmax_last_backward, softmax_last_backward};
 pub(crate) use shapeops::{index_select_backward, narrow_backward};

@@ -45,20 +45,52 @@ fn reduce_axis(
 ) -> Tensor {
     assert!(axis < a.rank(), "axis {axis} out of range for rank {}", a.rank());
     let sh = a.shape();
+    let rank = sh.len();
     let outer: usize = sh[..axis].iter().product();
     let d = sh[axis];
     let inner: usize = sh[axis + 1..].iter().product();
     let mut out = vec![init; outer * inner];
-    let data = a.data();
-    for o in 0..outer {
-        for k in 0..d {
-            let base = (o * d + k) * inner;
-            let orow = &mut out[o * inner..(o + 1) * inner];
-            for (ov, &x) in orow.iter_mut().zip(&data[base..base + inner]) {
-                *ov = f(*ov, x);
+
+    if a.is_contiguous() {
+        // Dense layout: slice-based outer/axis/inner kernel.
+        let data = a.data();
+        for o in 0..outer {
+            for k in 0..d {
+                let base = (o * d + k) * inner;
+                let orow = &mut out[o * inner..(o + 1) * inner];
+                for (ov, &x) in orow.iter_mut().zip(&data[base..base + inner]) {
+                    *ov = f(*ov, x);
+                }
+            }
+        }
+    } else {
+        // Strided view: walk the input odometer-style, accumulating into the
+        // output slot whose coordinates drop the reduced axis (stride 0).
+        let mut kept = sh.to_vec();
+        kept[axis] = 1;
+        let mut os = crate::shape::strides(&kept);
+        os[axis] = 0;
+        let strides = a.strides();
+        let data = a.raw_data();
+        let mut idx = vec![0usize; rank];
+        let mut in_off = a.offset();
+        let mut out_off = 0usize;
+        for _ in 0..a.numel() {
+            out[out_off] = f(out[out_off], data[in_off]);
+            for dim in (0..rank).rev() {
+                idx[dim] += 1;
+                in_off += strides[dim];
+                out_off += os[dim];
+                if idx[dim] < sh[dim] {
+                    break;
+                }
+                in_off -= strides[dim] * sh[dim];
+                out_off -= os[dim] * sh[dim];
+                idx[dim] = 0;
             }
         }
     }
+
     let mut out_shape: Vec<usize> = sh.to_vec();
     if keepdim {
         out_shape[axis] = 1;
@@ -81,6 +113,7 @@ pub fn argmax_last(a: &Tensor) -> Tensor {
     let d = *a.shape().last().expect("non-empty shape");
     assert!(d > 0, "argmax_last over empty dimension");
     let rows = a.numel() / d;
+    let a = a.contiguous(); // the row kernel needs packed rows
     let data = a.data();
     let mut out = Vec::with_capacity(rows);
     for r in 0..rows {
@@ -100,6 +133,7 @@ pub fn argmax_last(a: &Tensor) -> Tensor {
 pub fn softmax_last(a: &Tensor) -> Tensor {
     let d = *a.shape().last().expect("softmax_last requires rank >= 1");
     let rows = a.numel() / d;
+    let a = a.contiguous(); // the row kernel needs packed rows
     let data = a.data();
     let mut out = Vec::with_capacity(a.numel());
     for r in 0..rows {
@@ -123,6 +157,7 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
 pub fn log_softmax_last(a: &Tensor) -> Tensor {
     let d = *a.shape().last().expect("log_softmax_last requires rank >= 1");
     let rows = a.numel() / d;
+    let a = a.contiguous(); // the row kernel needs packed rows
     let data = a.data();
     let mut out = Vec::with_capacity(a.numel());
     for r in 0..rows {
@@ -139,6 +174,7 @@ pub fn log_softmax_last(a: &Tensor) -> Tensor {
 pub(crate) fn softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
     let d = *y.shape().last().expect("rank >= 1");
     let rows = y.numel() / d;
+    let (y, g) = (y.contiguous(), g.contiguous());
     let yd = y.data();
     let gd = g.data();
     let mut out = Vec::with_capacity(y.numel());
@@ -156,6 +192,7 @@ pub(crate) fn softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
 pub(crate) fn log_softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
     let d = *y.shape().last().expect("rank >= 1");
     let rows = y.numel() / d;
+    let (y, g) = (y.contiguous(), g.contiguous());
     let yd = y.data();
     let gd = g.data();
     let mut out = Vec::with_capacity(y.numel());
@@ -167,7 +204,6 @@ pub(crate) fn log_softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
     }
     Tensor::from_vec(out, y.shape())
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -236,10 +272,8 @@ mod tests {
             let mut xm = x.clone();
             xp.data_mut()[i] += eps;
             xm.data_mut()[i] -= eps;
-            let fp: f32 =
-                softmax_last(&xp).data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
-            let fm: f32 =
-                softmax_last(&xm).data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
+            let fp: f32 = softmax_last(&xp).data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
+            let fm: f32 = softmax_last(&xm).data().iter().zip(g.data()).map(|(&a, &b)| a * b).sum();
             let num = (fp - fm) / (2.0 * eps);
             assert!((num - analytic.data()[i]).abs() < 1e-2);
         }

@@ -1,11 +1,20 @@
 //! Shape-rearranging operations: permute, transpose, concat, narrow, gather.
+//!
+//! With the strided-view execution layer, `permute`, `transpose_last2`,
+//! `narrow`, `slice`, and `split` are O(1) metadata edits returning views
+//! over the input's buffer — no elements move. Operations that genuinely
+//! rearrange memory (`concat`, `stack`, `index_select`) materialize their
+//! inputs with [`Tensor::contiguous`] where their kernels need flat slices.
+
+use std::ops::Range;
 
 use crate::shape;
 use crate::Tensor;
 
 /// Reorders dimensions according to `perm` (a permutation of `0..rank`).
 ///
-/// The result is materialized contiguously.
+/// Returns a zero-copy view: the result shares the input's buffer with
+/// permuted shape and strides.
 ///
 /// # Panics
 ///
@@ -28,32 +37,13 @@ pub fn permute(a: &Tensor, perm: &[usize]) -> Tensor {
         assert!(p < rank && !seen[p], "invalid permutation {perm:?}");
         seen[p] = true;
     }
-    let in_shape = a.shape();
-    let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
-    let in_strides = shape::strides(in_shape);
-    // Stride to step in the *input* for each output dimension.
-    let step: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-    let n = a.numel();
-    let data = a.data();
-    let mut out = Vec::with_capacity(n);
-    let mut idx = vec![0usize; rank];
-    let mut in_off = 0usize;
-    for _ in 0..n {
-        out.push(data[in_off]);
-        for dim in (0..rank).rev() {
-            idx[dim] += 1;
-            in_off += step[dim];
-            if idx[dim] < out_shape[dim] {
-                break;
-            }
-            in_off -= step[dim] * out_shape[dim];
-            idx[dim] = 0;
-        }
-    }
-    Tensor::from_vec(out, &out_shape)
+    let out_shape: Vec<usize> = perm.iter().map(|&p| a.shape()[p]).collect();
+    let out_strides: Vec<usize> = perm.iter().map(|&p| a.strides()[p]).collect();
+    Tensor::view_of(a, out_shape, out_strides, a.offset())
 }
 
-/// Swaps the last two dimensions (matrix transpose over the batch).
+/// Swaps the last two dimensions (matrix transpose over the batch) as a
+/// zero-copy view.
 ///
 /// # Panics
 ///
@@ -89,11 +79,13 @@ pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
     let mut out_shape = first.to_vec();
     out_shape[axis] = axis_total;
 
+    // The chunk-copy kernel wants flat slices; views are gathered once here.
+    let owned: Vec<Tensor> = tensors.iter().map(|t| t.contiguous()).collect();
     let outer: usize = first[..axis].iter().product();
     let inner: usize = first[axis + 1..].iter().product();
     let mut out = Vec::with_capacity(shape::numel(&out_shape));
     for o in 0..outer {
-        for t in tensors {
+        for t in &owned {
             let d = t.shape()[axis];
             let chunk = d * inner;
             let src = &t.data()[o * chunk..(o + 1) * chunk];
@@ -105,25 +97,36 @@ pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
 
 /// Extracts `len` consecutive slices starting at `start` along `axis`.
 ///
+/// Returns a zero-copy view: only the offset and the `axis` extent change.
+///
 /// # Panics
 ///
 /// Panics if the range exceeds the dimension extent.
 pub fn narrow(a: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
     let sh = a.shape();
     assert!(axis < sh.len(), "narrow axis out of range");
-    assert!(start + len <= sh[axis], "narrow range {start}..{} exceeds dim {}", start + len, sh[axis]);
-    let outer: usize = sh[..axis].iter().product();
-    let inner: usize = sh[axis + 1..].iter().product();
-    let d = sh[axis];
-    let mut out = Vec::with_capacity(outer * len * inner);
-    let data = a.data();
-    for o in 0..outer {
-        let base = (o * d + start) * inner;
-        out.extend_from_slice(&data[base..base + len * inner]);
-    }
+    assert!(
+        start + len <= sh[axis],
+        "narrow range {start}..{} exceeds dim {}",
+        start + len,
+        sh[axis]
+    );
     let mut out_shape = sh.to_vec();
     out_shape[axis] = len;
-    Tensor::from_vec(out, &out_shape)
+    let offset = a.offset() + start * a.strides()[axis];
+    Tensor::view_of(a, out_shape, a.strides().to_vec(), offset)
+}
+
+/// Extracts the index range `r` along `axis` as a zero-copy view.
+///
+/// Sugar over [`narrow`] with a `Range` instead of start/length.
+///
+/// # Panics
+///
+/// Panics if the range is reversed or exceeds the dimension extent.
+pub fn slice(a: &Tensor, axis: usize, r: Range<usize>) -> Tensor {
+    assert!(r.start <= r.end, "reversed slice range {r:?}");
+    narrow(a, axis, r.start, r.end - r.start)
 }
 
 /// Adjoint of [`narrow`]: scatters `grad` back into a zero tensor shaped like
@@ -139,6 +142,7 @@ pub(crate) fn narrow_backward(
     let d = orig_shape[axis];
     let len = grad.shape()[axis];
     let mut out = vec![0.0f32; shape::numel(orig_shape)];
+    let grad = grad.contiguous();
     let gd = grad.data();
     for o in 0..outer {
         let dst = (o * d + start) * inner;
@@ -159,7 +163,8 @@ pub fn stack(tensors: &[&Tensor]) -> Tensor {
     let mut out = Vec::with_capacity(tensors.len() * tensors[0].numel());
     for t in tensors {
         assert_eq!(t.shape(), shape, "stack shape mismatch");
-        out.extend_from_slice(t.data());
+        let c = t.contiguous();
+        out.extend_from_slice(c.data());
     }
     let mut out_shape = vec![tensors.len()];
     out_shape.extend_from_slice(shape);
@@ -167,7 +172,7 @@ pub fn stack(tensors: &[&Tensor]) -> Tensor {
 }
 
 /// Splits a tensor into `parts` equal chunks along `axis` (inverse of a
-/// same-axis [`concat`] of equal parts).
+/// same-axis [`concat`] of equal parts). Each chunk is a zero-copy view.
 ///
 /// # Panics
 ///
@@ -175,7 +180,11 @@ pub fn stack(tensors: &[&Tensor]) -> Tensor {
 pub fn split(a: &Tensor, axis: usize, parts: usize) -> Vec<Tensor> {
     let sh = a.shape();
     assert!(axis < sh.len(), "split axis out of range");
-    assert!(parts > 0 && sh[axis] % parts == 0, "{parts} parts must divide dim {}", sh[axis]);
+    assert!(
+        parts > 0 && sh[axis].is_multiple_of(parts),
+        "{parts} parts must divide dim {}",
+        sh[axis]
+    );
     let chunk = sh[axis] / parts;
     (0..parts).map(|i| narrow(a, axis, i * chunk, chunk)).collect()
 }
@@ -191,6 +200,7 @@ pub fn index_select(a: &Tensor, indices: &[usize]) -> Tensor {
     let sh = a.shape();
     assert!(!sh.is_empty(), "index_select requires rank >= 1");
     let inner: usize = sh[1..].iter().product();
+    let a = a.contiguous();
     let data = a.data();
     let mut out = Vec::with_capacity(indices.len() * inner);
     for &i in indices {
@@ -204,9 +214,14 @@ pub fn index_select(a: &Tensor, indices: &[usize]) -> Tensor {
 
 /// Adjoint of [`index_select`]: scatter-adds `grad` rows back to their
 /// source rows (duplicated indices accumulate).
-pub(crate) fn index_select_backward(grad: &Tensor, orig_shape: &[usize], indices: &[usize]) -> Tensor {
+pub(crate) fn index_select_backward(
+    grad: &Tensor,
+    orig_shape: &[usize],
+    indices: &[usize],
+) -> Tensor {
     let inner: usize = orig_shape[1..].iter().product();
     let mut out = vec![0.0f32; shape::numel(orig_shape)];
+    let grad = grad.contiguous();
     let gd = grad.data();
     for (row, &i) in indices.iter().enumerate() {
         let dst = &mut out[i * inner..(i + 1) * inner];
@@ -221,6 +236,7 @@ pub(crate) fn index_select_backward(grad: &Tensor, orig_shape: &[usize], indices
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::copy_metrics;
 
     #[test]
     fn permute_3d() {
@@ -250,11 +266,33 @@ mod tests {
     }
 
     #[test]
+    fn view_ops_copy_nothing() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let before = copy_metrics::copies();
+        let p = permute(&t, &[2, 0, 1]);
+        let tr = transpose_last2(&t);
+        let nr = narrow(&t, 1, 1, 2);
+        let sl = slice(&t, 2, 1..3);
+        let parts = split(&t, 2, 2);
+        assert_eq!(
+            copy_metrics::copies(),
+            before,
+            "permute/transpose/narrow/slice/split must be zero-copy views"
+        );
+        // The views still read the right elements.
+        assert_eq!(p.at(&[3, 1, 2]), t.at(&[1, 2, 3]));
+        assert_eq!(tr.at(&[0, 3, 2]), t.at(&[0, 2, 3]));
+        assert_eq!(nr.at(&[1, 0, 0]), t.at(&[1, 1, 0]));
+        assert_eq!(sl.at(&[0, 0, 1]), t.at(&[0, 0, 2]));
+        assert_eq!(parts[1].at(&[0, 0, 0]), t.at(&[0, 0, 2]));
+    }
+
+    #[test]
     fn transpose_matrix() {
         let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let tt = transpose_last2(&t);
         assert_eq!(tt.shape(), &[3, 2]);
-        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(tt.to_vec(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
     }
 
     #[test]
@@ -267,11 +305,20 @@ mod tests {
     }
 
     #[test]
+    fn concat_accepts_views() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        let left = narrow(&t, 1, 0, 2);
+        let right = narrow(&t, 1, 2, 2);
+        let c = concat(&[&left, &right], 1);
+        assert_eq!(c, t);
+    }
+
+    #[test]
     fn narrow_and_backward_roundtrip() {
         let t = Tensor::arange(12).reshape(&[3, 4]);
         let n = narrow(&t, 1, 1, 2);
         assert_eq!(n.shape(), &[3, 2]);
-        assert_eq!(n.data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        assert_eq!(n.to_vec(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
         let back = narrow_backward(&n, &[3, 4], 1, 1);
         assert_eq!(back.data(), &[0.0, 1.0, 2.0, 0.0, 0.0, 5.0, 6.0, 0.0, 0.0, 9.0, 10.0, 0.0]);
     }
@@ -281,6 +328,8 @@ mod tests {
         let t = Tensor::arange(12).reshape(&[3, 4]);
         let n = narrow(&t, 0, 2, 1);
         assert_eq!(n.shape(), &[1, 4]);
+        // An axis-0 narrow of a contiguous tensor is itself contiguous.
+        assert!(n.is_contiguous());
         assert_eq!(n.data(), &[8.0, 9.0, 10.0, 11.0]);
     }
 

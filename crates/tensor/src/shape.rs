@@ -127,6 +127,25 @@ pub fn broadcast_strides(shape: &[usize], to: &[usize]) -> Vec<usize> {
         .collect()
 }
 
+/// Strides for walking a strided view of `shape`/`strides` as if broadcast
+/// to shape `to`: expanded dimensions (extent 1 → extent > 1) get stride 0,
+/// prepended dimensions get stride 0, and matching dimensions keep the
+/// view's actual stride.
+///
+/// Unlike [`broadcast_strides`], this respects a non-contiguous source
+/// layout. `shape` must broadcast to `to`.
+pub fn broadcast_view_strides(shape: &[usize], strides: &[usize], to: &[usize]) -> Vec<usize> {
+    assert_eq!(shape.len(), strides.len(), "shape/stride rank mismatch");
+    let pad = to.len() - shape.len();
+    let mut out = vec![0; to.len()];
+    for i in 0..shape.len() {
+        let (d, t) = (shape[i], to[pad + i]);
+        assert!(d == t || d == 1, "shape does not broadcast to target");
+        out[pad + i] = if d == t && t != 1 { strides[i] } else { 0 };
+    }
+    out
+}
+
 /// An iterator over all multi-dimensional indices of `shape` in row-major
 /// order. Used by generic (non-hot-path) kernels.
 #[derive(Debug, Clone)]

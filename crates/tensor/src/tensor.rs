@@ -1,15 +1,50 @@
-//! The dense, contiguous, row-major `f32` tensor value type.
+//! The dense, row-major `f32` tensor value type with strided views.
 
 use std::fmt;
 use std::sync::Arc;
 
 use crate::shape;
 
-/// A dense, contiguous, row-major tensor of `f32` values.
+/// Per-thread counters for buffer materializations.
+///
+/// Every time a tensor's elements are physically copied to satisfy a layout
+/// requirement (a `contiguous()` gather, a copy-on-write in
+/// [`Tensor::data_mut`], a reshape of a non-contiguous view), the copy
+/// counter increments. View operations — `reshape` of contiguous tensors,
+/// `permute`, `transpose`, `narrow`, `slice`, `split` — must not move data
+/// and therefore must not bump this counter; tests assert exactly that.
+pub mod copy_metrics {
+    use std::cell::Cell;
+
+    // Thread-local so concurrently running tests (and caller threads in
+    // general) each observe only their own materializations. All copies are
+    // recorded on the thread that calls the op — the parallel matmul
+    // materializes operands before spawning workers.
+    thread_local! {
+        static COPIES: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Number of buffer materializations performed by this thread.
+    pub fn copies() -> usize {
+        COPIES.with(Cell::get)
+    }
+
+    pub(crate) fn record_copy() {
+        COPIES.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// A dense, row-major tensor of `f32` values, possibly a strided view.
 ///
 /// `Tensor` has value semantics: operations return new tensors and never
 /// mutate their inputs. Cloning is cheap — the buffer is behind an [`Arc`]
 /// and is copied lazily on mutation ([`Tensor::data_mut`]).
+///
+/// A tensor is a `(shape, strides, offset)` window over its shared buffer.
+/// Freshly constructed tensors are contiguous; layout ops like `permute` and
+/// `narrow` return views that reinterpret the same buffer without copying.
+/// Kernels that need a flat slice call [`Tensor::contiguous`] (cheap when
+/// already contiguous) or read through the stride metadata directly.
 ///
 /// # Examples
 ///
@@ -19,9 +54,11 @@ use crate::shape;
 /// assert_eq!(t.shape(), &[2, 2]);
 /// assert_eq!(t.at(&[1, 0]), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     shape: Vec<usize>,
+    strides: Vec<usize>,
+    offset: usize,
     data: Arc<Vec<f32>>,
 }
 
@@ -39,7 +76,12 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape: shape.to_vec(), data: Arc::new(data) }
+        Tensor {
+            shape: shape.to_vec(),
+            strides: shape::strides(shape),
+            offset: 0,
+            data: Arc::new(data),
+        }
     }
 
     /// Creates a scalar (rank-0) tensor.
@@ -77,9 +119,46 @@ impl Tensor {
         Tensor::from_fn(&[n], |i| i as f32)
     }
 
+    /// Builds a view over `base`'s buffer with explicit layout metadata.
+    ///
+    /// Callers (the shape ops) are responsible for choosing `shape`,
+    /// `strides`, and `offset` such that every reachable element lies inside
+    /// the buffer; this is checked in debug builds.
+    pub(crate) fn view_of(
+        base: &Tensor,
+        shape: Vec<usize>,
+        strides: Vec<usize>,
+        offset: usize,
+    ) -> Tensor {
+        debug_assert_eq!(shape.len(), strides.len(), "view rank mismatch");
+        debug_assert!(
+            shape::numel(&shape) == 0
+                || offset + shape.iter().zip(&strides).map(|(&d, &s)| (d - 1) * s).sum::<usize>()
+                    < base.data.len(),
+            "view escapes buffer: shape {shape:?} strides {strides:?} offset {offset}"
+        );
+        Tensor { shape, strides, offset, data: Arc::clone(&base.data) }
+    }
+
     /// The dimension extents of this tensor.
     pub fn shape(&self) -> &[usize] {
         &self.shape
+    }
+
+    /// The per-dimension element strides into the backing buffer.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// The starting offset of this view in the backing buffer.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The backing buffer, ignoring this view's window. Kernels that walk
+    /// strides index `raw_data()[offset + Σ idxᵢ·strideᵢ]`.
+    pub(crate) fn raw_data(&self) -> &[f32] {
+        &self.data
     }
 
     /// The rank (number of dimensions).
@@ -101,19 +180,100 @@ impl Tensor {
         self.shape[dim]
     }
 
+    /// True when elements are laid out densely in row-major order, so the
+    /// logical element sequence is a single slice of the buffer.
+    ///
+    /// Dimensions of extent 1 (and empty tensors) place no constraint on
+    /// their stride.
+    pub fn is_contiguous(&self) -> bool {
+        if self.numel() == 0 {
+            return true;
+        }
+        let mut acc = 1;
+        for i in (0..self.shape.len()).rev() {
+            if self.shape[i] == 1 {
+                continue;
+            }
+            if self.strides[i] != acc {
+                return false;
+            }
+            acc *= self.shape[i];
+        }
+        true
+    }
+
+    /// Returns a contiguous tensor with the same logical contents.
+    ///
+    /// Cheap (an `Arc` clone) when `self` is already contiguous; otherwise
+    /// gathers into a fresh buffer and records a copy in
+    /// [`copy_metrics`].
+    pub fn contiguous(&self) -> Tensor {
+        if self.is_contiguous() {
+            return self.clone();
+        }
+        copy_metrics::record_copy();
+        Tensor::from_vec(self.iter_elems().collect(), &self.shape)
+    }
+
+    /// The logical elements in row-major order as a fresh vector.
+    pub fn to_vec(&self) -> Vec<f32> {
+        if self.is_contiguous() {
+            self.data[self.offset..self.offset + self.numel()].to_vec()
+        } else {
+            self.iter_elems().collect()
+        }
+    }
+
     /// Read-only view of the flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is a non-contiguous view; call
+    /// [`Tensor::contiguous`] first (or iterate through the stride
+    /// metadata).
     pub fn data(&self) -> &[f32] {
-        &self.data
+        assert!(
+            self.is_contiguous(),
+            "data() requires a contiguous tensor; this is a view with shape {:?} and strides \
+             {:?} — call contiguous() first",
+            self.shape,
+            self.strides
+        );
+        &self.data[self.offset..self.offset + self.numel()]
     }
 
-    /// Mutable view of the flat buffer, copying if the buffer is shared.
+    /// Mutable view of the flat buffer.
+    ///
+    /// Copies only when necessary: a uniquely-owned contiguous tensor hands
+    /// out its buffer directly (`Arc::get_mut` fast path); a shared or
+    /// non-contiguous one first materializes a private copy.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        let n = self.numel();
+        let canonical = self.offset == 0 && self.data.len() == n && self.is_contiguous();
+        if !canonical {
+            // A view (or a window into a larger buffer): gather into a
+            // fresh, exactly-sized private buffer.
+            copy_metrics::record_copy();
+            let v = self.to_vec();
+            self.data = Arc::new(v);
+            self.offset = 0;
+            self.strides = shape::strides(&self.shape);
+        } else if Arc::get_mut(&mut self.data).is_none() {
+            // Shared buffer: clone-on-write.
+            copy_metrics::record_copy();
+            self.data = Arc::new(self.data.as_ref().clone());
+        }
+        Arc::get_mut(&mut self.data).expect("buffer is uniquely owned here").as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its flat buffer (cloning if shared).
+    /// Consumes the tensor, returning its flat row-major buffer (copying if
+    /// the buffer is shared or the tensor is a view).
     pub fn into_vec(self) -> Vec<f32> {
-        Arc::try_unwrap(self.data).unwrap_or_else(|arc| (*arc).clone())
+        if self.offset == 0 && self.data.len() == self.numel() && self.is_contiguous() {
+            Arc::try_unwrap(self.data).unwrap_or_else(|arc| (*arc).clone())
+        } else {
+            self.to_vec()
+        }
     }
 
     /// Element at a multi-dimensional `index`.
@@ -122,11 +282,18 @@ impl Tensor {
     ///
     /// Panics if the index rank or coordinates are invalid.
     pub fn at(&self, index: &[usize]) -> f32 {
-        self.data[shape::offset_of(&self.shape, index)]
+        assert_eq!(index.len(), self.rank(), "rank mismatch in at()");
+        let mut off = self.offset;
+        for (d, (&i, &s)) in index.iter().zip(&self.strides).enumerate() {
+            assert!(i < self.shape[d], "index {i} out of bounds for dim {d} in at()");
+            off += i * s;
+        }
+        self.data[off]
     }
 
     /// Sets the element at `index` to `v`.
     pub fn set(&mut self, index: &[usize], v: f32) {
+        // data_mut() canonicalizes the layout, so row-major offsets apply.
         let off = shape::offset_of(&self.shape, index);
         self.data_mut()[off] = v;
     }
@@ -137,14 +304,20 @@ impl Tensor {
     ///
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() requires a single-element tensor, shape {:?}", self.shape);
-        self.data[0]
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() requires a single-element tensor, shape {:?}",
+            self.shape
+        );
+        self.data[self.offset]
     }
 
-    /// Returns a tensor with the same buffer and a new shape.
+    /// Returns a tensor with the same elements and a new shape.
     ///
     /// A `usize::MAX` entry acts as a wildcard inferred from the remaining
-    /// extents (at most one wildcard).
+    /// extents (at most one wildcard). On a contiguous tensor this is a
+    /// zero-copy view; a non-contiguous view is first materialized.
     ///
     /// # Panics
     ///
@@ -158,12 +331,31 @@ impl Tensor {
             self.shape,
             resolved
         );
-        Tensor { shape: resolved, data: Arc::clone(&self.data) }
+        let src = self.contiguous();
+        let strides = shape::strides(&resolved);
+        Tensor { shape: resolved, strides, offset: src.offset, data: src.data }
     }
 
-    /// Applies `f` elementwise, returning a new tensor.
+    /// Iterates the logical elements in row-major order.
+    pub(crate) fn iter_elems(&self) -> ElemIter<'_> {
+        ElemIter {
+            data: &self.data,
+            shape: &self.shape,
+            strides: &self.strides,
+            idx: vec![0; self.shape.len()],
+            off: self.offset,
+            remaining: self.numel(),
+        }
+    }
+
+    /// Applies `f` elementwise, returning a new (contiguous) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&x| f(x)).collect(), &self.shape)
+        if self.is_contiguous() {
+            let d = &self.data[self.offset..self.offset + self.numel()];
+            Tensor::from_vec(d.iter().map(|&x| f(x)).collect(), &self.shape)
+        } else {
+            Tensor::from_vec(self.iter_elems().map(f).collect(), &self.shape)
+        }
     }
 
     /// Combines two same-shaped tensors elementwise (no broadcasting; see
@@ -174,10 +366,16 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip requires identical shapes");
-        Tensor::from_vec(
-            self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-            &self.shape,
-        )
+        if self.is_contiguous() && other.is_contiguous() {
+            let a = &self.data[self.offset..self.offset + self.numel()];
+            let b = &other.data[other.offset..other.offset + other.numel()];
+            Tensor::from_vec(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect(), &self.shape)
+        } else {
+            Tensor::from_vec(
+                self.iter_elems().zip(other.iter_elems()).map(|(x, y)| f(x, y)).collect(),
+                &self.shape,
+            )
+        }
     }
 
     /// True when all elements of `self` and `other` differ by at most `tol`.
@@ -186,15 +384,18 @@ impl Tensor {
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
             && self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .all(|(&a, &b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+                .iter_elems()
+                .zip(other.iter_elems())
+                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        if self.is_contiguous() {
+            self.data[self.offset..self.offset + self.numel()].iter().sum()
+        } else {
+            self.iter_elems().sum()
+        }
     }
 
     /// Mean of all elements (`NaN` for empty tensors).
@@ -204,17 +405,64 @@ impl Tensor {
 
     /// Maximum element (`-inf` for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.iter_elems().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (`+inf` for empty tensors).
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.iter_elems().fold(f32::INFINITY, f32::min)
     }
 
     /// True if any element is `NaN` or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
+        self.iter_elems().any(|x| !x.is_finite())
+    }
+}
+
+/// Row-major traversal of a (possibly strided) tensor's elements.
+pub(crate) struct ElemIter<'a> {
+    data: &'a [f32],
+    shape: &'a [usize],
+    strides: &'a [usize],
+    idx: Vec<usize>,
+    off: usize,
+    remaining: usize,
+}
+
+impl Iterator for ElemIter<'_> {
+    type Item = f32;
+
+    fn next(&mut self) -> Option<f32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let v = self.data[self.off];
+        self.remaining -= 1;
+        // Odometer increment over the index, updating the offset in place.
+        for dim in (0..self.shape.len()).rev() {
+            self.idx[dim] += 1;
+            self.off += self.strides[dim];
+            if self.idx[dim] < self.shape[dim] {
+                break;
+            }
+            self.off -= self.strides[dim] * self.shape[dim];
+            self.idx[dim] = 0;
+        }
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ElemIter<'_> {}
+
+impl PartialEq for Tensor {
+    /// Logical equality: same shape and identical elements, regardless of
+    /// the underlying layout (a transposed view equals its materialization).
+    fn eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape && self.iter_elems().zip(other.iter_elems()).all(|(a, b)| a == b)
     }
 }
 
@@ -232,7 +480,10 @@ fn resolve_wildcard(shape: &[usize], numel: usize) -> Vec<usize> {
         return shape.to_vec();
     }
     let known: usize = shape.iter().filter(|&&d| d != usize::MAX).product();
-    assert!(known > 0 && numel.is_multiple_of(known), "cannot infer wildcard dimension for {numel} elements");
+    assert!(
+        known > 0 && numel.is_multiple_of(known),
+        "cannot infer wildcard dimension for {numel} elements"
+    );
     shape.iter().map(|&d| if d == usize::MAX { numel / known } else { d }).collect()
 }
 
@@ -240,10 +491,11 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?} ", self.shape)?;
         const LIMIT: usize = 16;
-        if self.numel() <= LIMIT {
-            write!(f, "{:?}", &self.data[..])
+        let preview: Vec<f32> = self.iter_elems().take(LIMIT + 1).collect();
+        if preview.len() <= LIMIT {
+            write!(f, "{preview:?}")
         } else {
-            write!(f, "{:?}...", &self.data[..LIMIT])
+            write!(f, "{:?}...", &preview[..LIMIT])
         }
     }
 }
@@ -297,11 +549,44 @@ mod tests {
     }
 
     #[test]
+    fn data_mut_skips_copy_when_unique() {
+        let mut t = Tensor::arange(64);
+        let before = copy_metrics::copies();
+        t.data_mut()[0] = 5.0;
+        t.data_mut()[1] = 6.0;
+        assert_eq!(
+            copy_metrics::copies(),
+            before,
+            "uniquely-owned contiguous buffer must mutate in place"
+        );
+        assert_eq!(t.at(&[0]), 5.0);
+    }
+
+    #[test]
+    fn data_mut_copies_when_shared() {
+        let mut t = Tensor::arange(8);
+        let keep = t.clone();
+        let before = copy_metrics::copies();
+        t.data_mut()[0] = -1.0;
+        assert_eq!(copy_metrics::copies(), before + 1);
+        assert_eq!(keep.at(&[0]), 0.0);
+    }
+
+    #[test]
     fn reshape_shares_buffer_and_infers_wildcard() {
         let t = Tensor::arange(12);
         let r = t.reshape(&[3, usize::MAX]);
         assert_eq!(r.shape(), &[3, 4]);
         assert_eq!(r.at(&[2, 3]), 11.0);
+    }
+
+    #[test]
+    fn reshape_of_contiguous_is_zero_copy() {
+        let t = Tensor::arange(24);
+        let before = copy_metrics::copies();
+        let r = t.reshape(&[2, 3, 4]).reshape(&[6, 4]).reshape(&[24]);
+        assert_eq!(copy_metrics::copies(), before);
+        assert_eq!(r, t);
     }
 
     #[test]
@@ -346,5 +631,45 @@ mod tests {
         assert!(!t.has_non_finite());
         t.set(&[1], f32::NAN);
         assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn views_report_layout() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        assert!(t.is_contiguous());
+        // A transposed view: shape [4,3], strides [1,4].
+        let v = Tensor::view_of(&t, vec![4, 3], vec![1, 4], 0);
+        assert!(!v.is_contiguous());
+        assert_eq!(v.at(&[1, 2]), t.at(&[2, 1]));
+        assert_eq!(v.to_vec(), vec![0.0, 4.0, 8.0, 1.0, 5.0, 9.0, 2.0, 6.0, 10.0, 3.0, 7.0, 11.0]);
+        let c = v.contiguous();
+        assert!(c.is_contiguous());
+        assert_eq!(c.data(), v.to_vec().as_slice());
+    }
+
+    #[test]
+    #[should_panic]
+    fn data_panics_on_non_contiguous_view() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let v = Tensor::view_of(&t, vec![3, 2], vec![1, 3], 0);
+        let _ = v.data();
+    }
+
+    #[test]
+    fn logical_equality_ignores_layout() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let v = Tensor::view_of(&t, vec![3, 2], vec![1, 3], 0);
+        assert_eq!(v, v.contiguous());
+        assert_ne!(v, t);
+    }
+
+    #[test]
+    fn set_on_view_materializes_first() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let mut v = Tensor::view_of(&t, vec![3, 2], vec![1, 3], 0);
+        v.set(&[0, 1], 99.0);
+        assert_eq!(v.at(&[0, 1]), 99.0);
+        // The original buffer is untouched.
+        assert_eq!(t.at(&[1, 0]), 3.0);
     }
 }

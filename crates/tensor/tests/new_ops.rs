@@ -1,7 +1,7 @@
 //! Tests for the extended op set: max pooling, padding, stack/split.
 
 use tsdx_tensor::grad_check::assert_gradients;
-use tsdx_tensor::{ops, Graph, Tensor};
+use tsdx_tensor::{ops, Tensor};
 
 #[test]
 fn max_pool_picks_maxima_and_routes_gradients() {
@@ -72,7 +72,7 @@ fn split_inverts_equal_concat() {
     // Along the second axis too.
     let cols = ops::split(&a, 1, 3);
     assert_eq!(cols.len(), 3);
-    assert_eq!(cols[1].data(), &[1.0, 4.0]);
+    assert_eq!(cols[1].to_vec(), vec![1.0, 4.0]);
 }
 
 #[test]

@@ -54,8 +54,8 @@ proptest! {
         let mut perm: Vec<usize> = (0..rank).collect();
         perm.reverse();
         let p = ops::permute(&t, &perm);
-        let mut a: Vec<f32> = t.data().to_vec();
-        let mut b: Vec<f32> = p.data().to_vec();
+        let mut a: Vec<f32> = t.to_vec();
+        let mut b: Vec<f32> = p.to_vec();
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
         prop_assert_eq!(a, b);

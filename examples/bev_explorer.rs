@@ -60,7 +60,10 @@ fn main() {
     println!("\nkinematic labeler: ego {ego_read}");
     for (i, clause) in generated.truth.actors.iter().enumerate() {
         match infer_actor_action(&generated.world, &trajectory, i) {
-            Some(action) => println!("  actor {i} ({}): inferred `{action}`, truth `{}`", clause.kind, clause.action),
+            Some(action) => println!(
+                "  actor {i} ({}): inferred `{action}`, truth `{}`",
+                clause.kind, clause.action
+            ),
             None => println!("  actor {i} ({}): mostly off-stage", clause.kind),
         }
     }

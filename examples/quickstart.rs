@@ -16,10 +16,7 @@ fn main() {
 
     // 2. Model: the paper's factorized space-time video transformer.
     let mut extractor = ScenarioExtractor::untrained(ModelConfig::default(), 7);
-    println!(
-        "video scenario transformer: {} parameters",
-        extractor.model().num_params()
-    );
+    println!("video scenario transformer: {} parameters", extractor.model().num_params());
 
     // 3. Train.
     println!("training (this takes a couple of minutes on one core)...");

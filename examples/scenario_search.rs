@@ -46,10 +46,8 @@ fn main() {
         }
 
         // Precision@5 against a strict relevance notion (same ego & road).
-        let relevant: Vec<bool> = corpus
-            .iter()
-            .map(|c| c.truth.ego == query.ego && c.truth.road == query.road)
-            .collect();
+        let relevant: Vec<bool> =
+            corpus.iter().map(|c| c.truth.ego == query.ego && c.truth.road == query.road).collect();
         let p5 = precision_at_k(&rank_by_score(&scores, &relevant), 5);
         println!("  P@5 (same ego maneuver + road): {:.0}%", p5 * 100.0);
     }

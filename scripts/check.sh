@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Contributor gate: formatting, lints, and the tier-1 build/test pass.
+# Run from the repository root before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -13,9 +13,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use tsdx::core::{evaluate, ClipModel, ModelConfig, ScenarioExtractor, TrainConfig};
-use tsdx::data::{
-    generate_dataset, load_clips, save_clips, Clip, DatasetConfig, DatasetStats,
-};
+use tsdx::data::{generate_dataset, load_clips, save_clips, Clip, DatasetConfig, DatasetStats};
 use tsdx::nn::{load_checkpoint, save_checkpoint, LrSchedule};
 use tsdx::sdl::{ScenarioCorpus, ScenarioFilter};
 
@@ -200,7 +198,11 @@ fn cmd_eval(opts: &Opts) -> Result<(), String> {
     println!("clips:            {}", s.n);
     println!("ego accuracy:     {:.1}%  (macro-F1 {:.1}%)", s.ego_acc * 100.0, s.ego_f1 * 100.0);
     println!("road accuracy:    {:.1}%", s.road_acc * 100.0);
-    println!("event accuracy:   {:.1}%  (macro-F1 {:.1}%)", s.event_acc * 100.0, s.event_f1 * 100.0);
+    println!(
+        "event accuracy:   {:.1}%  (macro-F1 {:.1}%)",
+        s.event_acc * 100.0,
+        s.event_f1 * 100.0
+    );
     println!("position acc:     {:.1}%", s.position_acc * 100.0);
     println!("presence micro-F1 {:.1}%", s.presence_f1 * 100.0);
     println!("mean accuracy:    {:.1}%", s.mean_accuracy() * 100.0);

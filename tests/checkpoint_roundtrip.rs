@@ -1,7 +1,9 @@
 //! Checkpoint integration: a trained model survives a save/load round trip
 //! bit-exactly, across the nn/core crate boundary.
 
-use tsdx::core::{ClipModel, ModelConfig, ScenarioExtractor, TrainConfig, VideoScenarioTransformer};
+use tsdx::core::{
+    ClipModel, ModelConfig, ScenarioExtractor, TrainConfig, VideoScenarioTransformer,
+};
 use tsdx::data::{generate_dataset, DatasetConfig};
 use tsdx::nn::{load_checkpoint, read_checkpoint, save_checkpoint, LrSchedule};
 use tsdx::render::RenderConfig;
@@ -83,7 +85,8 @@ fn mismatched_architecture_checkpoint_restores_partially() {
     save_checkpoint(small.params(), &path).unwrap();
 
     // A deeper model shares the embedding/head names but not block 1+.
-    let mut deeper = VideoScenarioTransformer::new(ModelConfig { spatial_depth: 2, ..tiny_cfg() }, 4);
+    let mut deeper =
+        VideoScenarioTransformer::new(ModelConfig { spatial_depth: 2, ..tiny_cfg() }, 4);
     let restored = load_checkpoint(deeper.params_mut(), &path).unwrap();
     assert!(restored > 0, "shared tensors should restore");
     assert!(

@@ -1,0 +1,247 @@
+//! Offline in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! slice of the criterion API the tsdx benches use: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`, [`Bencher::iter`], and [`black_box`]. Measurement is a
+//! simple calibrated wall-clock loop: each sample times a batch of iterations
+//! sized so a batch takes roughly a millisecond, and the reported estimate is
+//! the median over samples. No statistical regression analysis, no HTML
+//! reports — output is one line per benchmark on stdout, which is all the
+//! workspace relies on.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Handed to the closure of `bench_function`; drives the measured loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the batch size chosen by the harness.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `BenchmarkId::new("matmul", 4)` → `matmul/4`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds a bare parameter id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    /// Wall-clock budget per benchmark (split across samples).
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 12, measurement_time: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; this stand-in accepts and ignores them
+    /// (filters/baselines are not supported offline).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_benchmark(id, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&full, sample_size, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Median estimate over `sample_size` timed batches.
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Calibrate: find an iteration count whose batch lasts ~1 per-sample slot.
+    let slot = measurement_time.as_secs_f64() / sample_size as f64;
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let t = b.elapsed.as_secs_f64();
+        if t >= slot || t >= 0.05 || iters >= 1 << 20 {
+            break;
+        }
+        // Grow towards the slot, at most 8x per step to avoid overshooting.
+        let factor = if t <= f64::EPSILON { 8.0 } else { (slot / t).clamp(1.5, 8.0) };
+        iters = ((iters as f64 * factor).ceil() as u64).max(iters + 1);
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{id:<48} time: [{} per iter, {iters} iters/sample]", format_time(median));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_run_every_member() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        let mut hits = [false; 2];
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("a", |b| {
+                hits[0] = true;
+                b.iter(|| black_box(1 + 1))
+            });
+            g.bench_function(BenchmarkId::new("b", 42), |b| {
+                hits[1] = true;
+                b.iter(|| black_box(2 + 2))
+            });
+            g.finish();
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+}

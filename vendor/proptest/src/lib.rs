@@ -1,0 +1,630 @@
+//! Offline in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate re-implements
+//! the slice of the proptest API the tsdx test suites use: the [`proptest!`]
+//! macro, range/`Just`/`any` strategies, `prop_map`/`prop_flat_map`,
+//! `prop::collection::vec`, [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream are deliberate and small: there is no shrinking
+//! (a failing case reports its case index and message only), and the default
+//! case count is 48. Each test's stream is seeded from its name, so failures
+//! are reproducible run to run.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test-name hash and case index.
+    pub fn deterministic(name_hash: u64, case: u32) -> Self {
+        TestRng { state: name_hash ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty set");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// FNV-1a hash of a test name, used to seed its deterministic stream.
+pub fn fnv(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+/// Failure raised by `prop_assert*` macros inside a proptest body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among equally-weighted boxed alternatives
+/// (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.index(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit_f64() * 2.0 - 1.0) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2.0 - 1.0
+    }
+}
+
+/// Strategy over a type's whole (bounded) domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    (float: $($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + rng.unit_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+    (int: $($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(float: f32, f64);
+range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` strategies are regex patterns (upstream parity), supporting the
+/// subset: literal chars, `[a-z0-9 ]` classes with ranges, and the repeaters
+/// `{n}`, `{lo,hi}`, `?`, `*`, `+` (unbounded repeats capped at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a char class or a literal character.
+            let atom: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {self:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let body = &chars[i + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        for c in body[j]..=body[j + 2] {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            assert!(!atom.is_empty(), "empty char class in pattern {self:?}");
+
+            // Optional repeater.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {self:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse().expect("bad repeat lower bound"),
+                        b.parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+                let r = match chars[i] {
+                    '?' => (0, 1),
+                    '*' => (0, 8),
+                    _ => (1, 8),
+                };
+                i += 1;
+                r
+            } else {
+                (1, 1)
+            };
+
+            let count = lo + rng.index(hi - lo + 1);
+            for _ in 0..count {
+                out.push(atom[rng.index(atom.len())]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.index(span.max(1)).min(span - 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs every `#[test] fn name(pat in strategy, ...) { body }` inside as a
+/// property test; an optional leading `#![proptest_config(expr)]` sets the
+/// case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( #[test] $(#[$meta:meta])* fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let name_hash = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::TestRng::deterministic(name_hash, case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng); )+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("proptest {} failed at case {}/{}: {}",
+                               stringify!($name), case + 1, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice among comma-separated strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module shorthand.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f32..5.0, n in 1usize..=8) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..=8).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u32..10, 3..=6)) {
+            prop_assert!(v.len() >= 3 && v.len() <= 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn combinators_compose(v in (1usize..4).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n..=n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(0usize), 5usize..10]) {
+            prop_assert!(x == 0 || (5..10).contains(&x));
+        }
+
+        #[test]
+        fn any_bool_hits_both(bs in prop::collection::vec(any::<bool>(), 64)) {
+            // Overwhelmingly likely with 64 draws.
+            prop_assert!(bs.iter().any(|&b| b) && bs.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_case_number() {
+        let result = std::panic::catch_unwind(|| {
+            let config = ProptestConfig::with_cases(3);
+            let name_hash = crate::fnv("demo");
+            for case in 0..config.cases {
+                let mut rng = crate::TestRng::deterministic(name_hash, case);
+                let x = Strategy::generate(&(0usize..10), &mut rng);
+                let r: Result<(), TestCaseError> = (|| {
+                    prop_assert!(x > 100, "x was {}", x);
+                    Ok(())
+                })();
+                if let Err(e) = r {
+                    panic!("proptest demo failed at case {}: {}", case + 1, e);
+                }
+            }
+        });
+        assert!(result.is_err());
+    }
+}
