@@ -11,8 +11,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tsdx_baselines::{CnnGru, CnnGruConfig, FrameMlp, FrameMlpConfig, HeuristicExtractor};
-use tsdx_core::{AttentionKind, ClipModel, ModelConfig, VideoScenarioTransformer};
-use tsdx_tensor::{Graph, Tensor};
+use tsdx_core::{
+    AttentionKind, ClipModel, ModelConfig, ScenarioExtractor, VideoScenarioTransformer,
+};
+use tsdx_data::{generate_clip, DatasetConfig};
+use tsdx_nn::{ParamStore, TransformerEncoder};
+use tsdx_tensor::{pool, Graph, Tensor};
 
 fn forward_once(model: &dyn ClipModel, videos: &Tensor) {
     let mut g = Graph::new();
@@ -62,16 +66,59 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("frame-mlp", |b| b.iter(|| forward_once(&mlp, &clip8)));
     group.finish();
 
-    // Encoder forward under explicit matmul thread counts (the env override
-    // is read per matmul call, so setting it between runs is safe here).
+    // Encoder forward under explicit pool chunk counts. TSDX_NUM_THREADS is
+    // parsed once at pool initialization, so the old set_var-between-runs
+    // trick no longer works; `with_forced_threads` overrides the apparent
+    // pool size (and serial thresholds) for the duration of a closure.
     let mut group = c.benchmark_group("encoder_threads");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        std::env::set_var("TSDX_NUM_THREADS", threads.to_string());
-        group
-            .bench_function(format!("batch8_t{threads}"), |b| b.iter(|| forward_once(&vt, &clip8)));
+        group.bench_function(format!("batch8_t{threads}"), |b| {
+            b.iter(|| pool::with_forced_threads(threads, || forward_once(&vt, &clip8)))
+        });
     }
-    std::env::remove_var("TSDX_NUM_THREADS");
+    group.finish();
+
+    // Fused vs composed attention through a transformer encoder stack sized
+    // like the table-4 spatial stage (batch 8 clips -> 32 sequences of
+    // 16+1 tokens at width 64): `forward` uses the fused attention op,
+    // `forward_with_attn` the composed matmul/softmax/matmul graph.
+    let mut group = c.benchmark_group("encoder_attention");
+    group.sample_size(20);
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", 64, 2, 4, 2, 0.0);
+    let tokens = Tensor::from_fn(&[32, 17, 64], |i| (i % 89) as f32 * 0.01 - 0.4);
+    group.bench_function("batch8_fused", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let p = store.bind_frozen(&mut g);
+            let x = g.constant(tokens.clone());
+            let mut r = StdRng::seed_from_u64(0);
+            let y = enc.forward(&mut g, &p, x, &mut r, false);
+            std::hint::black_box(g.value(y).sum());
+        })
+    });
+    group.bench_function("batch8_composed", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let p = store.bind_frozen(&mut g);
+            let x = g.constant(tokens.clone());
+            let mut r = StdRng::seed_from_u64(0);
+            let (y, _) = enc.forward_with_attn(&mut g, &p, x, &mut r, false);
+            std::hint::black_box(g.value(y).sum());
+        })
+    });
+    group.finish();
+
+    // End-to-end scenario extraction over a batch of simulator clips.
+    let mut group = c.benchmark_group("extract");
+    group.sample_size(10);
+    let extractor = ScenarioExtractor::untrained(ModelConfig::default(), 0);
+    let clips: Vec<_> = (0..8).map(|i| generate_clip(&DatasetConfig::default(), i)).collect();
+    group.bench_function("extract_batch_8", |b| {
+        b.iter(|| std::hint::black_box(extractor.extract_batch(&clips)))
+    });
     group.finish();
 }
 

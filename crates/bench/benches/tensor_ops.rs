@@ -85,6 +85,31 @@ fn bench_kernels(c: &mut Criterion) {
     });
     group.finish();
 
+    // Fused attention kernel vs the composed matmul/scale/softmax/matmul
+    // chain on the table-4 head geometry ([B*H, T, Dh] = 8 clips x 4 heads,
+    // 17 tokens, width 16).
+    let mut group = c.benchmark_group("attention");
+    let q = Tensor::from_fn(&[32, 17, 16], |i| (i % 19) as f32 * 0.05 - 0.45);
+    let k = Tensor::from_fn(&[32, 17, 16], |i| (i % 23) as f32 * 0.04 - 0.4);
+    let v = Tensor::from_fn(&[32, 17, 16], |i| (i % 29) as f32 * 0.03 - 0.4);
+    let scale = 1.0 / 4.0;
+    group.bench_function("fused_32x17x16", |b| {
+        b.iter(|| std::hint::black_box(ops::attention(&q, &k, &v, scale)))
+    });
+    group.bench_function("composed_32x17x16", |b| {
+        b.iter(|| {
+            let kt = ops::transpose_last2(&k);
+            let s = ops::scale(&ops::matmul(&q, &kt), scale);
+            let p = ops::softmax_last(&s);
+            std::hint::black_box(ops::matmul(&p, &v))
+        })
+    });
+    group.bench_function("fused_backward_32x17x16", |b| {
+        let g = Tensor::from_fn(&[32, 17, 16], |i| (i % 13) as f32 * 0.02 - 0.1);
+        b.iter(|| std::hint::black_box(ops::attention_backward(&q, &k, &v, scale, &g)))
+    });
+    group.finish();
+
     let mut group = c.benchmark_group("conv");
     group.bench_function("conv2d_8x1x32x32_k3", |b| {
         let img = Tensor::from_fn(&[8, 1, 32, 32], |i| (i % 7) as f32 * 0.1);

@@ -281,7 +281,11 @@ mod tests {
         let p = store.bind(&mut g);
         let tokens = g.constant(Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.01).sin()));
         let out = enc.forward(&mut g, &p, tokens, &mut rng, false);
-        let loss = g.mean_all(out);
+        // Square the embedding before reducing: the gradient of a plain mean
+        // is row-uniform, which the final layer norm's Jacobian annihilates
+        // exactly (any nonzero grad below it would be roundoff noise).
+        let sq = g.mul(out, out);
+        let loss = g.mean_all(sq);
         let grads = g.backward(loss);
         let collected = store.collect_grads(&p, &grads);
         // Find the CLS params by name and confirm nonzero gradients.

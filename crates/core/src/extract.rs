@@ -19,8 +19,8 @@ use crate::train::{predict_labels, TrainConfig};
 /// use tsdx_tensor::Tensor;
 ///
 /// let extractor = ScenarioExtractor::untrained(ModelConfig::default(), 0);
-/// let clip = Tensor::zeros(&[1, 8, 32, 32]);
-/// let description = extractor.extract(&clip.reshape(&[8, 32, 32]));
+/// let clip = Tensor::zeros(&[8, 32, 32]);
+/// let description = extractor.extract(&clip);
 /// println!("{description}");
 /// ```
 #[derive(Debug, Clone)]

@@ -56,6 +56,11 @@ impl MultiHeadAttention {
     }
 
     /// Applies self-attention to `x` of shape `[B, T, D]`.
+    ///
+    /// Uses the fused [`Graph::attention`] kernel: one tape node computes
+    /// `softmax(QKᵀ/√Dh)·V` without materializing the `[B, H, T, T]`
+    /// probability tensor. Use [`forward_with_attn`](Self::forward_with_attn)
+    /// when the probabilities themselves are needed.
     pub fn forward(&self, g: &mut Graph, p: &Binding, x: Var) -> Var {
         let sh = g.shape(x).to_vec();
         assert_eq!(sh.len(), 3, "attention input must be [B, T, D]");
@@ -77,14 +82,8 @@ impl MultiHeadAttention {
         let k = split(g, k);
         let v = split(g, v);
 
-        // Attention scores [B, H, T, T].
-        let kt = g.transpose_last2(k);
-        let scores = g.matmul(q, kt);
-        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
-        let attn = g.softmax_last(scaled);
-
-        // Context [B, H, T, Dh] -> [B, T, D].
-        let ctx = g.matmul(attn, v);
+        // Fused context [B, H, T, Dh] -> [B, T, D].
+        let ctx = g.attention(q, k, v, 1.0 / (dh as f32).sqrt());
         let merged = g.permute(ctx, &[0, 2, 1, 3]);
         let flat = g.reshape(merged, &[b, t, d]);
         self.wo.forward(g, p, flat)
@@ -187,6 +186,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fused_forward_matches_composed_path() {
+        // `forward` uses the fused kernel, `forward_with_attn` the composed
+        // matmul/softmax/matmul graph; both must agree.
+        let (store, mha) = setup(8, 2);
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let x = g.constant(Tensor::from_fn(&[2, 5, 8], |i| (i as f32 * 0.13).sin()));
+        let fused = mha.forward(&mut g, &p, x);
+        let (composed, _) = mha.forward_with_attn(&mut g, &p, x);
+        assert!(
+            g.value(fused).allclose(g.value(composed), 1e-5),
+            "fused and composed attention diverged"
+        );
     }
 
     #[test]

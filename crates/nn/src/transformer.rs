@@ -72,6 +72,11 @@ impl TransformerBlock {
     }
 
     /// Applies the block to `[B, T, D]` tokens.
+    ///
+    /// Attention runs through the fused [`Graph::attention`] kernel (no
+    /// `[B, H, T, T]` tensor is materialized); use
+    /// [`forward_with_attn`](Self::forward_with_attn) when the probabilities
+    /// are needed.
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -80,7 +85,14 @@ impl TransformerBlock {
         rng: &mut impl Rng,
         train: bool,
     ) -> Var {
-        self.forward_with_attn(g, p, x, rng, train).0
+        let n1 = self.ln1.forward(g, p, x);
+        let a = self.attn.forward(g, p, n1);
+        let a = self.dropout.forward(g, a, rng, train);
+        let x = g.add(x, a);
+        let n2 = self.ln2.forward(g, p, x);
+        let m = self.mlp.forward(g, p, n2);
+        let m = self.dropout.forward(g, m, rng, train);
+        g.add(x, m)
     }
 
     /// Like [`TransformerBlock::forward`], also returning the attention

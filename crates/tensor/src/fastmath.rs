@@ -1,0 +1,144 @@
+//! Fast scalar transcendentals for hot kernels.
+//!
+//! `libm`'s `expf`/`tanhf` dominate softmax, attention, GELU, and the gated
+//! recurrences once matmul is blocked and pooled. These are the classic
+//! Cephes single-precision polynomial approximations (range reduction plus a
+//! degree-5/6 minimax polynomial), accurate to ~2 ulp over the full `f32`
+//! range — indistinguishable from `std` at every tolerance this workspace
+//! tests (1e-5 and looser) and several times faster per call.
+//!
+//! Every kernel that softmaxes, gates, or activates routes through this
+//! module, so the *same* approximation is used everywhere: fused attention
+//! matches the composed softmax path bit-for-bit in its exponentials, and
+//! results stay deterministic for every pool size.
+
+// The Cephes coefficients are quoted digit-for-digit from the reference
+// implementation; don't shorten them to whatever f32 round-trips to.
+#![allow(clippy::excessive_precision)]
+
+/// Largest `x` with `exp(x)` finite in `f32`; above this we return infinity.
+const EXP_OVERFLOW: f32 = 88.722_83;
+/// Smallest `x` with `exp(x)` normal in `f32`; below this we return 0.
+const EXP_UNDERFLOW: f32 = -87.336_55;
+
+/// log2(e), for range reduction.
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+/// `ln 2` split into a high part exactly representable in `f32`…
+const LN2_HI: f32 = 0.693_359_375;
+/// …and the low-order remainder (`ln 2 - LN2_HI`).
+const LN2_LO: f32 = -2.121_944_4e-4;
+
+/// `e^x`, Cephes `expf`: ~2 ulp, exact at `x = 0`.
+///
+/// Branchless: the argument is clamped to the representable range instead of
+/// early-returning, so the body is a straight line of FMAs the compiler can
+/// pipeline across loop iterations (and vectorize where the loop allows).
+/// Above the overflow clamp the scale step still produces `+inf`; below the
+/// underflow clamp the result saturates at the smallest normal magnitude
+/// (~1.2e-38) rather than flushing to exactly `0.0`.
+#[inline]
+pub fn exp(x: f32) -> f32 {
+    let x = x.clamp(EXP_UNDERFLOW, EXP_OVERFLOW);
+    // x = n*ln2 + r with |r| <= ln2/2; e^x = 2^n * e^r.
+    let n = (LOG2E * x + 0.5).floor();
+    let r = x - n * LN2_HI - n * LN2_LO;
+    let z = r * r;
+    // Degree-5 minimax polynomial for (e^r - 1 - r) / r^2 on the reduced range.
+    let mut p = 1.987_569_1e-4_f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_6e-1;
+    p = p * r + 5.000_000_1e-1;
+    let e_r = p * z + r + 1.0;
+    // Scale by 2^n through the exponent bits; n is in [-126, 128] after the
+    // clamp above, so the constructed float is normal (or +inf at 128).
+    let bits = ((n as i32 + 127) as u32) << 23;
+    e_r * f32::from_bits(bits)
+}
+
+/// `tanh x`, Cephes `tanhf`: polynomial near zero, `exp`-based beyond.
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    let ax = x.abs();
+    if ax >= 9.0 {
+        // Saturated well past f32 resolution of 1 - tanh.
+        return if x > 0.0 { 1.0 } else { -1.0 };
+    }
+    if ax >= 0.625 {
+        let e = exp(2.0 * ax);
+        let t = 1.0 - 2.0 / (e + 1.0);
+        return if x > 0.0 { t } else { -t };
+    }
+    let z = x * x;
+    let mut p = -5.704_988_6e-3_f32;
+    p = p * z + 2.063_908_9e-2;
+    p = p * z - 5.373_971_4e-2;
+    p = p * z + 1.333_144_2e-1;
+    p = p * z - 3.333_328_2e-1;
+    p * z * x + x
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)` via [`exp`].
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + exp(-x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_matches_std_to_single_precision() {
+        // Sweep the numerically interesting range; compare against f64 exp.
+        let mut worst = 0.0f64;
+        let mut i = -2000i32;
+        while i <= 2000 {
+            let x = i as f32 * 0.01; // [-20, 20]
+            let got = exp(x) as f64;
+            let want = (x as f64).exp();
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+            i += 1;
+        }
+        assert!(worst < 1e-6, "exp worst relative error {worst}");
+    }
+
+    #[test]
+    fn exp_is_exact_at_zero_and_clamps() {
+        assert_eq!(exp(0.0), 1.0);
+        // Below the underflow clamp the result saturates near the smallest
+        // normal instead of flushing to zero — negligible for every softmax
+        // denominator (it is < 1.2e-38).
+        assert!(exp(-100.0) <= 1.2e-38);
+        assert_eq!(exp(100.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn tanh_matches_std_to_single_precision() {
+        let mut worst = 0.0f64;
+        let mut i = -1500i32;
+        while i <= 1500 {
+            let x = i as f32 * 0.01; // [-15, 15]
+            let got = tanh(x) as f64;
+            let want = (x as f64).tanh();
+            worst = worst.max((got - want).abs());
+            i += 1;
+        }
+        assert!(worst < 1e-6, "tanh worst absolute error {worst}");
+        assert_eq!(tanh(0.0), 0.0);
+        assert_eq!(tanh(20.0), 1.0);
+        assert_eq!(tanh(-20.0), -1.0);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_symmetry() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        for i in 0..100 {
+            let x = i as f32 * 0.1;
+            let s = sigmoid(x) as f64 + sigmoid(-x) as f64;
+            assert!((s - 1.0).abs() < 1e-6, "sigmoid symmetry broke at {x}: {s}");
+        }
+    }
+}

@@ -61,6 +61,7 @@ enum Op {
     SoftmaxLast(Var),
     LogSoftmaxLast(Var),
     LayerNorm { x: Var, gamma: Var, beta: Var, mean: Tensor, rstd: Tensor },
+    Attention { q: Var, k: Var, v: Var, scale: f32 },
     SumAll(Var),
     MeanAll(Var),
     SumAxis { input: Var, axis: usize, keepdim: bool },
@@ -314,42 +315,28 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
-        let xv = self.value(x);
-        let d = *xv.shape().last().expect("layer_norm requires rank >= 1");
-        assert_eq!(self.shape(gamma), &[d], "gamma must be [D]");
-        assert_eq!(self.shape(beta), &[d], "beta must be [D]");
-        let rows = xv.numel() / d;
-        let xc = xv.contiguous(); // row kernel below needs packed rows
-        let xd = xc.data();
-        let gd = self.value(gamma).to_vec();
-        let bd = self.value(beta).to_vec();
-        let mut out = Vec::with_capacity(xv.numel());
-        let mut means = Vec::with_capacity(rows);
-        let mut rstds = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let row = &xd[r * d..(r + 1) * d];
-            let mean: f32 = row.iter().sum::<f32>() / d as f32;
-            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let rstd = 1.0 / (var + eps).sqrt();
-            means.push(mean);
-            rstds.push(rstd);
-            for (i, &v) in row.iter().enumerate() {
-                out.push((v - mean) * rstd * gd[i] + bd[i]);
-            }
-        }
-        let value = Tensor::from_vec(out, xv.shape());
+        let (value, mean, rstd) =
+            ops::layer_norm_forward(self.value(x), self.value(gamma), self.value(beta), eps);
         let needs = self.needs(x) || self.needs(gamma) || self.needs(beta);
-        self.push(
-            Op::LayerNorm {
-                x,
-                gamma,
-                beta,
-                mean: Tensor::from_vec(means, &[rows]),
-                rstd: Tensor::from_vec(rstds, &[rows]),
-            },
-            value,
-            needs,
-        )
+        self.push(Op::LayerNorm { x, gamma, beta, mean, rstd }, value, needs)
+    }
+
+    /// Fused scaled-dot-product attention: `softmax(scale * q kᵀ) v`.
+    ///
+    /// `q` is `[..., Tq, D]`, `k` is `[..., Tk, D]`, `v` is `[..., Tk, Dv]`
+    /// with identical leading dimensions; the result is `[..., Tq, Dv]`.
+    /// Unlike composing [`Graph::matmul`], [`Graph::softmax_last`], and
+    /// [`Graph::matmul`], this records a single tape node and never
+    /// materializes the `[..., Tq, Tk]` score/probability tensors — forward
+    /// streams scores per query row and backward recomputes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatches between `q`, `k`, and `v`.
+    pub fn attention(&mut self, q: Var, k: Var, v: Var, scale: f32) -> Var {
+        let value = ops::attention(self.value(q), self.value(k), self.value(v), scale);
+        let needs = self.needs(q) || self.needs(k) || self.needs(v);
+        self.push(Op::Attention { q, k, v, scale }, value, needs)
     }
 
     // ---- reductions -------------------------------------------------------
@@ -588,6 +575,18 @@ impl Graph {
                 self.accumulate(grads, *x, dx);
                 self.accumulate(grads, *gamma, dgamma);
                 self.accumulate(grads, *beta, dbeta);
+            }
+            Op::Attention { q, k, v, scale } => {
+                let (dq, dk, dv) = ops::attention_backward(
+                    self.value(*q),
+                    self.value(*k),
+                    self.value(*v),
+                    *scale,
+                    g,
+                );
+                self.accumulate(grads, *q, dq);
+                self.accumulate(grads, *k, dk);
+                self.accumulate(grads, *v, dv);
             }
             Op::SumAll(a) => {
                 let scalar = g.item();

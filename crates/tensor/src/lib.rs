@@ -12,10 +12,12 @@
 //!    `split` are O(1) metadata edits over a shared buffer, with
 //!    [`Tensor::contiguous`] as the explicit materialization point.
 //! 2. [`ops`] — pure forward kernels: broadcasting arithmetic, a
-//!    cache-blocked parallel batched matmul (thread count via
-//!    `TSDX_NUM_THREADS`), softmax, layer norm, im2col convolution, pooling,
-//!    and fused classification losses. Elementwise and reduction kernels are
-//!    stride-aware and consume views directly.
+//!    register-tiled batched matmul, softmax, layer norm, im2col convolution,
+//!    pooling, fused scaled-dot-product attention, and fused classification
+//!    losses. Elementwise and reduction kernels are stride-aware and consume
+//!    views directly. Large kernels execute on the shared persistent
+//!    [`pool`] of worker threads (sized once from `TSDX_NUM_THREADS`, else
+//!    available parallelism) with bit-identical results for every pool size.
 //! 3. [`Graph`] — a define-by-run autograd tape recording op applications
 //!    and replaying them in reverse to produce [`Gradients`]. View-op
 //!    backwards are themselves views (a permute's gradient is the inverse
@@ -43,9 +45,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fastmath;
 pub mod grad_check;
 mod graph;
 pub mod ops;
+pub mod pool;
 pub mod shape;
 mod tensor;
 

@@ -1,6 +1,10 @@
 //! 2-D convolution (im2col-based) and pooling.
 
+use crate::pool;
 use crate::Tensor;
+
+/// im2col outputs below this many elements stay on the calling thread.
+const IM2COL_SERIAL_BELOW: usize = 1 << 15;
 
 /// Geometry of a 2-D convolution: kernel size, stride, and zero padding.
 ///
@@ -36,10 +40,42 @@ impl Conv2dSpec {
     }
 }
 
+/// Gathers the patches of a single `[C, H, W]` image into `out`
+/// (`C*KH*KW * OH*OW` elements, already zeroed). Shared by the serial and
+/// pooled [`im2col`] paths so both produce bit-identical columns.
+fn im2col_image(image: &[f32], out: &mut [f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) {
+    let (oh, ow) = spec.out_size(h, w);
+    let cols = oh * ow;
+    let pad = spec.padding as isize;
+    let mut row = 0usize;
+    for ci in 0..c {
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let orow = &mut out[row * cols..(row + 1) * cols];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            orow[p] = image[ci * h * w + iy as usize * w + ix as usize];
+                        }
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
 /// Unfolds image patches into columns.
 ///
 /// Input `[B, C, H, W]` becomes `[B, C*KH*KW, OH*OW]`, where column `p`
-/// holds the receptive field of output pixel `p`.
+/// holds the receptive field of output pixel `p`. Batches large enough to
+/// beat the serial threshold are distributed image-by-image over the shared
+/// worker pool; each image is gathered by exactly one job, so the result is
+/// bit-identical for every pool size.
 pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let sh = input.shape();
     assert_eq!(sh.len(), 4, "im2col expects [B, C, H, W]");
@@ -47,34 +83,30 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let (oh, ow) = spec.out_size(h, w);
     let cols = oh * ow;
     let rows = c * spec.kh * spec.kw;
-    let mut out = vec![0.0f32; b * rows * cols];
-    let input = input.contiguous(); // patch gather below indexes the flat buffer
-    let data = input.data();
-    let pad = spec.padding as isize;
-    for bi in 0..b {
-        let in_base = bi * c * h * w;
-        let out_base = bi * rows * cols;
-        let mut row = 0usize;
-        for ci in 0..c {
-            for ky in 0..spec.kh {
-                for kx in 0..spec.kw {
-                    let orow = &mut out[out_base + row * cols..out_base + (row + 1) * cols];
-                    let mut p = 0usize;
-                    for oy in 0..oh {
-                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                orow[p] =
-                                    data[in_base + ci * h * w + iy as usize * w + ix as usize];
-                            }
-                            p += 1;
-                        }
-                    }
-                    row += 1;
-                }
+    let input = input.contiguous(); // patch gather indexes the flat buffer
+    let spec = *spec;
+
+    if b > 1 && pool::should_parallelize(b * rows * cols, IM2COL_SERIAL_BELOW) {
+        let data = input.raw_arc();
+        let off = input.offset();
+        let threads = pool::num_threads().min(b);
+        let out = pool::parallel_rows(b, rows * cols, threads, move |first_b, chunk| {
+            let count = chunk.len() / (rows * cols);
+            for i in 0..count {
+                let bi = first_b + i;
+                let image = &data[off + bi * c * h * w..off + (bi + 1) * c * h * w];
+                let img_out = &mut chunk[i * rows * cols..(i + 1) * rows * cols];
+                im2col_image(image, img_out, c, h, w, &spec);
             }
-        }
+        });
+        return Tensor::from_vec(out, &[b, rows, cols]);
+    }
+
+    let mut out = vec![0.0f32; b * rows * cols];
+    let data = input.data();
+    for bi in 0..b {
+        let image = &data[bi * c * h * w..(bi + 1) * c * h * w];
+        im2col_image(image, &mut out[bi * rows * cols..(bi + 1) * rows * cols], c, h, w, &spec);
     }
     Tensor::from_vec(out, &[b, rows, cols])
 }

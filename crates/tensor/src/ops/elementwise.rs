@@ -1,7 +1,72 @@
 //! Elementwise arithmetic and activation functions with NumPy broadcasting.
+//!
+//! The named entry points (`add`, `mul`, `exp`, `gelu`, …) pass their scalar
+//! function as a `Copy` closure through generic dispatchers, so every op gets
+//! its own monomorphized inner loop (no per-element indirection) on both the
+//! serial path and the shared worker pool (see [`crate::pool`]) — a `Copy +
+//! 'static` closure, unlike a borrowed one, can move into a pool job. Small
+//! tensors, strided views, and broadcasts run on the calling thread.
 
+use crate::fastmath;
+use crate::pool;
 use crate::shape;
 use crate::Tensor;
+
+/// Elementwise kernels with fewer elements than this stay serial: the work
+/// per element is a handful of flops, so pool dispatch only pays off for
+/// large tensors.
+const ELEMWISE_SERIAL_BELOW: usize = 1 << 15;
+
+/// Applies `f` elementwise, chunking large contiguous tensors over the
+/// worker pool. Chunk boundaries cannot change any element's value (each
+/// element is computed independently by the same scalar code), so results
+/// are bit-identical for every pool size.
+fn unary<F>(a: &Tensor, f: F) -> Tensor
+where
+    F: Fn(f32) -> f32 + Copy + Send + Sync + 'static,
+{
+    if a.is_contiguous() && pool::should_parallelize(a.numel(), ELEMWISE_SERIAL_BELOW) {
+        let n = a.numel();
+        let ad = a.raw_arc();
+        let off = a.offset();
+        let out = pool::parallel_rows(n, 1, pool::num_threads(), move |first, out| {
+            let src = &ad[off + first..off + first + out.len()];
+            for (o, &x) in out.iter_mut().zip(src) {
+                *o = f(x);
+            }
+        });
+        Tensor::from_vec(out, a.shape())
+    } else {
+        a.map(f)
+    }
+}
+
+/// Applies `f` over two operands, chunking the same-shape contiguous case
+/// over the worker pool and deferring everything else (broadcasts, strided
+/// views, small tensors) to the serial [`binary_broadcast`] engine.
+fn binary<F>(a: &Tensor, b: &Tensor, f: F) -> Tensor
+where
+    F: Fn(f32, f32) -> f32 + Copy + Send + Sync + 'static,
+{
+    if a.shape() == b.shape()
+        && a.is_contiguous()
+        && b.is_contiguous()
+        && pool::should_parallelize(a.numel(), ELEMWISE_SERIAL_BELOW)
+    {
+        let n = a.numel();
+        let (ad, bd) = (a.raw_arc(), b.raw_arc());
+        let (ao, bo) = (a.offset(), b.offset());
+        let out = pool::parallel_rows(n, 1, pool::num_threads(), move |first, out| {
+            let xs = &ad[ao + first..ao + first + out.len()];
+            let ys = &bd[bo + first..bo + first + out.len()];
+            for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+                *o = f(x, y);
+            }
+        });
+        return Tensor::from_vec(out, a.shape());
+    }
+    binary_broadcast(a, b, f)
+}
 
 /// Applies `f` elementwise over the broadcast of `a` and `b`.
 ///
@@ -25,7 +90,6 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
     let rank = out_shape.len();
     let ad = a.raw_data();
     let bd = b.raw_data();
-    let mut out = Vec::with_capacity(n);
 
     // Fast path: contiguous `a`, and `b` broadcasts along the last axis only
     // (bias-add pattern).
@@ -41,14 +105,18 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
         let d = out_shape[last];
         let a_flat = &ad[a.offset()..a.offset() + n];
         let b_flat = &bd[b.offset()..b.offset() + d];
-        for chunk in a_flat.chunks_exact(d) {
-            for (x, y) in chunk.iter().zip(b_flat.iter()) {
-                out.push(f(*x, *y));
+        // Preallocated rows instead of per-element `push`: the zipped slice
+        // loop has no capacity checks, so it vectorizes.
+        let mut out = vec![0.0f32; n];
+        for (orow, arow) in out.chunks_exact_mut(d).zip(a_flat.chunks_exact(d)) {
+            for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(b_flat) {
+                *o = f(x, y);
             }
         }
         return Tensor::from_vec(out, &out_shape);
     }
 
+    let mut out = Vec::with_capacity(n);
     let mut ia = vec![0usize; rank];
     let mut offset_a = a.offset();
     let mut offset_b = b.offset();
@@ -72,86 +140,86 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
 
 /// Broadcasting elementwise addition.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    binary_broadcast(a, b, |x, y| x + y)
+    binary(a, b, |x, y| x + y)
 }
 
 /// Broadcasting elementwise subtraction.
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
-    binary_broadcast(a, b, |x, y| x - y)
+    binary(a, b, |x, y| x - y)
 }
 
 /// Broadcasting elementwise multiplication.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
-    binary_broadcast(a, b, |x, y| x * y)
+    binary(a, b, |x, y| x * y)
 }
 
 /// Broadcasting elementwise division.
 pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
-    binary_broadcast(a, b, |x, y| x / y)
+    binary(a, b, |x, y| x / y)
 }
 
 /// Multiplies every element by `c`.
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
-    a.map(|x| x * c)
+    unary(a, move |x| x * c)
 }
 
 /// Adds `c` to every element.
 pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
-    a.map(|x| x + c)
+    unary(a, move |x| x + c)
 }
 
 /// Elementwise negation.
 pub fn neg(a: &Tensor) -> Tensor {
-    a.map(|x| -x)
+    unary(a, |x| -x)
 }
 
-/// Elementwise natural exponential.
+/// Elementwise natural exponential (via [`fastmath::exp`]).
 pub fn exp(a: &Tensor) -> Tensor {
-    a.map(f32::exp)
+    unary(a, fastmath::exp)
 }
 
 /// Elementwise natural logarithm.
 pub fn ln(a: &Tensor) -> Tensor {
-    a.map(f32::ln)
+    unary(a, |x| x.ln())
 }
 
 /// Elementwise square root.
 pub fn sqrt(a: &Tensor) -> Tensor {
-    a.map(f32::sqrt)
+    unary(a, |x| x.sqrt())
 }
 
 /// Rectified linear unit: `max(x, 0)`.
 pub fn relu(a: &Tensor) -> Tensor {
-    a.map(|x| x.max(0.0))
+    unary(a, |x| x.max(0.0))
 }
 
 /// Gradient of [`relu`] given the op *input* and upstream gradient.
 pub fn relu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
-    input.zip(grad, |x, g| if x > 0.0 { g } else { 0.0 })
+    binary(input, grad, |x, g| if x > 0.0 { g } else { 0.0 })
 }
 
-/// Elementwise logistic sigmoid.
+/// Elementwise logistic sigmoid (via [`fastmath::sigmoid`]).
 pub fn sigmoid(a: &Tensor) -> Tensor {
-    a.map(|x| 1.0 / (1.0 + (-x).exp()))
+    unary(a, fastmath::sigmoid)
 }
 
-/// Elementwise hyperbolic tangent.
+/// Elementwise hyperbolic tangent (via [`fastmath::tanh`]).
 pub fn tanh(a: &Tensor) -> Tensor {
-    a.map(f32::tanh)
+    unary(a, fastmath::tanh)
 }
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 
 /// GELU activation (tanh approximation), as used in transformer MLPs.
 pub fn gelu(a: &Tensor) -> Tensor {
-    a.map(|x| 0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh()))
+    unary(a, |x| 0.5 * x * (1.0 + fastmath::tanh(GELU_C * (x + 0.044_715 * x * x * x))))
 }
 
 /// Gradient of [`gelu`] given the op *input* and upstream gradient.
 pub fn gelu_backward(input: &Tensor, grad: &Tensor) -> Tensor {
-    input.zip(grad, |x, g| {
+    binary(input, grad, |x, g| {
         let u = GELU_C * (x + 0.044_715 * x * x * x);
-        let t = u.tanh();
+        let t = fastmath::tanh(u);
         let du = GELU_C * (1.0 + 3.0 * 0.044_715 * x * x);
         g * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
     })

@@ -1,49 +1,49 @@
-//! Batched matrix multiplication: cache-blocked, parallel, stride-aware.
+//! Batched matrix multiplication: register-tiled, parallel, stride-aware.
 //!
 //! The kernel reads both operands through their `(strides, offset)` view
 //! metadata, so the transposed and permuted views produced by attention
 //! (`q @ kᵀ`, head split/merge) multiply directly with no materialization:
 //!
 //! - `B` with unit column stride (row-major matrices, head-split views) runs
-//!   a k-blocked `ikj` SAXPY kernel — the inner loop is a contiguous AXPY
-//!   over an output row, and blocking over `k` keeps the active slab of `B`
-//!   in cache while it is reused across output rows.
+//!   a register-tiled kernel: each 4-row × 16-column output block
+//!   accumulates in registers across the whole `k` loop and is stored once,
+//!   so output rows are never re-read and each loaded `B` cache line feeds
+//!   four accumulator rows.
 //! - `B` with unit *row* stride (a `transpose_last2` view) runs a
 //!   dot-product kernel where both the `A` row and the logical `B` column
 //!   are contiguous slices.
 //! - Anything else is materialized once with `contiguous()` and dispatched
 //!   to the SAXPY kernel.
 //!
-//! Work is parallelized across the flattened batch×row space with scoped
-//! threads. The thread count comes from the `TSDX_NUM_THREADS` environment
-//! variable when set, else from the machine's available parallelism; tiny
-//! problems stay on the calling thread.
+//! Work is parallelized across the flattened batch×row space on the shared
+//! persistent worker pool (see [`crate::pool`]): the thread count comes from
+//! `TSDX_NUM_THREADS` when set, else from the machine's available
+//! parallelism, and tiny problems stay on the calling thread.
 
-use std::sync::OnceLock;
+use std::sync::Arc;
 
+use crate::pool;
 use crate::shape;
 use crate::Tensor;
 
-/// Block size over the shared dimension `k`: 64 rows of `B` at f32 keep the
-/// active slab within L1/L2 for the row widths this workspace uses.
-const K_BLOCK: usize = 64;
+/// Width of one output-column tile in the register-tiled kernel: 16 `f32`s
+/// is exactly one cache line of each `B` row, and a 4×16 accumulator block
+/// fits the architectural vector registers with room for the operands.
+const J_TILE: usize = 16;
 
-/// Below this many scalar multiply-adds, thread spawn overhead exceeds the
+/// Below this many scalar multiply-adds, pool dispatch overhead exceeds the
 /// kernel time and the multiply runs on the calling thread.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
 
-/// The number of worker threads [`matmul`] uses: `TSDX_NUM_THREADS` if set
-/// to a positive integer, else the machine's available parallelism.
+/// The worker-thread count [`matmul`] uses — the shared pool's size
+/// ([`pool::num_threads`]): `TSDX_NUM_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics if `TSDX_NUM_THREADS` is set to a non-positive-integer value.
 pub fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var("TSDX_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    static HW: OnceLock<usize> = OnceLock::new();
-    *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    pool::num_threads()
 }
 
 /// Batched matrix product `a @ b`.
@@ -69,10 +69,10 @@ pub fn configured_threads() -> usize {
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (ash, bsh) = (a.shape(), b.shape());
     if ash.len() >= 2 && bsh.len() >= 2 {
-        // Tiny multiplies stay on the calling thread: spawn overhead would
+        // Tiny multiplies stay on the calling thread: pool dispatch would
         // dominate the kernel.
         let flops = a.numel() / ash[ash.len() - 1] * bsh[bsh.len() - 1] * ash[ash.len() - 1];
-        if flops < PARALLEL_THRESHOLD {
+        if !pool::should_parallelize(flops, PARALLEL_THRESHOLD) {
             return matmul_with_threads(a, b, 1);
         }
     }
@@ -124,13 +124,13 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let sb_batch = shape::broadcast_view_strides(batch_b, &b.strides()[..batch_b.len()], &batch);
 
     let ctx = KernelCtx {
-        ad: a.raw_data(),
-        bd: b.raw_data(),
+        ad: a.raw_arc(),
+        bd: b.raw_arc(),
         a_off: a.offset(),
         b_off: b.offset(),
-        batch: &batch,
-        sa_batch: &sa_batch,
-        sb_batch: &sb_batch,
+        batch,
+        sa_batch,
+        sb_batch,
         m,
         n,
         k,
@@ -145,15 +145,12 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let threads = threads.max(1).min(total_rows);
     if threads == 1 {
         compute_rows(&mut out, 0, &ctx);
-    } else {
-        let rows_per = total_rows.div_ceil(threads);
-        std::thread::scope(|s| {
-            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let ctx = &ctx;
-                s.spawn(move || compute_rows(chunk, t * rows_per, ctx));
-            }
-        });
+        return Tensor::from_vec(out, &out_shape);
     }
+    let ctx = Arc::new(ctx);
+    let out = pool::parallel_rows(total_rows, n, threads, move |first_row, chunk| {
+        compute_rows(chunk, first_row, &ctx)
+    });
     Tensor::from_vec(out, &out_shape)
 }
 
@@ -163,15 +160,16 @@ fn last2_strides(t: &Tensor) -> (usize, usize) {
     (s[s.len() - 1], s[s.len() - 2])
 }
 
-/// Everything a worker needs to compute a span of output rows.
-struct KernelCtx<'a> {
-    ad: &'a [f32],
-    bd: &'a [f32],
+/// Everything a worker needs to compute a span of output rows. Buffers are
+/// held by `Arc` so the context can move into `'static` pool jobs.
+struct KernelCtx {
+    ad: Arc<Vec<f32>>,
+    bd: Arc<Vec<f32>>,
     a_off: usize,
     b_off: usize,
-    batch: &'a [usize],
-    sa_batch: &'a [usize],
-    sb_batch: &'a [usize],
+    batch: Vec<usize>,
+    sa_batch: Vec<usize>,
+    sb_batch: Vec<usize>,
     m: usize,
     n: usize,
     k: usize,
@@ -184,7 +182,7 @@ struct KernelCtx<'a> {
 
 /// Computes the output rows `[start_row, start_row + chunk.len() / n)` of
 /// the flattened batch×row space into `chunk`.
-fn compute_rows(chunk: &mut [f32], start_row: usize, ctx: &KernelCtx<'_>) {
+fn compute_rows(chunk: &mut [f32], start_row: usize, ctx: &KernelCtx) {
     let KernelCtx { m, n, .. } = *ctx;
     let rows = chunk.len() / n;
     let mut r = start_row;
@@ -192,9 +190,9 @@ fn compute_rows(chunk: &mut [f32], start_row: usize, ctx: &KernelCtx<'_>) {
     while r < end {
         // All rows of one batch matrix share their operand base offsets.
         let bi = r / m;
-        let idx = shape::index_of(ctx.batch, bi);
-        let a_base = ctx.a_off + dot_idx(&idx, ctx.sa_batch);
-        let b_base = ctx.b_off + dot_idx(&idx, ctx.sb_batch);
+        let idx = shape::index_of(&ctx.batch, bi);
+        let a_base = ctx.a_off + dot_idx(&idx, &ctx.sa_batch);
+        let b_base = ctx.b_off + dot_idx(&idx, &ctx.sb_batch);
         let i0 = r % m;
         let i1 = (end - bi * m).min(m);
         let rows_here = i1 - i0;
@@ -212,36 +210,84 @@ fn dot_idx(idx: &[usize], strides: &[usize]) -> usize {
     idx.iter().zip(strides).map(|(&i, &s)| i * s).sum()
 }
 
-/// k-blocked `ikj` kernel for unit-column-stride `B`: the inner loop is a
-/// contiguous AXPY over the output row, and each `K_BLOCK`-row slab of `B`
-/// is reused across all `rows` output rows before moving on.
+/// Register-tiled kernel for unit-column-stride `B`: each 4-row ×
+/// [`J_TILE`]-column block of the output accumulates in a stack array across
+/// the whole `k` loop and is stored exactly once, so output rows are never
+/// re-read, and each loaded `B` cache line feeds four accumulator rows.
+/// Every output element accumulates `av * bv` from zero in ascending `kk`
+/// order whatever the tiling, so chunk boundaries (and hence pool sizes)
+/// cannot change a single bit of the result.
 fn saxpy_kernel(
     o: &mut [f32],
     a_base: usize,
     b_base: usize,
     i0: usize,
     rows: usize,
-    ctx: &KernelCtx<'_>,
+    ctx: &KernelCtx,
 ) {
-    let KernelCtx { ad, bd, n, k, ars, acs, brs, .. } = *ctx;
-    let mut kb = 0;
-    while kb < k {
-        let kend = (kb + K_BLOCK).min(k);
-        for row in 0..rows {
-            let i = i0 + row;
-            let orow = &mut o[row * n..(row + 1) * n];
-            for kk in kb..kend {
-                let av = ad[a_base + i * ars + kk * acs];
-                if av == 0.0 {
-                    continue;
+    let KernelCtx { n, k, ars, acs, brs, .. } = *ctx;
+    let (ad, bd): (&[f32], &[f32]) = (&ctx.ad, &ctx.bd);
+    let mut row = 0;
+    while row + 3 < rows {
+        let i = i0 + row;
+        let mut jt = 0;
+        while jt + J_TILE <= n {
+            let mut acc = [[0.0f32; J_TILE]; 4];
+            for kk in 0..k {
+                let ab = a_base + kk * acs;
+                let av = [
+                    ad[ab + i * ars],
+                    ad[ab + (i + 1) * ars],
+                    ad[ab + (i + 2) * ars],
+                    ad[ab + (i + 3) * ars],
+                ];
+                let bt = &bd[b_base + kk * brs + jt..b_base + kk * brs + jt + J_TILE];
+                for (arow, &a) in acc.iter_mut().zip(&av) {
+                    for (ov, &bv) in arow.iter_mut().zip(bt) {
+                        *ov += a * bv;
+                    }
                 }
-                let brow = &bd[b_base + kk * brs..b_base + kk * brs + n];
-                for (ov, &bv) in orow.iter_mut().zip(brow) {
+            }
+            for (r, arow) in acc.iter().enumerate() {
+                o[(row + r) * n + jt..(row + r) * n + jt + J_TILE].copy_from_slice(arow);
+            }
+            jt += J_TILE;
+        }
+        // Narrow column tail: plain per-element dot products.
+        for r in 0..4 {
+            for j in jt..n {
+                let mut s = 0.0f32;
+                for kk in 0..k {
+                    s += ad[a_base + (i + r) * ars + kk * acs] * bd[b_base + kk * brs + j];
+                }
+                o[(row + r) * n + j] = s;
+            }
+        }
+        row += 4;
+    }
+    while row < rows {
+        let i = i0 + row;
+        let mut jt = 0;
+        while jt + J_TILE <= n {
+            let mut acc = [0.0f32; J_TILE];
+            for kk in 0..k {
+                let av = ad[a_base + i * ars + kk * acs];
+                let bt = &bd[b_base + kk * brs + jt..b_base + kk * brs + jt + J_TILE];
+                for (ov, &bv) in acc.iter_mut().zip(bt) {
                     *ov += av * bv;
                 }
             }
+            o[row * n + jt..row * n + jt + J_TILE].copy_from_slice(&acc);
+            jt += J_TILE;
         }
-        kb = kend;
+        for j in jt..n {
+            let mut s = 0.0f32;
+            for kk in 0..k {
+                s += ad[a_base + i * ars + kk * acs] * bd[b_base + kk * brs + j];
+            }
+            o[row * n + j] = s;
+        }
+        row += 1;
     }
 }
 
@@ -253,16 +299,33 @@ fn dot_kernel(
     b_base: usize,
     i0: usize,
     rows: usize,
-    ctx: &KernelCtx<'_>,
+    ctx: &KernelCtx,
 ) {
-    let KernelCtx { ad, bd, n, k, ars, bcs, .. } = *ctx;
+    let KernelCtx { n, k, ars, bcs, .. } = *ctx;
+    let (ad, bd): (&[f32], &[f32]) = (&ctx.ad, &ctx.bd);
     for row in 0..rows {
         let i = i0 + row;
         let arow = &ad[a_base + i * ars..a_base + i * ars + k];
         let orow = &mut o[row * n..(row + 1) * n];
         for (j, ov) in orow.iter_mut().enumerate() {
             let bcol = &bd[b_base + j * bcs..b_base + j * bcs + k];
-            *ov = arow.iter().zip(bcol).map(|(&x, &y)| x * y).sum();
+            // Four independent accumulators keep the FMA pipeline busy; the
+            // summation order is fixed per element, so chunking stays
+            // bit-identical.
+            let mut acc = [0.0f32; 4];
+            let ca = arow.chunks_exact(4);
+            let cb = bcol.chunks_exact(4);
+            let mut tail = 0.0f32;
+            for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+                tail += x * y;
+            }
+            for (x, y) in ca.zip(cb) {
+                acc[0] += x[0] * y[0];
+                acc[1] += x[1] * y[1];
+                acc[2] += x[2] * y[2];
+                acc[3] += x[3] * y[3];
+            }
+            *ov = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
         }
     }
 }

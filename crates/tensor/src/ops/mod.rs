@@ -5,13 +5,16 @@
 //! [`Graph`](crate::Graph) builds on these kernels and adds the corresponding
 //! backward rules.
 
+mod attention;
 mod conv;
 mod elementwise;
 mod loss;
 mod matmul;
+mod norm;
 mod reduce;
 mod shapeops;
 
+pub use attention::{attention, attention_backward};
 pub use conv::{
     avg_pool2d, avg_pool2d_backward, col2im, conv2d, im2col, max_pool2d, max_pool2d_backward,
     pad2d, Conv2dSpec,
@@ -24,6 +27,7 @@ pub use loss::{
     bce_with_logits, bce_with_logits_backward, cross_entropy_logits, cross_entropy_logits_backward,
 };
 pub use matmul::{configured_threads, matmul, matmul_with_threads};
+pub use norm::layer_norm_forward;
 pub use reduce::{
     argmax_last, log_softmax_last, max_axis, mean_all, mean_axis, softmax_last, sum_all, sum_axis,
 };

@@ -1,0 +1,138 @@
+//! Layer normalization forward kernel.
+
+use crate::pool;
+use crate::Tensor;
+
+/// Layer-norm rows below this many elements stay on the calling thread.
+const LAYERNORM_SERIAL_BELOW: usize = 1 << 14;
+
+/// Normalizes `count` packed rows of width `d` starting at logical row
+/// `first_row`, writing normalized values plus the per-row `mean`/`rstd`
+/// statistics the backward pass reuses. Row-local accumulation order is the
+/// shared determinism anchor for the serial and pooled paths.
+fn layer_norm_rows(
+    src: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    means: &mut [f32],
+    rstds: &mut [f32],
+) {
+    let d = gamma.len();
+    for (r, (row, orow)) in src.chunks_exact(d).zip(out.chunks_exact_mut(d)).enumerate() {
+        let mean: f32 = row.iter().sum::<f32>() / d as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let rstd = 1.0 / (var + eps).sqrt();
+        means[r] = mean;
+        rstds[r] = rstd;
+        for (i, (o, &v)) in orow.iter_mut().zip(row).enumerate() {
+            *o = (v - mean) * rstd * gamma[i] + beta[i];
+        }
+    }
+}
+
+/// Layer normalization over the last dimension with affine parameters.
+///
+/// Returns `(normalized, mean, rstd)` where `mean` and `rstd` are rank-1
+/// tensors of length `rows` saved for the backward pass. Large inputs
+/// partition their rows over the shared worker pool with bit-identical
+/// results for every pool size.
+///
+/// # Panics
+///
+/// Panics unless `gamma` and `beta` are rank-1 of length `D`, the last
+/// dimension of `x`.
+pub fn layer_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, Tensor, Tensor) {
+    let d = *x.shape().last().expect("layer_norm requires rank >= 1");
+    assert_eq!(gamma.shape(), &[d], "gamma must be [D]");
+    assert_eq!(beta.shape(), &[d], "beta must be [D]");
+    let rows = x.numel() / d;
+    let xc = x.contiguous(); // row kernel needs packed rows
+    let gd = gamma.to_vec();
+    let bd = beta.to_vec();
+
+    if rows > 1 && pool::should_parallelize(xc.numel(), LAYERNORM_SERIAL_BELOW) {
+        let xd = xc.raw_arc();
+        let off = xc.offset();
+        let threads = pool::num_threads().min(rows);
+        let rows_per = rows.div_ceil(threads);
+        let chunks = rows.div_ceil(rows_per);
+        let gd = std::sync::Arc::new(gd);
+        let bd = std::sync::Arc::new(bd);
+        let parts = pool::map_chunks(chunks, move |c| {
+            let first = c * rows_per;
+            let count = rows_per.min(rows - first);
+            let mut out = vec![0.0f32; count * d];
+            let mut means = vec![0.0f32; count];
+            let mut rstds = vec![0.0f32; count];
+            let src = &xd[off + first * d..off + (first + count) * d];
+            layer_norm_rows(src, &gd, &bd, eps, &mut out, &mut means, &mut rstds);
+            (out, means, rstds)
+        });
+        let mut out = Vec::with_capacity(rows * d);
+        let mut means = Vec::with_capacity(rows);
+        let mut rstds = Vec::with_capacity(rows);
+        for (o, m, r) in parts {
+            out.extend_from_slice(&o);
+            means.extend_from_slice(&m);
+            rstds.extend_from_slice(&r);
+        }
+        return (
+            Tensor::from_vec(out, x.shape()),
+            Tensor::from_vec(means, &[rows]),
+            Tensor::from_vec(rstds, &[rows]),
+        );
+    }
+
+    let mut out = vec![0.0f32; rows * d];
+    let mut means = vec![0.0f32; rows];
+    let mut rstds = vec![0.0f32; rows];
+    layer_norm_rows(xc.data(), &gd, &bd, eps, &mut out, &mut means, &mut rstds);
+    (
+        Tensor::from_vec(out, x.shape()),
+        Tensor::from_vec(means, &[rows]),
+        Tensor::from_vec(rstds, &[rows]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_normalized() {
+        let x = Tensor::from_fn(&[3, 8], |i| (i as f32 * 0.37).sin() * 2.0);
+        let gamma = Tensor::ones(&[8]);
+        let beta = Tensor::zeros(&[8]);
+        let (y, mean, rstd) = layer_norm_forward(&x, &gamma, &beta, 1e-5);
+        assert_eq!(y.shape(), &[3, 8]);
+        assert_eq!(mean.shape(), &[3]);
+        assert_eq!(rstd.shape(), &[3]);
+        for r in 0..3 {
+            let row = &y.data()[r * 8..(r + 1) * 8];
+            let m: f32 = row.iter().sum::<f32>() / 8.0;
+            let v: f32 = row.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / 8.0;
+            assert!(m.abs() < 1e-5, "row {r} mean {m}");
+            assert!((v - 1.0).abs() < 1e-3, "row {r} var {v}");
+        }
+    }
+
+    #[test]
+    fn affine_params_apply() {
+        let x = Tensor::from_fn(&[2, 4], |i| i as f32);
+        let gamma = Tensor::full(&[4], 2.0);
+        let beta = Tensor::full(&[4], 0.5);
+        let (y, _, _) = layer_norm_forward(&x, &gamma, &beta, 1e-5);
+        let ones = Tensor::ones(&[4]);
+        let zeros = Tensor::zeros(&[4]);
+        let (base, _, _) = layer_norm_forward(&x, &ones, &zeros, 1e-5);
+        let expect = base.map(|v| v * 2.0 + 0.5);
+        assert!(y.allclose(&expect, 1e-6));
+    }
+}

@@ -1,6 +1,58 @@
 //! Reductions and softmax-family operations.
+//!
+//! Row-independent kernels (softmax, log-softmax, axis reductions over a
+//! contiguous layout) partition their rows over the shared worker pool (see
+//! [`crate::pool`]); every row is produced by exactly one chunk with the
+//! serial accumulation order, so results are bit-identical for every pool
+//! size. Small tensors and strided views stay on the calling thread.
 
+use crate::fastmath;
+use crate::pool;
 use crate::Tensor;
+
+/// Row kernels below this many elements stay serial — a softmax row costs
+/// one exp per element, so pool dispatch pays off only on large batches.
+const ROWWISE_SERIAL_BELOW: usize = 1 << 14;
+
+/// Maximum of a row via four independent lanes. `f32::max` is associative
+/// and commutative, so the lane split cannot change the result; it just
+/// breaks the serial dependency chain.
+#[inline]
+pub(super) fn max4(xs: &[f32]) -> f32 {
+    let c = xs.chunks_exact(4);
+    let mut m = [f32::NEG_INFINITY; 4];
+    let mut tail = f32::NEG_INFINITY;
+    for &x in c.remainder() {
+        tail = tail.max(x);
+    }
+    for x in c {
+        m[0] = m[0].max(x[0]);
+        m[1] = m[1].max(x[1]);
+        m[2] = m[2].max(x[2]);
+        m[3] = m[3].max(x[3]);
+    }
+    m[0].max(m[1]).max(m[2].max(m[3])).max(tail)
+}
+
+/// Sum of a row via four independent accumulator lanes. The lane assignment
+/// depends only on element index, so the result is a fixed function of the
+/// row — identical for every pool size and chunking.
+#[inline]
+pub(super) fn sum4(xs: &[f32]) -> f32 {
+    let c = xs.chunks_exact(4);
+    let mut acc = [0.0f32; 4];
+    let mut tail = 0.0f32;
+    for &x in c.remainder() {
+        tail += x;
+    }
+    for x in c {
+        acc[0] += x[0];
+        acc[1] += x[1];
+        acc[2] += x[2];
+        acc[3] += x[3];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
 
 /// Sum of all elements as a scalar tensor.
 pub fn sum_all(a: &Tensor) -> Tensor {
@@ -33,16 +85,42 @@ pub fn mean_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
 
 /// Maximum over dimension `axis`.
 pub fn max_axis(a: &Tensor, axis: usize, keepdim: bool) -> Tensor {
-    reduce_axis(a, axis, keepdim, f32::NEG_INFINITY, f32::max)
+    reduce_axis(a, axis, keepdim, f32::NEG_INFINITY, |acc, x| acc.max(x))
 }
 
-fn reduce_axis(
-    a: &Tensor,
-    axis: usize,
-    keepdim: bool,
+/// Reduces one `outer` slab (`count` outer indices starting at `first_o`)
+/// of a contiguous `[outer, d, inner]` layout into `out`. Accumulation over
+/// the reduced axis runs in ascending `k` order — the determinism anchor
+/// shared by the serial and pooled paths.
+fn reduce_outer_slab<F>(
+    data: &[f32],
+    out: &mut [f32],
+    first_o: usize,
+    d: usize,
+    inner: usize,
     init: f32,
-    f: impl Fn(f32, f32) -> f32,
-) -> Tensor {
+    f: F,
+) where
+    F: Fn(f32, f32) -> f32 + Copy,
+{
+    out.fill(init);
+    let count = out.len() / inner.max(1);
+    for c in 0..count {
+        let o = first_o + c;
+        for k in 0..d {
+            let base = (o * d + k) * inner;
+            let orow = &mut out[c * inner..(c + 1) * inner];
+            for (ov, &x) in orow.iter_mut().zip(&data[base..base + inner]) {
+                *ov = f(*ov, x);
+            }
+        }
+    }
+}
+
+fn reduce_axis<F>(a: &Tensor, axis: usize, keepdim: bool, init: f32, f: F) -> Tensor
+where
+    F: Fn(f32, f32) -> f32 + Copy + Send + Sync + 'static,
+{
     assert!(axis < a.rank(), "axis {axis} out of range for rank {}", a.rank());
     let sh = a.shape();
     let rank = sh.len();
@@ -52,16 +130,16 @@ fn reduce_axis(
     let mut out = vec![init; outer * inner];
 
     if a.is_contiguous() {
-        // Dense layout: slice-based outer/axis/inner kernel.
-        let data = a.data();
-        for o in 0..outer {
-            for k in 0..d {
-                let base = (o * d + k) * inner;
-                let orow = &mut out[o * inner..(o + 1) * inner];
-                for (ov, &x) in orow.iter_mut().zip(&data[base..base + inner]) {
-                    *ov = f(*ov, x);
-                }
-            }
+        if inner > 0 && outer > 1 && pool::should_parallelize(a.numel(), ROWWISE_SERIAL_BELOW) {
+            // Dense layout, many independent outer slabs: partition them
+            // over the pool.
+            let ad = a.raw_arc();
+            let off = a.offset();
+            out = pool::parallel_rows(outer, inner, pool::num_threads(), move |first_o, buf| {
+                reduce_outer_slab(&ad[off..], buf, first_o, d, inner, init, f);
+            });
+        } else {
+            reduce_outer_slab(a.data(), &mut out, 0, d, inner, init, f);
         }
     } else {
         // Strided view: walk the input odometer-style, accumulating into the
@@ -129,44 +207,69 @@ pub fn argmax_last(a: &Tensor) -> Tensor {
     Tensor::from_vec(out, &a.shape()[..a.rank() - 1])
 }
 
-/// Numerically-stable softmax over the last dimension.
-pub fn softmax_last(a: &Tensor) -> Tensor {
-    let d = *a.shape().last().expect("softmax_last requires rank >= 1");
-    let rows = a.numel() / d;
-    let a = a.contiguous(); // the row kernel needs packed rows
-    let data = a.data();
-    let mut out = Vec::with_capacity(a.numel());
-    for r in 0..rows {
-        let row = &data[r * d..(r + 1) * d];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0;
-        let start = out.len();
-        for &x in row {
-            let e = (x - m).exp();
-            denom += e;
-            out.push(e);
+/// Softmax of packed rows: `out` and `src` hold the same whole rows of
+/// width `d`.
+fn softmax_rows(src: &[f32], out: &mut [f32], d: usize) {
+    for (row, orow) in src.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        let m = max4(row);
+        // Exponentiate in a dependency-free pass (vectorizable — `fastmath::
+        // exp` is branchless), then reduce with lane accumulators.
+        for (o, &x) in orow.iter_mut().zip(row) {
+            *o = fastmath::exp(x - m);
         }
-        for v in &mut out[start..] {
+        let denom = sum4(orow);
+        for v in orow.iter_mut() {
             *v /= denom;
         }
     }
+}
+
+/// Log-softmax of packed rows (layout as in [`softmax_rows`]).
+fn log_softmax_rows(src: &[f32], out: &mut [f32], d: usize) {
+    for (row, orow) in src.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        let m = max4(row);
+        // Stage the exponentials in `orow` so the exp pass is dependency-free
+        // (vectorizable); the lane-accumulated sum then reads them back.
+        for (o, &x) in orow.iter_mut().zip(row) {
+            *o = fastmath::exp(x - m);
+        }
+        let lse = m + sum4(orow).ln();
+        for (o, &x) in orow.iter_mut().zip(row) {
+            *o = x - lse;
+        }
+    }
+}
+
+/// Dispatches a packed-row kernel serially or over the worker pool. The row
+/// kernel sees exactly the same `(src, out)` row slices either way, so the
+/// result is bit-identical for every pool size.
+fn rowwise(a: &Tensor, d: usize, kernel: fn(&[f32], &mut [f32], usize)) -> Tensor {
+    let rows = a.numel() / d;
+    let a = a.contiguous(); // the row kernels need packed rows
+    if rows > 1 && pool::should_parallelize(a.numel(), ROWWISE_SERIAL_BELOW) {
+        let ad = a.raw_arc();
+        let off = a.offset();
+        let out = pool::parallel_rows(rows, d, pool::num_threads(), move |first_row, out| {
+            let src = &ad[off + first_row * d..off + first_row * d + out.len()];
+            kernel(src, out, d);
+        });
+        return Tensor::from_vec(out, a.shape());
+    }
+    let mut out = vec![0.0f32; a.numel()];
+    kernel(a.data(), &mut out, d);
     Tensor::from_vec(out, a.shape())
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax_last(a: &Tensor) -> Tensor {
+    let d = *a.shape().last().expect("softmax_last requires rank >= 1");
+    rowwise(a, d, softmax_rows)
 }
 
 /// Numerically-stable log-softmax over the last dimension.
 pub fn log_softmax_last(a: &Tensor) -> Tensor {
     let d = *a.shape().last().expect("log_softmax_last requires rank >= 1");
-    let rows = a.numel() / d;
-    let a = a.contiguous(); // the row kernel needs packed rows
-    let data = a.data();
-    let mut out = Vec::with_capacity(a.numel());
-    for r in 0..rows {
-        let row = &data[r * d..(r + 1) * d];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-        out.extend(row.iter().map(|&x| x - lse));
-    }
-    Tensor::from_vec(out, a.shape())
+    rowwise(a, d, log_softmax_rows)
 }
 
 /// Backward rule for [`softmax_last`]: given saved output `y` and upstream
@@ -200,7 +303,7 @@ pub(crate) fn log_softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
         let yr = &yd[r * d..(r + 1) * d];
         let gr = &gd[r * d..(r + 1) * d];
         let gsum: f32 = gr.iter().sum();
-        out.extend(yr.iter().zip(gr).map(|(&yv, &gv)| gv - yv.exp() * gsum));
+        out.extend(yr.iter().zip(gr).map(|(&yv, &gv)| gv - fastmath::exp(yv) * gsum));
     }
     Tensor::from_vec(out, y.shape())
 }

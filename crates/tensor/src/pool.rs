@@ -1,0 +1,298 @@
+//! Shared persistent worker pool for parallel kernels.
+//!
+//! Every parallel kernel in this crate (matmul, softmax, layer norm,
+//! elementwise arithmetic, axis reductions, im2col, fused attention) runs on
+//! one process-wide pool of long-lived worker threads instead of spawning
+//! scoped threads per call. The pool is created lazily on first parallel
+//! dispatch and lives for the rest of the process.
+//!
+//! # Sizing
+//!
+//! The pool holds `TSDX_NUM_THREADS` workers when that environment variable
+//! is set, else one worker per core reported by
+//! [`std::thread::available_parallelism`]. The variable is parsed **once**,
+//! at pool initialization; a value that is not a positive integer panics
+//! with a diagnostic rather than being silently ignored.
+//!
+//! # Determinism contract
+//!
+//! Work is distributed as contiguous chunks of the output index space, and
+//! every output element is computed by exactly one chunk using the same
+//! serial per-element code regardless of how many chunks exist or which
+//! worker runs them. Kernels never split a single accumulation across
+//! chunks, so results are bit-identical for every pool size (asserted by the
+//! `pool_parity` test suite and exercised in CI under `TSDX_NUM_THREADS=2`).
+//!
+//! # Thresholds
+//!
+//! Parallel dispatch costs two channel hops and one output-assembly pass per
+//! chunk, so each kernel keeps small problems on the calling thread behind a
+//! per-kernel serial threshold. [`with_forced_threads`] overrides both the
+//! pool size and those thresholds within a closure — tests use it to force
+//! chunked execution on tiny inputs.
+
+use std::cell::Cell;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A job shipped to a worker: boxed so the queue is homogeneous, `'static`
+/// because the workers outlive every caller (kernels move `Arc` clones of
+/// tensor buffers into their jobs instead of borrowing).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide pool: a shared injector queue drained by `size` workers.
+struct WorkerPool {
+    size: usize,
+    injector: Mutex<mpsc::Sender<Job>>,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+thread_local! {
+    // Set inside pool workers so nested parallel kernels run inline instead
+    // of deadlocking the queue, and set by `with_forced_threads` to override
+    // sizing for tests.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    static FORCED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parses `TSDX_NUM_THREADS`, falling back to the machine's parallelism.
+/// Evaluated once and cached: `available_parallelism` re-reads cgroup files
+/// on every call, which would tax every kernel's serial-threshold check.
+///
+/// # Panics
+///
+/// Panics when the variable is set to anything but a positive integer —
+/// a misconfigured deployment should fail loudly, not run serial.
+fn configured_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| match std::env::var("TSDX_NUM_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!(
+                "TSDX_NUM_THREADS must be a positive integer, got {raw:?}; unset it to use all \
+                 available cores"
+            ),
+        },
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    })
+}
+
+fn pool() -> &'static WorkerPool {
+    POOL.get_or_init(|| {
+        let size = configured_size();
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..size {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("tsdx-worker-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    loop {
+                        // Hold the lock only while dequeuing, never while
+                        // running the job.
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => {
+                                // Keep the worker alive across panicking
+                                // jobs; the dispatcher detects the missing
+                                // result and re-raises (see `map_chunks`).
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn tsdx worker thread");
+        }
+        WorkerPool { size, injector: Mutex::new(tx) }
+    })
+}
+
+/// The worker count the pool has (or will have): `TSDX_NUM_THREADS` if set,
+/// else the machine's available parallelism. Inside
+/// [`with_forced_threads`] the forced value is returned instead.
+///
+/// # Panics
+///
+/// Panics on a `TSDX_NUM_THREADS` value that is not a positive integer.
+pub fn num_threads() -> usize {
+    if let Some(n) = FORCED_THREADS.with(Cell::get) {
+        return n;
+    }
+    match POOL.get() {
+        Some(p) => p.size,
+        None => configured_size(),
+    }
+}
+
+/// True when the calling thread is itself a pool worker (nested parallel
+/// kernels must run inline rather than re-enter the queue).
+fn on_worker_thread() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Runs `f` with the apparent pool size overridden to `threads`.
+///
+/// Inside the closure every parallel kernel partitions its work into
+/// `threads` chunks **even below its serial threshold**, so tests can assert
+/// bit-identical results across chunk counts on small inputs. The jobs
+/// still execute on the real pool (or inline when `threads == 1`).
+pub fn with_forced_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "forced thread count must be positive");
+    let prev = FORCED_THREADS.with(|c| c.replace(Some(threads)));
+    let result = f();
+    FORCED_THREADS.with(|c| c.set(prev));
+    result
+}
+
+/// True when a kernel given `work_elems` total scalar work and a per-kernel
+/// `serial_below` threshold should dispatch to the pool.
+///
+/// Serial when: the pool would have one worker, the problem is below the
+/// threshold (unless a forced thread count overrides it), or the caller is
+/// already a pool worker.
+pub(crate) fn should_parallelize(work_elems: usize, serial_below: usize) -> bool {
+    if on_worker_thread() {
+        return false;
+    }
+    let forced = FORCED_THREADS.with(Cell::get);
+    match forced {
+        Some(n) => n > 1,
+        None => work_elems >= serial_below && num_threads() > 1,
+    }
+}
+
+/// Runs `task(chunk_index)` for every `chunk_index in 0..chunks` on the pool
+/// and returns the results ordered by chunk index.
+///
+/// The caller blocks until all chunks complete. Chunks run concurrently on
+/// however many workers the pool has; ordering of *execution* is
+/// unspecified, ordering of *results* is by index.
+///
+/// # Panics
+///
+/// Panics if any chunk task panics.
+pub fn map_chunks<T, F>(chunks: usize, task: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    if chunks == 0 {
+        return Vec::new();
+    }
+    if chunks == 1 || on_worker_thread() {
+        return (0..chunks).map(task).collect();
+    }
+    let pool = pool();
+    let task = Arc::new(task);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    {
+        let injector = pool.injector.lock().expect("pool injector poisoned");
+        for i in 0..chunks {
+            let task = Arc::clone(&task);
+            let tx = tx.clone();
+            injector
+                .send(Box::new(move || {
+                    let r = task(i);
+                    let _ = tx.send((i, r));
+                }))
+                .expect("pool queue closed");
+        }
+    }
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
+    let mut received = 0usize;
+    while let Ok((i, r)) = rx.recv() {
+        slots[i] = Some(r);
+        received += 1;
+    }
+    assert_eq!(received, chunks, "a pool worker job panicked");
+    slots.into_iter().map(|s| s.expect("chunk result present")).collect()
+}
+
+/// Computes a `rows * row_len` output buffer by partitioning whole rows into
+/// `threads` contiguous chunks executed on the pool.
+///
+/// `work(first_row, out)` must fill `out` (whose length is a multiple of
+/// `row_len`) with rows `first_row ..` in order. Each row is produced by
+/// exactly one chunk with the same per-row code on every path, so the result
+/// is bit-identical for every `threads` value.
+pub fn parallel_rows<F>(rows: usize, row_len: usize, threads: usize, work: F) -> Vec<f32>
+where
+    F: Fn(usize, &mut [f32]) + Send + Sync + 'static,
+{
+    let n = rows * row_len;
+    let threads = threads.max(1).min(rows.max(1));
+    if threads == 1 || n == 0 || on_worker_thread() {
+        let mut out = vec![0.0f32; n];
+        if n > 0 {
+            work(0, &mut out);
+        }
+        return out;
+    }
+    let rows_per = rows.div_ceil(threads);
+    let chunks = rows.div_ceil(rows_per);
+    let work = Arc::new(work);
+    let parts = map_chunks(chunks, move |c| {
+        let first = c * rows_per;
+        let count = rows_per.min(rows - first);
+        let mut buf = vec![0.0f32; count * row_len];
+        work(first, &mut buf);
+        buf
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_orders_results_by_index() {
+        let r = map_chunks(8, |i| i * 10);
+        assert_eq!(r, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn parallel_rows_matches_serial_fill() {
+        let fill = |first: usize, out: &mut [f32]| {
+            for (j, v) in out.iter_mut().enumerate() {
+                *v = (first * 5 + j) as f32 * 0.5;
+            }
+        };
+        let serial = parallel_rows(13, 5, 1, fill);
+        for threads in [2usize, 3, 7, 13, 40] {
+            let par = parallel_rows(13, 5, threads, fill);
+            assert_eq!(serial, par, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn forced_threads_is_scoped() {
+        let before = num_threads();
+        let inside = with_forced_threads(7, num_threads);
+        assert_eq!(inside, 7);
+        assert_eq!(num_threads(), before);
+    }
+
+    #[test]
+    fn forced_threads_bypass_serial_threshold() {
+        assert!(with_forced_threads(4, || should_parallelize(1, usize::MAX)));
+        assert!(!with_forced_threads(1, || should_parallelize(usize::MAX, 0)));
+    }
+
+    #[test]
+    fn map_chunks_zero_and_one() {
+        assert!(map_chunks(0, |i| i).is_empty());
+        assert_eq!(map_chunks(1, |i| i + 1), vec![1]);
+    }
+}

@@ -161,6 +161,12 @@ impl Tensor {
         &self.data
     }
 
+    /// A cheap `Arc` clone of the backing buffer. Parallel kernels move
+    /// these into `'static` pool jobs instead of borrowing the tensor.
+    pub(crate) fn raw_arc(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.data)
+    }
+
     /// The rank (number of dimensions).
     pub fn rank(&self) -> usize {
         self.shape.len()

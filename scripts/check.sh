@@ -17,4 +17,7 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> tier-1 again under a 2-worker pool (TSDX_NUM_THREADS=2)"
+TSDX_NUM_THREADS=2 cargo test -q
+
 echo "All checks passed."
