@@ -32,7 +32,8 @@ fn main() {
             ..ModelConfig::default()
         };
         eprintln!("T = {frames}: training...");
-        let model = fit_transformer(model_cfg, &clips, &split.train, epochs);
+        let model =
+            fit_transformer(&format!("fig2-vt-t{frames}"), model_cfg, &clips, &split.train, epochs);
         let s = evaluate(&model, &clips, &split.test);
         rows.push(vec![
             frames.to_string(),

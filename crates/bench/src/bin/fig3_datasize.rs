@@ -29,12 +29,18 @@ fn main() {
         assert!(subset.len() == size, "training split too small for size {size}");
 
         eprintln!("n_train = {size}: training video-transformer...");
-        let vt = fit_transformer(ModelConfig::default(), &clips, &subset, epochs);
+        let vt = fit_transformer(
+            &format!("fig3-vt-n{size}"),
+            ModelConfig::default(),
+            &clips,
+            &subset,
+            epochs,
+        );
         let s_vt = evaluate(&vt, &clips, &split.test);
 
         eprintln!("n_train = {size}: training cnn-gru...");
         let mut gru = CnnGru::new(CnnGruConfig::default(), tsdx_bench::STD_SEED);
-        fit_model(&mut gru, &clips, &subset, epochs);
+        fit_model(&format!("fig3-cnn-gru-n{size}"), &mut gru, &clips, &subset, epochs);
         let s_gru = evaluate(&gru, &clips, &split.test);
 
         rows.push(vec![

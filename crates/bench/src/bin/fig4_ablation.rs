@@ -30,7 +30,13 @@ fn main() {
     for (name, attention, readout) in variants {
         let cfg = ModelConfig { attention, readout, ..ModelConfig::default() };
         eprintln!("training {name}...");
-        let model = fit_transformer(cfg, &clips, &split.train, epochs);
+        let model = fit_transformer(
+            &format!("fig4-{}", name.replace(" + ", "-")),
+            cfg,
+            &clips,
+            &split.train,
+            epochs,
+        );
         let s = evaluate(&model, &clips, &split.test);
 
         // Measured single-clip inference latency (median of 20).

@@ -13,7 +13,13 @@ fn main() {
     let clips = standard_clips(n);
     let split = standard_split(&clips);
     eprintln!("training video-transformer...");
-    let model = fit_transformer(ModelConfig::default(), &clips, &split.train, epochs);
+    let model = fit_transformer(
+        "fig5-video-transformer",
+        ModelConfig::default(),
+        &clips,
+        &split.train,
+        epochs,
+    );
 
     let predictions = predict_labels(&model, &clips, &split.test);
     let truths: Vec<usize> = split.test.iter().map(|&i| clips[i].labels.ego).collect();

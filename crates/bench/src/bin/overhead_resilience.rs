@@ -1,0 +1,119 @@
+//! Overhead of the fault-tolerance layer (PR 3) on the Table-4 hot paths.
+//!
+//! Measures (a) the Table-4 batch-8 encoder forward — the only cost the
+//! worker-pool panic capture could add to inference — and (b) an A/B of the
+//! training loop: plain `train` vs `train_resilient` with the non-finite
+//! guard, vs guard plus per-epoch checkpointing. Variants are interleaved
+//! round-robin within the same time window so host contention hits all
+//! sides equally; medians over rounds are reported as JSON on stdout
+//! (recorded in `BENCH_pr3.json`).
+//!
+//! Run with `cargo run -p tsdx-bench --release --bin overhead_resilience`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_bench::{standard_clips, standard_train_config};
+use tsdx_core::{ClipModel, ModelConfig, ResilienceConfig, VideoScenarioTransformer};
+use tsdx_nn::{save_train_checkpoint, TrainCheckpoint};
+use tsdx_tensor::{Graph, Tensor};
+
+const ROUNDS: usize = 5;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn forward_once(model: &VideoScenarioTransformer, videos: &Tensor) {
+    let mut g = Graph::new();
+    let p = model.params().bind_frozen(&mut g);
+    let mut rng = StdRng::seed_from_u64(0);
+    let logits = model.forward(&mut g, &p, videos, &mut rng, false);
+    std::hint::black_box(g.value(logits.ego).sum());
+}
+
+fn main() {
+    let clips = standard_clips(32);
+    let idx: Vec<usize> = (0..clips.len()).collect();
+    let tc = standard_train_config(1, clips.len(), 16);
+    let ckpt_path = std::env::temp_dir().join("tsdx-overhead-resilience.ckpt");
+
+    // One warm-up epoch populates the worker pool and page cache.
+    let mut warm = VideoScenarioTransformer::new(ModelConfig::default(), 7);
+    tsdx_core::train(&mut warm, &clips, &idx, &tc);
+
+    let clip8 = Tensor::from_fn(&[8, 8, 32, 32], |i| (i % 97) as f32 / 97.0);
+    let vt = VideoScenarioTransformer::new(ModelConfig::default(), 0);
+
+    let mut fwd = Vec::new();
+    let mut plain = Vec::new();
+    let mut guarded = Vec::new();
+    let mut guarded_ckpt = Vec::new();
+    let mut ckpt_write = Vec::new();
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}...", round + 1);
+        fwd.push(time_ms(|| forward_once(&vt, &clip8)));
+
+        // `train` enables the guard by default, so the unguarded baseline
+        // goes through `train_resilient` with the guard switched off.
+        let unguarded = ResilienceConfig { guard: false, ..ResilienceConfig::default() };
+        let mut m = VideoScenarioTransformer::new(ModelConfig::default(), 7);
+        plain.push(time_ms(|| {
+            tsdx_core::train_resilient(&mut m, &clips, &idx, &tc, &unguarded).expect("train");
+        }));
+
+        let mut m = VideoScenarioTransformer::new(ModelConfig::default(), 7);
+        guarded.push(time_ms(|| {
+            tsdx_core::train_resilient(&mut m, &clips, &idx, &tc, &ResilienceConfig::default())
+                .expect("train");
+        }));
+
+        let mut m = VideoScenarioTransformer::new(ModelConfig::default(), 7);
+        guarded_ckpt.push(time_ms(|| {
+            tsdx_core::train_resilient(
+                &mut m,
+                &clips,
+                &idx,
+                &tc,
+                &ResilienceConfig::checkpoint_to(&ckpt_path),
+            )
+            .expect("train");
+        }));
+
+        // Isolated cost of one atomic checkpoint write (params only — the
+        // moments roughly triple the payload; both are reported).
+        let ck = TrainCheckpoint::from_params(m.params());
+        ckpt_write.push(time_ms(|| save_train_checkpoint(&ck, &ckpt_path).expect("save")));
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+
+    let fwd = median(&mut fwd);
+    let plain = median(&mut plain);
+    let guarded = median(&mut guarded);
+    let guarded_ckpt = median(&mut guarded_ckpt);
+    let ckpt_write = median(&mut ckpt_write);
+    println!("{{");
+    println!("  \"table4_encoder_forward_batch8_ms\": {fwd:.1},");
+    println!("  \"train_epoch_plain_ms\": {plain:.1},");
+    println!("  \"train_epoch_guarded_ms\": {guarded:.1},");
+    println!("  \"train_epoch_guarded_checkpointed_ms\": {guarded_ckpt:.1},");
+    println!("  \"guard_overhead_pct\": {:.2},", (guarded / plain - 1.0) * 100.0);
+    println!(
+        "  \"guard_plus_checkpoint_overhead_pct\": {:.2},",
+        (guarded_ckpt / plain - 1.0) * 100.0
+    );
+    println!("  \"checkpoint_write_params_only_ms\": {ckpt_write:.2},");
+    println!(
+        "  \"model_params\": {}",
+        VideoScenarioTransformer::new(ModelConfig::default(), 0).num_params()
+    );
+    println!("}}");
+}

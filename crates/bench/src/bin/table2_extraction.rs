@@ -5,7 +5,9 @@
 //! on the held-out test set, and prints one row per model.
 //!
 //! Run with `cargo run -p tsdx-bench --release --bin table2_extraction`
-//! (`--quick` shrinks the dataset and epochs by ~5×).
+//! (`--quick` shrinks the dataset and epochs by ~5×). Add `--resume` to
+//! checkpoint each training stage to `results/checkpoints/` after every
+//! epoch and continue from there if the run is killed and restarted.
 
 use tsdx_baselines::{CnnGru, CnnGruConfig, FrameMlp, FrameMlpConfig, HeuristicExtractor};
 use tsdx_bench::{
@@ -48,18 +50,24 @@ fn main() {
     // Frame-MLP.
     eprintln!("training frame-mlp...");
     let mut mlp = FrameMlp::new(FrameMlpConfig::default(), tsdx_bench::STD_SEED);
-    fit_model(&mut mlp, &clips, &split.train, epochs);
+    fit_model("table2-frame-mlp", &mut mlp, &clips, &split.train, epochs);
     rows.push(row("frame-mlp", Some(mlp.num_params()), &evaluate(&mlp, &clips, &split.test)));
 
     // CNN+GRU.
     eprintln!("training cnn-gru...");
     let mut gru = CnnGru::new(CnnGruConfig::default(), tsdx_bench::STD_SEED);
-    fit_model(&mut gru, &clips, &split.train, epochs);
+    fit_model("table2-cnn-gru", &mut gru, &clips, &split.train, epochs);
     rows.push(row("cnn-gru", Some(gru.num_params()), &evaluate(&gru, &clips, &split.test)));
 
     // Video transformer (the paper's model).
     eprintln!("training video-transformer...");
-    let vt = fit_transformer(ModelConfig::default(), &clips, &split.train, epochs);
+    let vt = fit_transformer(
+        "table2-video-transformer",
+        ModelConfig::default(),
+        &clips,
+        &split.train,
+        epochs,
+    );
     rows.push(row("video-transformer", Some(vt.num_params()), &evaluate(&vt, &clips, &split.test)));
 
     print_table(

@@ -51,7 +51,13 @@ fn main() {
     let split = standard_split(&clips);
 
     eprintln!("training video-transformer...");
-    let model = fit_transformer(ModelConfig::default(), &clips, &split.train, epochs);
+    let model = fit_transformer(
+        "table3-video-transformer",
+        ModelConfig::default(),
+        &clips,
+        &split.train,
+        epochs,
+    );
     let extractor = ScenarioExtractor::new(model);
 
     let test_clips: Vec<Clip> = split.test.iter().map(|&i| clips[i].clone()).collect();

@@ -6,21 +6,44 @@
 //!
 //! All experiments accept `--quick` to run a reduced-size variant (useful
 //! for smoke-testing the harness; the reported numbers in `EXPERIMENTS.md`
-//! come from the full settings).
+//! come from the full settings) and `--resume` to checkpoint every training
+//! stage to `results/checkpoints/` and continue from there after a crash or
+//! kill (see [`fit_model`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use tsdx_core::{ClipModel, ModelConfig, TrainConfig, VideoScenarioTransformer};
+use std::path::PathBuf;
+
+use tsdx_core::{ClipModel, ModelConfig, ResilienceConfig, TrainConfig, VideoScenarioTransformer};
 use tsdx_data::{generate_dataset, stratified_split, Clip, DatasetConfig, Split};
 use tsdx_nn::LrSchedule;
 
 /// Seed used by every experiment unless stated otherwise.
 pub const STD_SEED: u64 = 17;
 
+/// True when `flag` was passed on the command line.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// True when `--quick` was passed on the command line.
 pub fn is_quick() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    has_flag("--quick")
+}
+
+/// True when `--resume` was passed on the command line: training stages
+/// checkpoint after every epoch and pick up from their last checkpoint, so
+/// a killed experiment re-run with the same flags continues (and finished
+/// stages are skipped) instead of starting over.
+pub fn is_resume() -> bool {
+    has_flag("--resume")
+}
+
+/// Where `--resume` checkpoints live. Delete this directory to force an
+/// experiment to start from scratch.
+pub fn checkpoint_dir() -> PathBuf {
+    PathBuf::from("results").join("checkpoints")
 }
 
 /// Standard dataset configuration (32×32 px, 8 frames, mild noise).
@@ -65,25 +88,49 @@ pub fn augmented_train_set(clips: &[Clip], idx: &[usize]) -> Vec<Clip> {
 }
 
 /// Trains a fresh video scenario transformer on the flip-augmented
-/// `clips[idx]`.
+/// `clips[idx]`. `tag` names this stage's `--resume` checkpoint.
 pub fn fit_transformer(
+    tag: &str,
     cfg: ModelConfig,
     clips: &[Clip],
     idx: &[usize],
     epochs: usize,
 ) -> VideoScenarioTransformer {
     let mut model = VideoScenarioTransformer::new(cfg, STD_SEED);
-    fit_model(&mut model, clips, idx, epochs);
+    fit_model(tag, &mut model, clips, idx, epochs);
     model
 }
 
 /// Trains any [`ClipModel`] in place on the flip-augmented `clips[idx]`
 /// with the standard schedule.
-pub fn fit_model(model: &mut dyn ClipModel, clips: &[Clip], idx: &[usize], epochs: usize) {
+///
+/// `tag` names this training stage; with `--resume` on the command line the
+/// stage checkpoints to `results/checkpoints/<tag>.ckpt` after every epoch
+/// and resumes from it when present, so interrupting and re-running the
+/// experiment continues where it stopped (bit-identically — see
+/// `tests/resume_training.rs`). Without `--resume` the stage trains exactly
+/// as before and no checkpoint is touched.
+pub fn fit_model(
+    tag: &str,
+    model: &mut dyn ClipModel,
+    clips: &[Clip],
+    idx: &[usize],
+    epochs: usize,
+) {
     let train = augmented_train_set(clips, idx);
     let all: Vec<usize> = (0..train.len()).collect();
     let tc = standard_train_config(epochs, all.len(), 16);
-    tsdx_core::train(model, &train, &all, &tc);
+    if is_resume() {
+        let dir = checkpoint_dir();
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        let path = dir.join(format!("{tag}.ckpt"));
+        eprintln!("  [resume] checkpointing to {}", path.display());
+        tsdx_core::train_resilient(model, &train, &all, &tc, &ResilienceConfig::resume_from(&path))
+            .unwrap_or_else(|e| panic!("resumable training for {tag} failed: {e}"));
+    } else {
+        tsdx_core::train(model, &train, &all, &tc);
+    }
 }
 
 /// Prints a fixed-width table with a title, header row, and data rows.

@@ -1,11 +1,56 @@
 //! End-to-end scenario extraction API.
 
+use std::error::Error;
+use std::fmt;
+
 use tsdx_data::Clip;
 use tsdx_sdl::Scenario;
 use tsdx_tensor::Tensor;
 
 use crate::model::VideoScenarioTransformer;
 use crate::train::{predict_labels, TrainConfig};
+
+/// A malformed extraction input, reported by
+/// [`ScenarioExtractor::extract_checked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// The video tensor is not rank 3 (`[T, H, W]`).
+    BadRank {
+        /// Rank of the offending input.
+        found: usize,
+    },
+    /// The video's dimensions disagree with the model configuration.
+    BadShape {
+        /// `[frames, height, width]` the model was built for.
+        expected: [usize; 3],
+        /// Shape of the offending input.
+        found: Vec<usize>,
+    },
+    /// A pixel is NaN or infinite.
+    NonFinite {
+        /// Flat index of the first offending pixel.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::BadRank { found } => {
+                write!(f, "expected a single [T, H, W] video (rank 3), got rank {found}")
+            }
+            ExtractError::BadShape { expected, found } => {
+                write!(f, "video shape {found:?} does not match the model's expected {expected:?}")
+            }
+            ExtractError::NonFinite { index } => {
+                write!(f, "video contains a non-finite pixel at flat index {index}")
+            }
+        }
+    }
+}
+
+impl Error for ExtractError {}
 
 /// High-level extractor: video in, SDL description out.
 ///
@@ -51,12 +96,44 @@ impl ScenarioExtractor {
     /// Extracts the SDL description of a single video `[T, H, W]`.
     ///
     /// The returned scenario always satisfies [`Scenario::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (wrong rank/shape, non-finite pixels);
+    /// service code should prefer [`ScenarioExtractor::extract_checked`],
+    /// which reports those as typed errors.
     pub fn extract(&self, video: &Tensor) -> Scenario {
+        self.extract_checked(video).unwrap_or_else(|e| panic!("extract: {e}"))
+    }
+
+    /// Extracts the SDL description of a single video `[T, H, W]`,
+    /// validating the input first.
+    ///
+    /// The returned scenario always satisfies [`Scenario::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::BadRank`] unless the input is rank 3,
+    /// [`ExtractError::BadShape`] unless its dimensions match the model
+    /// configuration, and [`ExtractError::NonFinite`] when any pixel is
+    /// NaN or infinite — never a panic, so a malformed request cannot take
+    /// down a serving process.
+    pub fn extract_checked(&self, video: &Tensor) -> Result<Scenario, ExtractError> {
         let sh = video.shape();
-        assert_eq!(sh.len(), 3, "expected a single [T, H, W] video");
+        if sh.len() != 3 {
+            return Err(ExtractError::BadRank { found: sh.len() });
+        }
+        let cfg = self.model.config();
+        let expected = [cfg.frames, cfg.height, cfg.width];
+        if sh != expected {
+            return Err(ExtractError::BadShape { expected, found: sh.to_vec() });
+        }
+        if let Some(index) = video.to_vec().iter().position(|v| !v.is_finite()) {
+            return Err(ExtractError::NonFinite { index });
+        }
         let batched = video.reshape(&[1, sh[0], sh[1], sh[2]]);
         let labels = self.model.predict(&batched);
-        labels[0].to_scenario()
+        Ok(labels[0].to_scenario())
     }
 
     /// Extracts descriptions for a batch of clips.
@@ -117,5 +194,38 @@ mod tests {
     fn extract_rejects_batched_input() {
         let ex = tiny_extractor();
         ex.extract(&Tensor::zeros(&[2, 4, 16, 16]));
+    }
+
+    #[test]
+    fn extract_checked_roundtrips_valid_input() {
+        let ex = tiny_extractor();
+        let video = Tensor::from_fn(&[4, 16, 16], |i| (i % 7) as f32 / 7.0);
+        let scenario = ex.extract_checked(&video).unwrap();
+        scenario.validate().unwrap();
+        let reparsed: Scenario = scenario.to_string().parse().unwrap();
+        assert_eq!(reparsed, scenario);
+        // Agrees with the panicking path on well-formed input.
+        assert_eq!(scenario, ex.extract(&video));
+    }
+
+    #[test]
+    fn extract_checked_rejects_malformed_input_with_typed_errors() {
+        let ex = tiny_extractor();
+        assert_eq!(
+            ex.extract_checked(&Tensor::zeros(&[2, 4, 16, 16])),
+            Err(ExtractError::BadRank { found: 4 })
+        );
+        assert_eq!(
+            ex.extract_checked(&Tensor::zeros(&[4, 8, 16])),
+            Err(ExtractError::BadShape { expected: [4, 16, 16], found: vec![4, 8, 16] })
+        );
+        let mut bad = Tensor::zeros(&[4, 16, 16]);
+        bad.set(&[1, 2, 3], f32::NAN);
+        let flat = (16 * 16) + 2 * 16 + 3;
+        assert_eq!(ex.extract_checked(&bad), Err(ExtractError::NonFinite { index: flat }));
+        let mut inf = Tensor::zeros(&[4, 16, 16]);
+        inf.set(&[0, 0, 0], f32::INFINITY);
+        assert_eq!(inf.rank(), 3);
+        assert_eq!(ex.extract_checked(&inf), Err(ExtractError::NonFinite { index: 0 }));
     }
 }

@@ -46,11 +46,13 @@ mod tubelet;
 
 pub use config::{AttentionKind, ModelConfig, Readout};
 pub use encoder::ClipEncoder;
+pub use extract::ExtractError;
 pub use extract::ScenarioExtractor;
 pub use flops::clip_macs;
 pub use heads::{multitask_loss, HeadLogits, LossWeights, SdlHeads};
 pub use model::{decode_logits, ClipModel, VideoScenarioTransformer};
 pub use train::{
-    evaluate, predict_labels, summarize, train, EvalSummary, TrainConfig, TrainReport,
+    evaluate, predict_labels, summarize, train, train_resilient, EvalSummary, ResilienceConfig,
+    TrainConfig, TrainError, TrainReport,
 };
 pub use tubelet::{extract_tubelets, TubeletEmbed};

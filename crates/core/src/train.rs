@@ -1,10 +1,24 @@
 //! Shared training loop and evaluation harness for all [`ClipModel`]s.
+//!
+//! Training is fault-tolerant by default (see [`train_resilient`]): a batch
+//! whose loss or gradients are non-finite is skipped instead of corrupting
+//! the parameters, repeated bad batches back off the learning rate, and the
+//! loop can periodically write crash-safe checkpoints that a later run
+//! resumes from **bit-identically** — an interrupted-then-resumed run ends
+//! with exactly the parameters of an uninterrupted one.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tsdx_data::{collate, epoch_batches, Clip, ClipLabels};
 use tsdx_metrics::{accuracy, macro_f1, multilabel_report};
-use tsdx_nn::{clip_global_norm, AdamW, LrSchedule, Optimizer};
+use tsdx_nn::{
+    clip_global_norm, read_train_checkpoint, save_train_checkpoint, AdamW, CheckpointError,
+    LrSchedule, Optimizer, TrainCheckpoint, TrainState,
+};
 use tsdx_sdl::{vocab, ActorKind, EgoManeuver};
 
 use crate::heads::{multitask_loss, LossWeights};
@@ -49,10 +63,14 @@ impl Default for TrainConfig {
 /// Per-epoch training telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
-    /// Mean training loss per epoch.
+    /// Mean training loss per epoch (over non-skipped batches; only the
+    /// epochs this call actually ran, so a resumed run reports the tail).
     pub epoch_losses: Vec<f32>,
-    /// Optimizer steps taken.
+    /// Optimizer steps taken (including skipped bad batches, which still
+    /// advance the schedule).
     pub steps: u32,
+    /// Batches skipped by the non-finite guard.
+    pub skipped_steps: u32,
 }
 
 impl TrainReport {
@@ -62,43 +80,279 @@ impl TrainReport {
     }
 }
 
+/// Fault-tolerance policy for [`train_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Where periodic checkpoints go (`None` disables checkpointing).
+    pub checkpoint: Option<PathBuf>,
+    /// Epochs between checkpoints (a checkpoint is always written after the
+    /// final epoch when a path is set; values below 1 behave like 1).
+    pub checkpoint_every: usize,
+    /// Resume from `checkpoint` when it exists (a missing file starts
+    /// fresh, so the same invocation works for the first and every later
+    /// attempt).
+    pub resume: bool,
+    /// Skip batches whose loss or gradients are non-finite instead of
+    /// corrupting the parameters. Disable only for overhead measurements.
+    pub guard: bool,
+    /// Abort with [`TrainError::Diverged`] after this many *consecutive*
+    /// skipped batches.
+    pub max_consecutive_bad: u32,
+    /// Learning-rate multiplier applied on every repeated consecutive bad
+    /// batch (bounded below by `min_lr_scale`; recovers by doubling per
+    /// good step back to 1.0).
+    pub backoff: f32,
+    /// Floor for the backoff scale.
+    pub min_lr_scale: f32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: false,
+            guard: true,
+            max_consecutive_bad: 16,
+            backoff: 0.5,
+            min_lr_scale: 1.0 / 64.0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Checkpoints to `path` every epoch, without resuming.
+    pub fn checkpoint_to(path: impl Into<PathBuf>) -> Self {
+        ResilienceConfig { checkpoint: Some(path.into()), ..ResilienceConfig::default() }
+    }
+
+    /// Checkpoints to `path` every epoch **and** resumes from it when it
+    /// already exists — the standard configuration for unattended runs.
+    pub fn resume_from(path: impl Into<PathBuf>) -> Self {
+        ResilienceConfig {
+            checkpoint: Some(path.into()),
+            resume: true,
+            ..ResilienceConfig::default()
+        }
+    }
+}
+
+/// Error terminating a resilient training run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// Saving or restoring a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// Too many consecutive non-finite batches: the run is not recoverable
+    /// by skipping (bad data or a genuinely diverged model).
+    Diverged {
+        /// Step at which the limit was exceeded.
+        step: u32,
+        /// Consecutive bad batches observed.
+        consecutive: u32,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Checkpoint(e) => write!(f, "training checkpoint failed: {e}"),
+            TrainError::Diverged { step, consecutive } => write!(
+                f,
+                "training diverged: {consecutive} consecutive non-finite batches at step {step}"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            TrainError::Diverged { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
 /// Trains `model` on `clips[train_idx]` in place.
+///
+/// Equivalent to [`train_resilient`] with the default
+/// [`ResilienceConfig`] (non-finite batches are skipped, no
+/// checkpointing); in a fault-free run the parameter trajectory is
+/// bit-identical to the pre-guard loop.
+///
+/// # Panics
+///
+/// Panics if the training set is empty or the run diverges beyond the
+/// guard's consecutive-bad-batch limit.
 pub fn train(
     model: &mut dyn ClipModel,
     clips: &[Clip],
     train_idx: &[usize],
     cfg: &TrainConfig,
 ) -> TrainReport {
+    train_resilient(model, clips, train_idx, cfg, &ResilienceConfig::default())
+        .unwrap_or_else(|e| panic!("training failed: {e}"))
+}
+
+/// Trains `model` on `clips[train_idx]` in place, tolerating bad batches
+/// and process death.
+///
+/// * **Non-finite guard** — when `r.guard` is set, a batch whose loss or
+///   collected gradients contain NaN/Inf is skipped: parameters and
+///   optimizer moments are untouched, the schedule still advances.
+///   Repeated consecutive bad batches multiply the learning rate by
+///   `r.backoff` (bounded by `r.min_lr_scale`); good steps double it back
+///   up to 1.0. More than `r.max_consecutive_bad` bad batches in a row is
+///   [`TrainError::Diverged`].
+/// * **Checkpointing** — with `r.checkpoint` set, a crash-safe checkpoint
+///   (parameters, optimizer moments, RNG state, guard state) is written
+///   after every `r.checkpoint_every`-th epoch and after the final one.
+/// * **Resume** — with `r.resume` set and the checkpoint present, training
+///   continues from the recorded epoch. The restored run consumes the
+///   identical shuffle/dropout stream and optimizer state, so the final
+///   parameters are **bit-identical** to a never-interrupted run, at any
+///   pool size (`tests/resume_training.rs` asserts this).
+///
+/// # Errors
+///
+/// [`TrainError::Checkpoint`] on checkpoint I/O, format, or shape errors;
+/// [`TrainError::Diverged`] when skipping cannot save the run.
+///
+/// # Panics
+///
+/// Panics if the training set is empty.
+pub fn train_resilient(
+    model: &mut dyn ClipModel,
+    clips: &[Clip],
+    train_idx: &[usize],
+    cfg: &TrainConfig,
+    r: &ResilienceConfig,
+) -> Result<TrainReport, TrainError> {
     assert!(!train_idx.is_empty(), "empty training set");
     let mut opt = AdamW::new(cfg.weight_decay);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut step: u32 = 0;
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    let mut start_epoch: usize = 0;
+    let mut lr_scale: f32 = 1.0;
+    let mut consecutive_bad: u32 = 0;
+    let mut skipped: u32 = 0;
+
+    if r.resume {
+        let path = r.checkpoint.as_ref().expect("resume requires a checkpoint path");
+        if path.exists() {
+            let ck = read_train_checkpoint(path)?;
+            model.params_mut().try_load_named(&ck.params).map_err(|m| {
+                CheckpointError::ShapeMismatch {
+                    name: m.name,
+                    expected: m.expected,
+                    found: m.found,
+                }
+            })?;
+            if let Some(state) = ck.opt {
+                opt.import_state(state);
+            }
+            if let Some(s) = ck.state.rng {
+                rng = StdRng::from_state(s);
+            }
+            start_epoch = ck.state.epoch as usize;
+            step = ck.state.step;
+            lr_scale = ck.state.lr_scale;
+            consecutive_bad = ck.state.consecutive_bad;
+            skipped = ck.state.skipped_steps;
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] resumed from {} at epoch {start_epoch}, step {step}",
+                    model.name(),
+                    path.display()
+                );
+            }
+        }
+    }
+
+    let skipped_at_start = skipped;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs.saturating_sub(start_epoch));
+    for epoch in start_epoch..cfg.epochs {
         let batches = epoch_batches(clips, train_idx, cfg.batch_size, &mut rng);
         let mut loss_sum = 0.0;
+        let mut good_batches = 0usize;
         for batch in &batches {
             let mut g = tsdx_tensor::Graph::new();
             let binding = model.params().bind(&mut g);
             let logits = model.forward(&mut g, &binding, &batch.videos, &mut rng, true);
             let loss = multitask_loss(&mut g, &logits, batch, &cfg.loss_weights);
-            loss_sum += g.value(loss).item();
+            let loss_val = g.value(loss).item();
             let grads = g.backward(loss);
             let mut collected = model.params().collect_grads(&binding, &grads);
+            #[cfg(feature = "fault-inject")]
+            if tsdx_tensor::faults::nan_grad_at(step) {
+                collected[0] = tsdx_tensor::Tensor::full(collected[0].shape(), f32::NAN);
+            }
+            if r.guard && (!loss_val.is_finite() || collected.iter().any(|t| t.has_non_finite())) {
+                skipped += 1;
+                consecutive_bad += 1;
+                if consecutive_bad > r.max_consecutive_bad {
+                    return Err(TrainError::Diverged { step, consecutive: consecutive_bad });
+                }
+                if consecutive_bad > 1 {
+                    lr_scale = (lr_scale * r.backoff).max(r.min_lr_scale);
+                }
+                if cfg.verbose {
+                    eprintln!(
+                        "[{}] step {step}: non-finite batch skipped ({consecutive_bad} in a \
+                         row, lr scale {lr_scale})",
+                        model.name()
+                    );
+                }
+                step += 1;
+                continue;
+            }
+            consecutive_bad = 0;
+            lr_scale = (lr_scale * 2.0).min(1.0);
+            loss_sum += loss_val;
+            good_batches += 1;
             if cfg.clip_norm > 0.0 {
                 clip_global_norm(&mut collected, cfg.clip_norm);
             }
-            let lr = cfg.schedule.lr(step);
+            let lr = cfg.schedule.lr(step) * lr_scale;
             opt.step(model.params_mut(), &collected, lr);
             step += 1;
         }
-        let mean = loss_sum / batches.len() as f32;
+        let mean = loss_sum / good_batches.max(1) as f32;
         epoch_losses.push(mean);
         if cfg.verbose {
             eprintln!("[{}] epoch {epoch:>3}: loss {mean:.4}", model.name());
         }
+        if let Some(path) = &r.checkpoint {
+            let done = epoch + 1;
+            if done % r.checkpoint_every.max(1) == 0 || done == cfg.epochs {
+                let ckpt = TrainCheckpoint {
+                    state: TrainState {
+                        epoch: done as u32,
+                        step,
+                        lr_scale,
+                        consecutive_bad,
+                        skipped_steps: skipped,
+                        rng: Some(rng.state()),
+                    },
+                    params: model
+                        .params()
+                        .iter()
+                        .map(|(n, t)| (n.to_string(), t.clone()))
+                        .collect(),
+                    opt: Some(opt.export_state(model.params())),
+                };
+                save_train_checkpoint(&ckpt, path)?;
+            }
+        }
     }
-    TrainReport { epoch_losses, steps: step }
+    Ok(TrainReport { epoch_losses, steps: step, skipped_steps: skipped - skipped_at_start })
 }
 
 /// Per-head evaluation summary.
@@ -277,6 +531,121 @@ mod tests {
             assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
         }
         assert!((0.0..=1.0).contains(&s.mean_accuracy()));
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tsdx-train-test-{name}-{}.ckpt", std::process::id()))
+    }
+
+    fn params_of(model: &VideoScenarioTransformer) -> Vec<(String, Vec<f32>)> {
+        model.params().iter().map(|(n, t)| (n.to_string(), t.to_vec())).collect()
+    }
+
+    #[test]
+    fn interrupted_and_resumed_run_is_bit_identical() {
+        let clips = tiny_clips(12);
+        let idx: Vec<usize> = (0..12).collect();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(2e-3),
+            ..TrainConfig::default()
+        };
+
+        // Uninterrupted reference run.
+        let mut full = tiny_model();
+        train(&mut full, &clips, &idx, &cfg);
+
+        // Interrupted run: stop after 2 epochs (checkpointing each), then
+        // resume into a model with a *different* init seed — every weight
+        // must come from the checkpoint.
+        let path = tmp("resume");
+        std::fs::remove_file(&path).ok();
+        let mut first = tiny_model();
+        let half_cfg = TrainConfig { epochs: 2, ..cfg };
+        train_resilient(
+            &mut first,
+            &clips,
+            &idx,
+            &half_cfg,
+            &ResilienceConfig::checkpoint_to(&path),
+        )
+        .unwrap();
+
+        let mut resumed = VideoScenarioTransformer::new(
+            ModelConfig {
+                frames: 4,
+                height: 16,
+                width: 16,
+                tubelet_t: 2,
+                patch: 8,
+                dim: 16,
+                spatial_depth: 1,
+                temporal_depth: 1,
+                heads: 2,
+                mlp_ratio: 2,
+                dropout: 0.0,
+                ..ModelConfig::default()
+            },
+            999,
+        );
+        let report = train_resilient(
+            &mut resumed,
+            &clips,
+            &idx,
+            &cfg,
+            &ResilienceConfig::resume_from(&path),
+        )
+        .unwrap();
+        assert_eq!(report.epoch_losses.len(), 2, "resumed run covers only the remaining epochs");
+        assert_eq!(params_of(&full), params_of(&resumed), "resume must be bit-identical");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_with_completed_checkpoint_is_a_noop() {
+        let clips = tiny_clips(8);
+        let idx: Vec<usize> = (0..8).collect();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(1e-3),
+            ..TrainConfig::default()
+        };
+        let path = tmp("noop");
+        std::fs::remove_file(&path).ok();
+        let mut model = tiny_model();
+        train_resilient(&mut model, &clips, &idx, &cfg, &ResilienceConfig::checkpoint_to(&path))
+            .unwrap();
+        let before = params_of(&model);
+        let report =
+            train_resilient(&mut model, &clips, &idx, &cfg, &ResilienceConfig::resume_from(&path))
+                .unwrap();
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(report.steps, 4, "step counter restored from the checkpoint");
+        assert_eq!(params_of(&model), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn guarded_train_matches_unguarded_when_fault_free() {
+        let clips = tiny_clips(8);
+        let idx: Vec<usize> = (0..8).collect();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            schedule: LrSchedule::Constant(1e-3),
+            ..TrainConfig::default()
+        };
+        let mut guarded = tiny_model();
+        let rg = train_resilient(&mut guarded, &clips, &idx, &cfg, &ResilienceConfig::default())
+            .unwrap();
+        let mut unguarded = tiny_model();
+        let off = ResilienceConfig { guard: false, ..ResilienceConfig::default() };
+        let ru = train_resilient(&mut unguarded, &clips, &idx, &cfg, &off).unwrap();
+        assert_eq!(rg.skipped_steps, 0);
+        assert_eq!(rg.epoch_losses, ru.epoch_losses);
+        assert_eq!(params_of(&guarded), params_of(&unguarded), "guard must cost zero drift");
     }
 
     #[test]

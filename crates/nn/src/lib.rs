@@ -59,8 +59,11 @@ pub use conv::Conv2d;
 pub use dropout::Dropout;
 pub use linear::Linear;
 pub use norm::LayerNorm;
-pub use optim::{clip_global_norm, AdamW, LrSchedule, Optimizer, Sgd};
-pub use params::{Binding, ParamId, ParamStore};
+pub use optim::{clip_global_norm, AdamW, AdamWState, LrSchedule, Optimizer, Sgd};
+pub use params::{Binding, ParamId, ParamStore, ShapeMismatch};
 pub use rnn::Gru;
-pub use serialize::{load_checkpoint, read_checkpoint, save_checkpoint, CheckpointError};
+pub use serialize::{
+    load_checkpoint, read_checkpoint, read_train_checkpoint, save_checkpoint,
+    save_train_checkpoint, CheckpointError, TrainCheckpoint, TrainState,
+};
 pub use transformer::{Mlp, TransformerBlock, TransformerEncoder};

@@ -53,6 +53,18 @@ pub struct Binding {
     vars: Vec<Var>,
 }
 
+/// A named-parameter shape conflict reported by
+/// [`ParamStore::try_load_named`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Name of the conflicting parameter.
+    pub name: String,
+    /// Shape registered in the store.
+    pub expected: Vec<usize>,
+    /// Shape found in the loaded entries.
+    pub found: Vec<usize>,
+}
+
 impl Binding {
     /// The graph variable bound to parameter `id`.
     pub fn var(&self, id: ParamId) -> Var {
@@ -163,17 +175,47 @@ impl ParamStore {
     ///
     /// # Panics
     ///
-    /// Panics on a shape mismatch for a matching name.
+    /// Panics on a shape mismatch for a matching name. Use
+    /// [`ParamStore::try_load_named`] where a mismatch must surface as a
+    /// recoverable error instead.
     pub fn load_named(&mut self, entries: &[(String, Tensor)]) -> usize {
+        self.try_load_named(entries).unwrap_or_else(|m| {
+            panic!(
+                "checkpoint shape mismatch for {}: store has {:?}, checkpoint has {:?}",
+                m.name, m.expected, m.found
+            )
+        })
+    }
+
+    /// Fallible variant of [`ParamStore::load_named`]: restores matching
+    /// names and reports the first shape mismatch instead of panicking.
+    ///
+    /// No parameter is modified when an error is returned (validation runs
+    /// before any assignment).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name with both shapes on a mismatch.
+    pub fn try_load_named(&mut self, entries: &[(String, Tensor)]) -> Result<usize, ShapeMismatch> {
+        for p in &self.params {
+            if let Some((_, t)) = entries.iter().find(|(name, _)| *name == p.name) {
+                if p.value.shape() != t.shape() {
+                    return Err(ShapeMismatch {
+                        name: p.name.clone(),
+                        expected: p.value.shape().to_vec(),
+                        found: t.shape().to_vec(),
+                    });
+                }
+            }
+        }
         let mut n = 0;
         for p in &mut self.params {
             if let Some((_, t)) = entries.iter().find(|(name, _)| *name == p.name) {
-                assert_eq!(p.value.shape(), t.shape(), "checkpoint shape mismatch for {}", p.name);
                 p.value = t.clone();
                 n += 1;
             }
         }
-        n
+        Ok(n)
     }
 }
 

@@ -1,0 +1,141 @@
+//! Deterministic fault-injection registry (compiled only with the
+//! `fault-inject` feature).
+//!
+//! The registry is a process-global set of one-shot "armed" faults that the
+//! production code paths poll at well-defined points:
+//!
+//! * [`arm_worker_panic`] — the worker pool panics inside the job for the
+//!   given chunk index on the next parallel dispatch (exercises the pool's
+//!   panic capture/re-raise path, see [`crate::pool::map_chunks`]);
+//! * [`arm_checkpoint_tear`] — the next checkpoint save writes only the
+//!   first `n` bytes to the destination, simulating a crash mid-write of a
+//!   non-atomic writer;
+//! * [`arm_checkpoint_bit_flip`] — the next checkpoint save flips bit `k`
+//!   of the encoded file, simulating silent storage corruption;
+//! * [`arm_nan_grad`] — the training loop poisons the collected gradients
+//!   with a NaN at the given optimizer step (exercises the bad-batch guard).
+//!
+//! Every fault fires **at most once** and is disarmed when it fires, so a
+//! test arms exactly the failure it wants and the rest of the run proceeds
+//! normally. Faults are global state: suites that use them must serialize
+//! their tests (see `tests/fault_injection.rs`).
+
+use std::sync::Mutex;
+
+struct Armed {
+    worker_panic_chunk: Option<usize>,
+    checkpoint_tear_after: Option<u64>,
+    checkpoint_flip_bit: Option<u64>,
+    nan_grad_step: Option<u32>,
+}
+
+static ARMED: Mutex<Armed> = Mutex::new(Armed {
+    worker_panic_chunk: None,
+    checkpoint_tear_after: None,
+    checkpoint_flip_bit: None,
+    nan_grad_step: None,
+});
+
+fn armed() -> std::sync::MutexGuard<'static, Armed> {
+    // The registry holds no invariants across a panic, so recover the data
+    // rather than poisoning every later test in the process.
+    ARMED.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms a panic inside the pool job that executes chunk `chunk` of the next
+/// parallel dispatch.
+pub fn arm_worker_panic(chunk: usize) {
+    armed().worker_panic_chunk = Some(chunk);
+}
+
+/// Arms a torn checkpoint write: the next save leaves only the first
+/// `bytes` bytes at the destination path.
+pub fn arm_checkpoint_tear(bytes: u64) {
+    armed().checkpoint_tear_after = Some(bytes);
+}
+
+/// Arms a single-bit flip at bit index `bit` of the next encoded
+/// checkpoint (bit `bit % 8` of byte `bit / 8`).
+pub fn arm_checkpoint_bit_flip(bit: u64) {
+    armed().checkpoint_flip_bit = Some(bit);
+}
+
+/// Arms a NaN gradient injection at optimizer step `step` (0-indexed,
+/// counted across the whole run including resumed epochs).
+pub fn arm_nan_grad(step: u32) {
+    armed().nan_grad_step = Some(step);
+}
+
+/// Disarms every pending fault.
+pub fn clear_all() {
+    let mut a = armed();
+    a.worker_panic_chunk = None;
+    a.checkpoint_tear_after = None;
+    a.checkpoint_flip_bit = None;
+    a.nan_grad_step = None;
+}
+
+/// Polled by the pool: panics (once) when chunk `chunk` is armed.
+///
+/// # Panics
+///
+/// Panics with a recognizable payload when the fault fires — that is the
+/// point.
+pub fn maybe_panic_worker(chunk: usize) {
+    let fire = {
+        let mut a = armed();
+        if a.worker_panic_chunk == Some(chunk) {
+            a.worker_panic_chunk = None;
+            true
+        } else {
+            false
+        }
+    };
+    if fire {
+        panic!("injected fault: worker panic at chunk {chunk}");
+    }
+}
+
+/// Polled by the checkpoint writer: takes a pending tear length.
+pub fn take_checkpoint_tear() -> Option<u64> {
+    armed().checkpoint_tear_after.take()
+}
+
+/// Polled by the checkpoint writer: takes a pending bit-flip index.
+pub fn take_checkpoint_bit_flip() -> Option<u64> {
+    armed().checkpoint_flip_bit.take()
+}
+
+/// Polled by the training loop: true (once) when `step` is armed.
+pub fn nan_grad_at(step: u32) -> bool {
+    let mut a = armed();
+    if a.nan_grad_step == Some(step) {
+        a.nan_grad_step = None;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        clear_all();
+        arm_nan_grad(3);
+        assert!(!nan_grad_at(2));
+        assert!(nan_grad_at(3));
+        assert!(!nan_grad_at(3), "fault must disarm after firing");
+
+        arm_checkpoint_tear(17);
+        assert_eq!(take_checkpoint_tear(), Some(17));
+        assert_eq!(take_checkpoint_tear(), None);
+
+        arm_checkpoint_bit_flip(9);
+        assert_eq!(take_checkpoint_bit_flip(), Some(9));
+        assert_eq!(take_checkpoint_bit_flip(), None);
+        clear_all();
+    }
+}

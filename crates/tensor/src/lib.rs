@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 
 pub mod fastmath;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod grad_check;
 mod graph;
 pub mod ops;

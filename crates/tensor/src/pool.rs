@@ -30,10 +30,23 @@
 //! per-kernel serial threshold. [`with_forced_threads`] overrides both the
 //! pool size and those thresholds within a closure — tests use it to force
 //! chunked execution on tiny inputs.
+//!
+//! # Panic contract
+//!
+//! A panicking job never kills its worker thread and never deadlocks or
+//! poisons the dispatcher. Each job runs under `catch_unwind`; the captured
+//! payload and panic location travel back over the result channel, the
+//! dispatcher **drains every remaining chunk**, and then re-raises the
+//! *original* payload (lowest chunk index wins when several chunks panic,
+//! so the surfaced panic is deterministic) on the calling thread via
+//! [`std::panic::resume_unwind`]. The chunk index and source location of
+//! the re-raised panic are readable afterwards through [`last_panic`].
+//! Workers stay alive and the pool stays usable for subsequent dispatches.
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 
 /// A job shipped to a worker: boxed so the queue is homogeneous, `'static`
 /// because the workers outlive every caller (kernels move `Arc` clones of
@@ -54,6 +67,70 @@ thread_local! {
     // sizing for tests.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
     static FORCED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    // True while a worker runs a job under catch_unwind: tells the panic
+    // hook to record the location silently instead of printing a backtrace
+    // for a panic that will be re-raised on the dispatcher anyway.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static CAPTURED_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+    // Dispatcher-side record of the panic most recently re-raised by
+    // `map_chunks` on this thread.
+    static LAST_PANIC: RefCell<Option<PanicInfo>> = const { RefCell::new(None) };
+}
+
+/// Diagnostic record of a worker-job panic re-raised by [`map_chunks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicInfo {
+    /// Chunk index whose job panicked.
+    pub chunk: usize,
+    /// `file:line:column` of the panic site, when the hook saw it.
+    pub location: Option<String>,
+}
+
+/// A captured worker-job panic traveling back to the dispatcher.
+struct ChunkPanic {
+    chunk: usize,
+    location: Option<String>,
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+/// Info about the panic most recently re-raised by [`map_chunks`] on the
+/// calling thread, for diagnostics after catching it. Cleared at the start
+/// of every dispatch.
+pub fn last_panic() -> Option<PanicInfo> {
+    LAST_PANIC.with(|p| p.borrow().clone())
+}
+
+/// Installs (once) a panic hook that records the location of panics raised
+/// inside pool jobs and suppresses their default stderr report; all other
+/// panics go to the previously installed hook untouched.
+fn install_capture_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(Cell::get) {
+                let loc =
+                    info.location().map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                CAPTURED_LOCATION.with(|c| *c.borrow_mut() = loc);
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under `catch_unwind`, tagging the thread so the capture hook
+/// records the panic location instead of printing it.
+fn run_captured<T>(chunk: usize, f: impl FnOnce() -> T) -> Result<T, ChunkPanic> {
+    CAPTURING.with(|c| c.set(true));
+    CAPTURED_LOCATION.with(|c| c.borrow_mut().take());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    result.map_err(|payload| ChunkPanic {
+        chunk,
+        location: CAPTURED_LOCATION.with(|c| c.borrow_mut().take()),
+        payload,
+    })
 }
 
 /// Parses `TSDX_NUM_THREADS`, falling back to the machine's parallelism.
@@ -80,6 +157,7 @@ fn configured_size() -> usize {
 
 fn pool() -> &'static WorkerPool {
     POOL.get_or_init(|| {
+        install_capture_hook();
         let size = configured_size();
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -98,9 +176,10 @@ fn pool() -> &'static WorkerPool {
                         };
                         match job {
                             Ok(job) => {
-                                // Keep the worker alive across panicking
-                                // jobs; the dispatcher detects the missing
-                                // result and re-raises (see `map_chunks`).
+                                // Jobs catch their own panics and ship the
+                                // payload back (see `map_chunks`); this
+                                // backstop only guards job-queue plumbing so
+                                // a worker can never die mid-epoch.
                                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                             }
                             Err(_) => break,
@@ -176,7 +255,11 @@ pub(crate) fn should_parallelize(work_elems: usize, serial_below: usize) -> bool
 ///
 /// # Panics
 ///
-/// Panics if any chunk task panics.
+/// If one or more chunk tasks panic, every remaining chunk still runs to
+/// completion, the workers survive, and the payload of the panicking chunk
+/// with the **lowest index** is re-raised on the calling thread exactly as
+/// the job raised it ([`last_panic`] reports the chunk index and source
+/// location afterwards).
 pub fn map_chunks<T, F>(chunks: usize, task: F) -> Vec<T>
 where
     T: Send + 'static,
@@ -186,11 +269,19 @@ where
         return Vec::new();
     }
     if chunks == 1 || on_worker_thread() {
+        #[cfg(feature = "fault-inject")]
+        return (0..chunks)
+            .map(|i| {
+                crate::faults::maybe_panic_worker(i);
+                task(i)
+            })
+            .collect();
+        #[cfg(not(feature = "fault-inject"))]
         return (0..chunks).map(task).collect();
     }
     let pool = pool();
     let task = Arc::new(task);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<Result<(usize, T), ChunkPanic>>();
     {
         let injector = pool.injector.lock().expect("pool injector poisoned");
         for i in 0..chunks {
@@ -198,21 +289,44 @@ where
             let tx = tx.clone();
             injector
                 .send(Box::new(move || {
-                    let r = task(i);
-                    let _ = tx.send((i, r));
+                    let r = run_captured(i, || {
+                        #[cfg(feature = "fault-inject")]
+                        crate::faults::maybe_panic_worker(i);
+                        task(i)
+                    });
+                    let _ = tx.send(r.map(|v| (i, v)));
                 }))
                 .expect("pool queue closed");
         }
     }
     drop(tx);
+    LAST_PANIC.with(|p| p.borrow_mut().take());
     let mut slots: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
-    let mut received = 0usize;
-    while let Ok((i, r)) = rx.recv() {
-        slots[i] = Some(r);
-        received += 1;
+    let mut first_panic: Option<ChunkPanic> = None;
+    // Drain every chunk before deciding the outcome: the channel closes once
+    // all jobs (panicked or not) have reported, so no result is left behind
+    // in flight and the pool is immediately reusable.
+    while let Ok(r) = rx.recv() {
+        match r {
+            Ok((i, v)) => slots[i] = Some(v),
+            Err(p) => {
+                if first_panic.as_ref().is_none_or(|prev| p.chunk < prev.chunk) {
+                    first_panic = Some(p);
+                }
+            }
+        }
     }
-    assert_eq!(received, chunks, "a pool worker job panicked");
-    slots.into_iter().map(|s| s.expect("chunk result present")).collect()
+    if let Some(p) = first_panic {
+        LAST_PANIC.with(|slot| {
+            *slot.borrow_mut() = Some(PanicInfo { chunk: p.chunk, location: p.location })
+        });
+        std::panic::resume_unwind(p.payload);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| unreachable!("chunk {i} neither completed nor panicked")))
+        .collect()
 }
 
 /// Computes a `rows * row_len` output buffer by partitioning whole rows into
@@ -294,5 +408,71 @@ mod tests {
     fn map_chunks_zero_and_one() {
         assert!(map_chunks(0, |i| i).is_empty());
         assert_eq!(map_chunks(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn panicking_job_reraises_original_payload_and_pool_survives() {
+        let err = std::panic::catch_unwind(|| {
+            map_chunks(6, |i| {
+                if i == 3 {
+                    panic!("chunk {i} exploded");
+                }
+                i * 2
+            })
+        })
+        .expect_err("dispatch must re-raise the job panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload should be the original panic message");
+        assert_eq!(msg, "chunk 3 exploded", "payload must be the job's own, unwrapped");
+        let info = last_panic().expect("panic diagnostics recorded");
+        assert_eq!(info.chunk, 3);
+        let loc = info.location.expect("location captured by the hook");
+        assert!(loc.contains("pool.rs"), "unexpected location {loc}");
+
+        // The long-lived workers survived and the pool is immediately usable.
+        let r = map_chunks(8, |i| i + 100);
+        assert_eq!(r, (100..108).collect::<Vec<_>>());
+        assert!(last_panic().is_none(), "a clean dispatch clears the record");
+    }
+
+    #[test]
+    fn lowest_chunk_wins_when_several_panic() {
+        let err = std::panic::catch_unwind(|| {
+            map_chunks(8, |i| {
+                if i % 2 == 1 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        })
+        .expect_err("dispatch must re-raise");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert_eq!(msg, "boom 1", "deterministic choice: lowest panicking chunk");
+        assert_eq!(last_panic().unwrap().chunk, 1);
+        assert_eq!(map_chunks(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_rows_propagates_job_panics() {
+        let err = std::panic::catch_unwind(|| {
+            parallel_rows(8, 2, 4, |first, _out| {
+                if first >= 4 {
+                    panic!("row chunk starting at {first} failed");
+                }
+            })
+        })
+        .expect_err("parallel_rows must surface the panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("row chunk starting at"), "{msg}");
+        // Still usable for the normal case.
+        let out = parallel_rows(4, 2, 2, |first, out| {
+            for (j, v) in out.iter_mut().enumerate() {
+                *v = (first * 2 + j) as f32;
+            }
+        });
+        assert_eq!(out, (0..8).map(|x| x as f32).collect::<Vec<_>>());
     }
 }

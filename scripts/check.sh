@@ -20,4 +20,10 @@ cargo test --workspace -q
 echo "==> tier-1 again under a 2-worker pool (TSDX_NUM_THREADS=2)"
 TSDX_NUM_THREADS=2 cargo test -q
 
+echo "==> fault-injection suite (worker panics, torn/corrupt checkpoints, NaN grads)"
+cargo test -q --features fault-inject
+
+echo "==> kill-and-resume determinism under a 2-worker pool"
+TSDX_NUM_THREADS=2 cargo test -q --test resume_training
+
 echo "All checks passed."

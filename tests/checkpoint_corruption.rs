@@ -1,0 +1,126 @@
+//! Property tests for checkpoint corruption detection.
+//!
+//! The crash-safety story in DESIGN.md §6.3 rests on one invariant: a reader
+//! either gets the exact bytes a writer produced, or a typed
+//! [`CheckpointError`] — never a panic, and never a silently-wrong load.
+//! These tests fuzz the two physical failure modes (torn writes and at-rest
+//! bit rot) over a real saved checkpoint and assert that invariant for every
+//! sampled mutation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::proptest;
+use tsdx::nn::{
+    read_train_checkpoint, save_train_checkpoint, AdamWState, CheckpointError, ParamStore,
+    TrainCheckpoint, TrainState,
+};
+use tsdx::tensor::Tensor;
+
+/// Builds a representative checkpoint (params + optimizer moments + RNG
+/// state) and returns its exact on-disk encoding.
+fn canonical() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut store = ParamStore::new();
+        store.add("encoder.w", Tensor::from_fn(&[8, 8], |i| (i as f32).sin()));
+        store.add("encoder.b", Tensor::from_fn(&[8], |i| i as f32 * 0.25));
+        store.add("head.w", Tensor::from_fn(&[8, 3], |i| 1.0 / (i + 1) as f32));
+        let ckpt = TrainCheckpoint {
+            state: TrainState {
+                epoch: 3,
+                step: 97,
+                lr_scale: 0.5,
+                consecutive_bad: 1,
+                skipped_steps: 2,
+                rng: Some([1, 2, 3, 0xDEAD_BEEF]),
+            },
+            opt: Some(AdamWState {
+                t: 97,
+                m: store.iter().map(|(_, t)| Tensor::full(t.shape(), 0.125)).collect(),
+                v: store.iter().map(|(_, t)| Tensor::full(t.shape(), 0.0625)).collect(),
+            }),
+            params: store.iter().map(|(n, t)| (n.to_string(), t.clone())).collect(),
+        };
+        let path = tmp("canonical");
+        save_train_checkpoint(&ckpt, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Sanity: the pristine encoding round-trips, so any rejection below
+        // is caused by the mutation, not a broken fixture.
+        std::fs::write(&path, &bytes).unwrap();
+        let back = read_train_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, ckpt, "pristine checkpoint must round-trip");
+        bytes
+    })
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tsdx-corrupt-{name}-{}.ckpt", std::process::id()))
+}
+
+/// Writes `bytes` to a scratch file and asserts the reader rejects them with
+/// a typed [`CheckpointError`] rather than panicking or returning data.
+fn assert_rejected(name: &str, bytes: &[u8], what: &str) -> CheckpointError {
+    let path = tmp(name);
+    std::fs::write(&path, bytes).unwrap();
+    let outcome = catch_unwind(AssertUnwindSafe(|| read_train_checkpoint(&path)));
+    std::fs::remove_file(&path).ok();
+    match outcome {
+        Err(_) => panic!("{what}: reader panicked instead of returning CheckpointError"),
+        Ok(Ok(_)) => panic!("{what}: corrupted checkpoint loaded as if it were valid"),
+        Ok(Err(e)) => e,
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_truncation_point_is_rejected(frac in 0.0f64..1.0) {
+        let bytes = canonical();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let err = assert_rejected(
+            "truncate",
+            &bytes[..cut.min(bytes.len() - 1)],
+            &format!("truncation to {cut} bytes"),
+        );
+        // A tear after the length header is diagnosed as exactly that; tears
+        // inside the first 16 bytes surface as a magic/format violation.
+        if cut >= 16 {
+            proptest::prop_assert!(
+                matches!(err, CheckpointError::Truncated { .. }),
+                "cut at {} bytes should be Truncated, got: {}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected(frac in 0.0f64..1.0, bit in 0u8..8) {
+        let bytes = canonical();
+        let byte = ((bytes.len() as f64) * frac) as usize % bytes.len();
+        let mut mutated = bytes.to_vec();
+        mutated[byte] ^= 1 << bit;
+        assert_rejected(
+            "bitflip",
+            &mutated,
+            &format!("bit {bit} of byte {byte} flipped"),
+        );
+    }
+}
+
+#[test]
+fn boundary_mutations_are_rejected() {
+    let bytes = canonical();
+    // Deterministic edge cases the fuzz loops may not sample: empty file,
+    // magic-only prefix, one byte short, and flips in the first/last byte.
+    assert_rejected("empty", &[], "empty file");
+    assert_rejected("magic-only", &bytes[..8], "8-byte magic-only prefix");
+    let err = assert_rejected("one-short", &bytes[..bytes.len() - 1], "one byte short");
+    assert!(matches!(err, CheckpointError::Truncated { .. }), "{err}");
+    for byte in [0, bytes.len() - 1] {
+        let mut mutated = bytes.to_vec();
+        mutated[byte] ^= 0x01;
+        assert_rejected("edge-flip", &mutated, &format!("flip in byte {byte}"));
+    }
+}

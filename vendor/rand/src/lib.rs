@@ -99,6 +99,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for checkpoint/resume: a generator
+        /// rebuilt with [`StdRng::from_state`] continues the exact stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not reachable from any
+        /// seed and would be a fixed point of the generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0, 0, 0, 0], "all-zero xoshiro state is invalid");
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
