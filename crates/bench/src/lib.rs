@@ -40,10 +40,38 @@ pub fn is_resume() -> bool {
     has_flag("--resume")
 }
 
-/// Where `--resume` checkpoints live. Delete this directory to force an
-/// experiment to start from scratch.
+/// Where `--resume` checkpoints live. Each experiment binary gets its own
+/// subdirectory (see [`stage_checkpoint_path`]). Delete this directory to
+/// force every experiment to start from scratch.
 pub fn checkpoint_dir() -> PathBuf {
     PathBuf::from("results").join("checkpoints")
+}
+
+/// The namespace separating this binary's stage checkpoints from every
+/// other experiment's: the executable's file stem, or `"unknown"` when the
+/// executable path cannot be determined.
+pub fn stage_namespace() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `--resume` checkpoint path for stage `tag` of the *current* binary:
+/// `results/checkpoints/<binary>/<tag>.ckpt`.
+///
+/// Stage tags are short names like `"fit"` or `"joint"` and repeat across
+/// experiments, so checkpoints are namespaced per binary — without this,
+/// `table2_extraction --resume` and `table3_ablations --resume` would
+/// restore each other's half-trained models from the same file.
+pub fn stage_checkpoint_path(tag: &str) -> PathBuf {
+    stage_checkpoint_path_in(&stage_namespace(), tag)
+}
+
+/// [`stage_checkpoint_path`] for an explicit namespace (tests use this to
+/// simulate several binaries inside one process).
+pub fn stage_checkpoint_path_in(namespace: &str, tag: &str) -> PathBuf {
+    checkpoint_dir().join(namespace).join(format!("{tag}.ckpt"))
 }
 
 /// Standard dataset configuration (32×32 px, 8 frames, mild noise).
@@ -105,11 +133,11 @@ pub fn fit_transformer(
 /// with the standard schedule.
 ///
 /// `tag` names this training stage; with `--resume` on the command line the
-/// stage checkpoints to `results/checkpoints/<tag>.ckpt` after every epoch
-/// and resumes from it when present, so interrupting and re-running the
-/// experiment continues where it stopped (bit-identically — see
-/// `tests/resume_training.rs`). Without `--resume` the stage trains exactly
-/// as before and no checkpoint is touched.
+/// stage checkpoints to `results/checkpoints/<binary>/<tag>.ckpt` (see
+/// [`stage_checkpoint_path`]) after every epoch and resumes from it when
+/// present, so interrupting and re-running the experiment continues where
+/// it stopped (bit-identically). Without `--resume` the stage trains
+/// exactly as before and no checkpoint is touched.
 pub fn fit_model(
     tag: &str,
     model: &mut dyn ClipModel,
@@ -121,10 +149,10 @@ pub fn fit_model(
     let all: Vec<usize> = (0..train.len()).collect();
     let tc = standard_train_config(epochs, all.len(), 16);
     if is_resume() {
-        let dir = checkpoint_dir();
-        std::fs::create_dir_all(&dir)
+        let path = stage_checkpoint_path(tag);
+        let dir = path.parent().expect("stage checkpoint path has a directory");
+        std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
-        let path = dir.join(format!("{tag}.ckpt"));
         eprintln!("  [resume] checkpointing to {}", path.display());
         tsdx_core::train_resilient(model, &train, &all, &tc, &ResilienceConfig::resume_from(&path))
             .unwrap_or_else(|e| panic!("resumable training for {tag} failed: {e}"));

@@ -65,7 +65,7 @@ impl Error for ExtractError {}
 ///
 /// let extractor = ScenarioExtractor::untrained(ModelConfig::default(), 0);
 /// let clip = Tensor::zeros(&[8, 32, 32]);
-/// let description = extractor.extract(&clip);
+/// let description = extractor.extract_checked(&clip).expect("well-formed clip");
 /// println!("{description}");
 /// ```
 #[derive(Debug, Clone)]
@@ -93,15 +93,19 @@ impl ScenarioExtractor {
         report.final_loss()
     }
 
-    /// Extracts the SDL description of a single video `[T, H, W]`.
+    /// Extracts the SDL description of a single video `[T, H, W]` whose
+    /// well-formedness the *caller* guarantees — only for inputs that are
+    /// infallible by construction (e.g. clips straight out of the
+    /// simulator). Everything else — files, network requests, user data —
+    /// should go through [`ScenarioExtractor::extract_checked`], which
+    /// reports malformed input as a typed [`ExtractError`] instead of
+    /// panicking.
     ///
     /// The returned scenario always satisfies [`Scenario::validate`].
     ///
     /// # Panics
     ///
-    /// Panics on malformed input (wrong rank/shape, non-finite pixels);
-    /// service code should prefer [`ScenarioExtractor::extract_checked`],
-    /// which reports those as typed errors.
+    /// Panics on malformed input (wrong rank/shape, non-finite pixels).
     pub fn extract(&self, video: &Tensor) -> Scenario {
         self.extract_checked(video).unwrap_or_else(|e| panic!("extract: {e}"))
     }

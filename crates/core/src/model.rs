@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use tsdx_data::{ClipLabels, POSITION_COUNT};
 use tsdx_nn::{Binding, ParamStore};
 use tsdx_sdl::{vocab, ActorKind, EgoManeuver, RoadKind};
-use tsdx_tensor::{ops, Graph, Tensor};
+use tsdx_tensor::{metrics, ops, Graph, Tensor};
 
 use crate::config::ModelConfig;
 use crate::encoder::ClipEncoder;
@@ -148,18 +148,24 @@ impl VideoScenarioTransformer {
     }
 
     /// Runs inference on a video batch, returning decoded labels.
+    ///
+    /// When metrics are enabled, each pipeline stage records a latency
+    /// histogram: `stage/tubelet_embed`, `stage/encoder`, `stage/heads`
+    /// (from [`ClipModel::forward`]) and `stage/decode` here.
     pub fn predict(&self, videos: &Tensor) -> Vec<ClipLabels> {
         let mut g = Graph::new();
         let p = self.store.bind_frozen(&mut g);
         let mut rng = StdRng::seed_from_u64(0);
         let logits = self.forward(&mut g, &p, videos, &mut rng, false);
-        decode_logits(
-            g.value(logits.ego),
-            g.value(logits.road),
-            g.value(logits.event),
-            g.value(logits.position),
-            g.value(logits.presence),
-        )
+        metrics::stage("stage/decode", || {
+            decode_logits(
+                g.value(logits.ego),
+                g.value(logits.road),
+                g.value(logits.event),
+                g.value(logits.position),
+                g.value(logits.presence),
+            )
+        })
     }
 }
 
@@ -180,10 +186,15 @@ impl ClipModel for VideoScenarioTransformer {
         rng: &mut StdRng,
         train: bool,
     ) -> HeadLogits {
-        let tubs = g.constant(extract_tubelets(&self.cfg, videos));
-        let tokens = self.embed.forward(g, p, tubs);
-        let emb = self.encoder.forward(g, p, tokens, rng, train);
-        self.heads.forward(g, p, emb)
+        // Ops execute eagerly as the tape is built, so timing each stage of
+        // tape construction times the forward compute itself.
+        let tokens = metrics::stage("stage/tubelet_embed", || {
+            let tubs = g.constant(extract_tubelets(&self.cfg, videos));
+            self.embed.forward(g, p, tubs)
+        });
+        let emb =
+            metrics::stage("stage/encoder", || self.encoder.forward(g, p, tokens, rng, train));
+        metrics::stage("stage/heads", || self.heads.forward(g, p, emb))
     }
 
     fn name(&self) -> &str {

@@ -23,6 +23,7 @@ use tsdx_sdl::{vocab, ActorKind, EgoManeuver};
 
 use crate::heads::{multitask_loss, LossWeights};
 use crate::model::{decode_logits, ClipModel};
+use crate::telemetry::{timed_ms, TrainLogger};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +105,11 @@ pub struct ResilienceConfig {
     pub backoff: f32,
     /// Floor for the backoff scale.
     pub min_lr_scale: f32,
+    /// Explicit JSONL telemetry destination. `None` (the default) defers to
+    /// `TSDX_LOG` and the standard `results/logs/` location; `Some(path)`
+    /// writes debug-level events to `path` regardless of the environment
+    /// (see [`crate::TrainLogger`]).
+    pub log_path: Option<PathBuf>,
 }
 
 impl Default for ResilienceConfig {
@@ -116,6 +122,7 @@ impl Default for ResilienceConfig {
             max_consecutive_bad: 16,
             backoff: 0.5,
             min_lr_scale: 1.0 / 64.0,
+            log_path: None,
         }
     }
 }
@@ -243,6 +250,8 @@ pub fn train_resilient(
     let mut lr_scale: f32 = 1.0;
     let mut consecutive_bad: u32 = 0;
     let mut skipped: u32 = 0;
+    let mut log = TrainLogger::for_run(model.name(), r.log_path.as_deref());
+    log.train_start(model.name(), cfg.epochs, cfg.batch_size, train_idx.len());
 
     if r.resume {
         let path = r.checkpoint.as_ref().expect("resume requires a checkpoint path");
@@ -266,6 +275,7 @@ pub fn train_resilient(
             lr_scale = ck.state.lr_scale;
             consecutive_bad = ck.state.consecutive_bad;
             skipped = ck.state.skipped_steps;
+            log.resume(start_epoch, step);
             if cfg.verbose {
                 eprintln!(
                     "[{}] resumed from {} at epoch {start_epoch}, step {step}",
@@ -298,11 +308,13 @@ pub fn train_resilient(
                 skipped += 1;
                 consecutive_bad += 1;
                 if consecutive_bad > r.max_consecutive_bad {
+                    log.diverged(step, consecutive_bad);
                     return Err(TrainError::Diverged { step, consecutive: consecutive_bad });
                 }
                 if consecutive_bad > 1 {
                     lr_scale = (lr_scale * r.backoff).max(r.min_lr_scale);
                 }
+                log.skip(step, loss_val, consecutive_bad, lr_scale);
                 if cfg.verbose {
                     eprintln!(
                         "[{}] step {step}: non-finite batch skipped ({consecutive_bad} in a \
@@ -317,15 +329,18 @@ pub fn train_resilient(
             lr_scale = (lr_scale * 2.0).min(1.0);
             loss_sum += loss_val;
             good_batches += 1;
+            let mut grad_norm = None;
             if cfg.clip_norm > 0.0 {
-                clip_global_norm(&mut collected, cfg.clip_norm);
+                grad_norm = Some(clip_global_norm(&mut collected, cfg.clip_norm));
             }
             let lr = cfg.schedule.lr(step) * lr_scale;
             opt.step(model.params_mut(), &collected, lr);
+            log.step(step, epoch, loss_val, lr, grad_norm);
             step += 1;
         }
         let mean = loss_sum / good_batches.max(1) as f32;
         epoch_losses.push(mean);
+        log.epoch(epoch, mean, good_batches, skipped - skipped_at_start);
         if cfg.verbose {
             eprintln!("[{}] epoch {epoch:>3}: loss {mean:.4}", model.name());
         }
@@ -348,10 +363,13 @@ pub fn train_resilient(
                         .collect(),
                     opt: Some(opt.export_state(model.params())),
                 };
-                save_train_checkpoint(&ckpt, path)?;
+                let (saved, write_ms) = timed_ms(|| save_train_checkpoint(&ckpt, path));
+                saved?;
+                log.checkpoint(done, step, path, write_ms);
             }
         }
     }
+    log.train_end(cfg.epochs, step, skipped - skipped_at_start, epoch_losses.last().copied());
     Ok(TrainReport { epoch_losses, steps: step, skipped_steps: skipped - skipped_at_start })
 }
 

@@ -1,7 +1,7 @@
 //! Transformer encoder blocks (pre-norm) and stacks.
 
 use rand::Rng;
-use tsdx_tensor::{Graph, Var};
+use tsdx_tensor::{metrics, Graph, Var};
 
 use crate::attention::MultiHeadAttention;
 use crate::dropout::Dropout;
@@ -43,6 +43,10 @@ impl Mlp {
 /// `x + Attn(LN(x))` followed by `x + MLP(LN(x))`.
 #[derive(Debug, Clone)]
 pub struct TransformerBlock {
+    // Registration name, kept for the per-layer forward metric span
+    // (`layer/<name>`). Backward time is attributed per-op by the tape
+    // (`bwd/*` spans) since replay interleaves layers.
+    name: String,
     ln1: LayerNorm,
     attn: MultiHeadAttention,
     ln2: LayerNorm,
@@ -63,6 +67,7 @@ impl TransformerBlock {
         dropout: f32,
     ) -> Self {
         TransformerBlock {
+            name: name.to_string(),
             ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
             attn: MultiHeadAttention::new(store, rng, &format!("{name}.attn"), dim, heads),
             ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
@@ -85,6 +90,7 @@ impl TransformerBlock {
         rng: &mut impl Rng,
         train: bool,
     ) -> Var {
+        let _span = metrics::span_dyn(|| format!("layer/{}", self.name));
         let n1 = self.ln1.forward(g, p, x);
         let a = self.attn.forward(g, p, n1);
         let a = self.dropout.forward(g, a, rng, train);
@@ -105,6 +111,7 @@ impl TransformerBlock {
         rng: &mut impl Rng,
         train: bool,
     ) -> (Var, Var) {
+        let _span = metrics::span_dyn(|| format!("layer/{}", self.name));
         let n1 = self.ln1.forward(g, p, x);
         let (a, attn) = self.attn.forward_with_attn(g, p, n1);
         let a = self.dropout.forward(g, a, rng, train);

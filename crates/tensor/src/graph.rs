@@ -73,6 +73,47 @@ enum Op {
     MaxPool2d { input: Var, argmax: Vec<usize> },
 }
 
+impl Op {
+    /// Static metric key for the backward span of this op kind.
+    fn bwd_span_key(&self) -> &'static str {
+        match self {
+            Op::Leaf => "bwd/leaf",
+            Op::Add(..) => "bwd/add",
+            Op::Sub(..) => "bwd/sub",
+            Op::Mul(..) => "bwd/mul",
+            Op::Div(..) => "bwd/div",
+            Op::Neg(..) => "bwd/neg",
+            Op::Scale(..) => "bwd/scale",
+            Op::AddScalar(..) => "bwd/add_scalar",
+            Op::Matmul(..) => "bwd/matmul",
+            Op::Relu(..) => "bwd/relu",
+            Op::Gelu(..) => "bwd/gelu",
+            Op::Sigmoid(..) => "bwd/sigmoid",
+            Op::Tanh(..) => "bwd/tanh",
+            Op::Exp(..) => "bwd/exp",
+            Op::Ln(..) => "bwd/ln",
+            Op::Reshape(..) => "bwd/reshape",
+            Op::Permute(..) => "bwd/permute",
+            Op::Concat(..) => "bwd/concat",
+            Op::Narrow { .. } => "bwd/narrow",
+            Op::IndexSelect { .. } => "bwd/index_select",
+            Op::SoftmaxLast(..) => "bwd/softmax",
+            Op::LogSoftmaxLast(..) => "bwd/log_softmax",
+            Op::LayerNorm { .. } => "bwd/layer_norm",
+            Op::Attention { .. } => "bwd/attention",
+            Op::SumAll(..) => "bwd/sum_all",
+            Op::MeanAll(..) => "bwd/mean_all",
+            Op::SumAxis { .. } => "bwd/sum_axis",
+            Op::MeanAxis { .. } => "bwd/mean_axis",
+            Op::CrossEntropy { .. } => "bwd/cross_entropy",
+            Op::BceLogits { .. } => "bwd/bce",
+            Op::Conv2d { .. } => "bwd/conv2d",
+            Op::AvgPool2d { .. } => "bwd/avg_pool2d",
+            Op::MaxPool2d { .. } => "bwd/max_pool2d",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     op: Op,
@@ -465,6 +506,7 @@ impl Graph {
     }
 
     fn backprop_node(&self, id: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let _span = crate::metrics::span(self.nodes[id].op.bwd_span_key());
         match &self.nodes[id].op {
             Op::Leaf => {}
             Op::Add(a, b) => {

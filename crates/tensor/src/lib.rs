@@ -50,6 +50,7 @@ pub mod fastmath;
 pub mod faults;
 pub mod grad_check;
 mod graph;
+pub mod metrics;
 pub mod ops;
 pub mod pool;
 pub mod shape;

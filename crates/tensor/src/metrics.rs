@@ -1,0 +1,595 @@
+//! Scoped runtime metrics: counters, span timers, and latency histograms.
+//!
+//! This is the observability substrate for the whole stack. Three primitives
+//! are collected:
+//!
+//! - **Counters** — monotonically increasing event counts
+//!   ([`counter_add`]), e.g. buffer materializations or pool dispatches.
+//! - **Spans** — wall-time intervals with *self-time* accounting
+//!   ([`span`]/[`span_dyn`]): nested spans subtract child time from their
+//!   parent, so a per-kernel/per-layer table of self times sums to the
+//!   instrumented wall time instead of double-counting nesting.
+//! - **Histograms** — log₂-bucketed nanosecond latency distributions
+//!   ([`observe_ns`], [`stage`]) with approximate quantiles.
+//!
+//! # Scopes: race-free collection
+//!
+//! All records land in **thread-local collectors**, never in process
+//! globals, so concurrently running tests (and concurrent request handlers)
+//! can each open a [`scope`] and observe *only their own* activity:
+//!
+//! ```
+//! use tsdx_tensor::{metrics, ops, Tensor};
+//! let scope = metrics::scope();
+//! let a = Tensor::ones(&[8, 8]);
+//! let _ = ops::matmul(&a, &a);
+//! let snap = scope.snapshot();
+//! assert_eq!(snap.counter(tsdx_tensor::copy_metrics::KEY), 0); // no copies
+//! ```
+//!
+//! Scopes nest: every record goes to *all* scopes open on the recording
+//! thread, so an outer scope still sees activity that an inner test scope
+//! also measured. Worker-pool timings are aggregated by the dispatching
+//! thread (see [`crate::pool`]), so pool parallelism does not leak records
+//! onto foreign threads.
+//!
+//! # Zero cost when disabled
+//!
+//! When no scope is open and `TSDX_METRICS` is not `1`, every recording
+//! function reduces to **one branch on one static atomic** — no allocation,
+//! no syscalls, no thread-local initialization (`tests/metrics_scopes.rs`
+//! proves zero allocations and the `profile` bench binary quantifies the
+//! wall-time cost). `TSDX_METRICS=1` additionally enables a per-thread root
+//! collector readable via [`thread_snapshot`] without opening scopes; it is
+//! read once, at the first metrics call of the process.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of log₂ nanosecond buckets a [`Histogram`] keeps: bucket `i`
+/// counts observations in `[2^i, 2^(i+1))` ns, so 40 buckets span ~1 ns to
+/// ~18 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+// Count of reasons to record anywhere in the process: +1 per open scope on
+// any thread, +1 (permanently) when TSDX_METRICS=1. The hot-path check in
+// `active()` is a single relaxed load of this static.
+static ACTIVE_SINKS: AtomicUsize = AtomicUsize::new(0);
+
+// 0 = env not yet read, 1 = read. Flips exactly once.
+static ENV_READ: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn read_env_once() {
+    // Multiple threads may race here; `fetch_or` makes exactly one of them
+    // apply the +1 for the env-enabled root collector.
+    if ENV_READ.fetch_or(1, Ordering::SeqCst) == 0
+        && std::env::var("TSDX_METRICS").is_ok_and(|v| v.trim() == "1")
+    {
+        ACTIVE_SINKS.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// True when at least one metrics sink (a [`scope`] on some thread, or the
+/// `TSDX_METRICS=1` process root) is live. The disabled path is a single
+/// branch on a static: recording functions call this and return immediately.
+#[inline]
+pub fn active() -> bool {
+    if ENV_READ.load(Ordering::Relaxed) == 0 {
+        read_env_once();
+    }
+    ACTIVE_SINKS.load(Ordering::Relaxed) != 0
+}
+
+/// True when `TSDX_METRICS=1` enabled the per-thread root collectors.
+fn env_enabled() -> bool {
+    static CACHED: AtomicU8 = AtomicU8::new(2);
+    match CACHED.load(Ordering::Relaxed) {
+        2 => {
+            let on = std::env::var("TSDX_METRICS").is_ok_and(|v| v.trim() == "1");
+            CACHED.store(on as u8, Ordering::Relaxed);
+            on
+        }
+        v => v == 1,
+    }
+}
+
+/// Aggregate statistics of one span key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time, including child spans.
+    pub total_ns: u64,
+    /// Wall time minus time spent in child spans.
+    pub self_ns: u64,
+}
+
+/// A log₂-bucketed nanosecond latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts observations in `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed durations in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum_ns: 0 }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, ns: u64) {
+        let b = (u64::BITS - 1 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[b.min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) in nanoseconds: the geometric
+    /// midpoint of the bucket holding the `q`-th observation.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                return (1u64 << i) + (1u64 << i) / 2;
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+}
+
+/// A point-in-time copy of one collector's contents.
+///
+/// Returned by [`ScopeGuard::snapshot`] and [`thread_snapshot`]; all maps
+/// are keyed by the flat metric key (`"pool/exec/matmul"`,
+/// `"layer/encoder.spatial.block0"` ...).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Completed-span statistics.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Latency histograms.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when never recorded.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Span statistics, zeroed when never recorded.
+    pub fn span(&self, key: &str) -> SpanStat {
+        self.spans.get(key).copied().unwrap_or_default()
+    }
+
+    /// Total recorded events across all three primitives (used by the
+    /// overhead bench to count instrumentation call sites per step).
+    pub fn total_records(&self) -> u64 {
+        self.counters.values().sum::<u64>()
+            + self.spans.values().map(|s| s.count).sum::<u64>()
+            + self.hists.values().map(|h| h.count).sum::<u64>()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "counter {k} = {v}")?;
+        }
+        for (k, s) in &self.spans {
+            writeln!(
+                f,
+                "span    {k}: n={} total={:.3}ms self={:.3}ms",
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6
+            )?;
+        }
+        for (k, h) in &self.hists {
+            writeln!(
+                f,
+                "hist    {k}: n={} mean={}ns p50={}ns p99={}ns",
+                h.count,
+                h.mean_ns(),
+                h.quantile_ns(0.5),
+                h.quantile_ns(0.99)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    counters: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanStat>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Collector {
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            spans: self.spans.clone(),
+            hists: self.hists.clone(),
+        }
+    }
+}
+
+/// One frame of the thread's span stack: accumulated child wall time, used
+/// for self-time accounting.
+struct SpanFrame {
+    child_ns: u64,
+}
+
+thread_local! {
+    // Innermost-last stack of open scopes plus (at index 0, when
+    // TSDX_METRICS=1) the thread's root collector.
+    static COLLECTORS: RefCell<Vec<Rc<RefCell<Collector>>>> = RefCell::new(init_thread_collectors());
+    static SPAN_STACK: RefCell<Vec<SpanFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+fn init_thread_collectors() -> Vec<Rc<RefCell<Collector>>> {
+    if env_enabled() {
+        vec![Rc::new(RefCell::new(Collector::default()))]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Applies `f` to every collector open on this thread.
+fn with_collectors(f: impl Fn(&mut Collector)) {
+    COLLECTORS.with(|c| {
+        for rc in c.borrow().iter() {
+            f(&mut rc.borrow_mut());
+        }
+    });
+}
+
+/// RAII guard for a metrics collection scope (see [`scope`]).
+///
+/// Dropping the guard closes the scope; [`ScopeGuard::snapshot`] reads its
+/// current totals at any point. The guard is `!Send`: a scope belongs to
+/// the thread that opened it.
+pub struct ScopeGuard {
+    collector: Rc<RefCell<Collector>>,
+}
+
+impl ScopeGuard {
+    /// A copy of everything this scope has collected so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.collector.borrow().snapshot()
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        COLLECTORS.with(|c| {
+            let mut stack = c.borrow_mut();
+            let pos = stack
+                .iter()
+                .rposition(|rc| Rc::ptr_eq(rc, &self.collector))
+                .expect("scope collector still registered");
+            stack.remove(pos);
+        });
+        ACTIVE_SINKS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Opens a collection scope on the calling thread.
+///
+/// Until the returned guard is dropped, every metric recorded **by this
+/// thread** (plus pool-worker timings aggregated back by dispatches this
+/// thread issues) is collected and readable via [`ScopeGuard::snapshot`].
+/// Other threads' scopes are unaffected — concurrent tests cannot observe
+/// each other. Scopes nest; inner activity is visible to outer scopes.
+pub fn scope() -> ScopeGuard {
+    // Touch the env first so the +1 below is never double-counted by the
+    // lazy read in `active()`.
+    if ENV_READ.load(Ordering::Relaxed) == 0 {
+        read_env_once();
+    }
+    let collector = Rc::new(RefCell::new(Collector::default()));
+    COLLECTORS.with(|c| c.borrow_mut().push(Rc::clone(&collector)));
+    ACTIVE_SINKS.fetch_add(1, Ordering::SeqCst);
+    ScopeGuard { collector }
+}
+
+/// Snapshot of the calling thread's `TSDX_METRICS=1` root collector.
+///
+/// Empty when the variable is not set (open a [`scope`] instead).
+pub fn thread_snapshot() -> Snapshot {
+    if !env_enabled() {
+        return Snapshot::default();
+    }
+    COLLECTORS.with(|c| c.borrow().first().map(|rc| rc.borrow().snapshot())).unwrap_or_default()
+}
+
+/// Adds `n` to the counter `key` in every open collector on this thread.
+/// A no-op (single static branch, no allocation) when metrics are disabled.
+#[inline]
+pub fn counter_add(key: &str, n: u64) {
+    if !active() {
+        return;
+    }
+    counter_add_slow(key, n);
+}
+
+#[cold]
+fn counter_add_slow(key: &str, n: u64) {
+    with_collectors(|c| match c.counters.get_mut(key) {
+        Some(v) => *v += n,
+        None => {
+            c.counters.insert(key.to_string(), n);
+        }
+    });
+}
+
+/// Current value of counter `key` in the innermost open collector on this
+/// thread (0 when no collector is open or the counter never fired).
+pub fn current_counter(key: &str) -> u64 {
+    COLLECTORS.with(|c| {
+        c.borrow().last().map_or(0, |rc| rc.borrow().counters.get(key).copied().unwrap_or(0))
+    })
+}
+
+/// Records one observation of `ns` nanoseconds into histogram `key`.
+/// A no-op (single static branch) when metrics are disabled.
+#[inline]
+pub fn observe_ns(key: &str, ns: u64) {
+    if !active() {
+        return;
+    }
+    observe_ns_slow(key, ns);
+}
+
+#[cold]
+fn observe_ns_slow(key: &str, ns: u64) {
+    with_collectors(|c| c.hists.entry(key.to_string()).or_default().observe(ns));
+}
+
+/// An open span timer; created by [`span`]/[`span_dyn`], recorded on drop.
+///
+/// Inert (`None` payload, nothing allocated) when metrics were disabled at
+/// creation.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    key: SpanKey,
+    start: Instant,
+    also_hist: bool,
+}
+
+enum SpanKey {
+    Static(&'static str),
+    Owned(String),
+}
+
+impl SpanKey {
+    fn as_str(&self) -> &str {
+        match self {
+            SpanKey::Static(s) => s,
+            SpanKey::Owned(s) => s,
+        }
+    }
+}
+
+/// Opens a wall-time span named `key`. The elapsed time is recorded when
+/// the returned guard drops; nested spans subtract their time from this
+/// span's *self* time. Single static branch and no allocation when
+/// metrics are disabled.
+#[inline]
+pub fn span(key: &'static str) -> Span {
+    if !active() {
+        return Span { inner: None };
+    }
+    open_span(SpanKey::Static(key), false)
+}
+
+/// [`span`] with a lazily built dynamic name (e.g. a per-layer label). The
+/// closure only runs — and the `String` is only allocated — when metrics
+/// are enabled.
+#[inline]
+pub fn span_dyn(key: impl FnOnce() -> String) -> Span {
+    if !active() {
+        return Span { inner: None };
+    }
+    open_span(SpanKey::Owned(key()), false)
+}
+
+/// Times `f` under span `key` and additionally records the elapsed time
+/// into the histogram of the same key — the per-stage latency primitive
+/// used on the inference path.
+#[inline]
+pub fn stage<R>(key: &'static str, f: impl FnOnce() -> R) -> R {
+    if !active() {
+        return f();
+    }
+    let _span = open_span(SpanKey::Static(key), true);
+    f()
+}
+
+/// Times `f` under span `key` (no histogram).
+#[inline]
+pub fn time<R>(key: &'static str, f: impl FnOnce() -> R) -> R {
+    if !active() {
+        return f();
+    }
+    let _span = open_span(SpanKey::Static(key), false);
+    f()
+}
+
+#[cold]
+fn open_span(key: SpanKey, also_hist: bool) -> Span {
+    SPAN_STACK.with(|s| s.borrow_mut().push(SpanFrame { child_ns: 0 }));
+    Span { inner: Some(SpanInner { key, start: Instant::now(), also_hist }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let elapsed = inner.start.elapsed().as_nanos() as u64;
+        let child_ns = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let frame = stack.pop().expect("span frame pushed at open");
+            // Credit our wall time to the parent frame's child accumulator.
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += elapsed;
+            }
+            frame.child_ns
+        });
+        let self_ns = elapsed.saturating_sub(child_ns);
+        let key = inner.key.as_str();
+        with_collectors(|c| {
+            let stat = c.spans.entry(key.to_string()).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed;
+            stat.self_ns += self_ns;
+            if inner.also_hist {
+                c.hists.entry(key.to_string()).or_default().observe(elapsed);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_current_counter_is_zero() {
+        // No scope here (and TSDX_METRICS unset in the test env): recording
+        // is a no-op.
+        counter_add("test/never", 3);
+        observe_ns("test/never", 100);
+        assert_eq!(current_counter("test/never"), 0);
+    }
+
+    #[test]
+    fn scope_collects_and_closes() {
+        let s = scope();
+        counter_add("test/a", 2);
+        counter_add("test/a", 1);
+        observe_ns("test/lat", 1500);
+        {
+            let _sp = span("test/span");
+            std::hint::black_box(0);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("test/a"), 3);
+        assert_eq!(snap.hists["test/lat"].count, 1);
+        assert_eq!(snap.span("test/span").count, 1);
+        drop(s);
+        counter_add("test/a", 10);
+        assert_eq!(current_counter("test/a"), 0, "closed scope must stop collecting");
+    }
+
+    #[test]
+    fn nested_scopes_both_observe() {
+        let outer = scope();
+        counter_add("test/n", 1);
+        {
+            let inner = scope();
+            counter_add("test/n", 5);
+            assert_eq!(inner.snapshot().counter("test/n"), 5);
+        }
+        counter_add("test/n", 1);
+        assert_eq!(outer.snapshot().counter("test/n"), 7);
+    }
+
+    #[test]
+    fn span_self_time_excludes_children() {
+        let s = scope();
+        {
+            let _outer = span("test/outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test/inner");
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            }
+        }
+        let snap = s.snapshot();
+        let outer = snap.span("test/outer");
+        let inner = snap.span("test/inner");
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns < outer.total_ns,
+            "child time must be subtracted: self={} total={}",
+            outer.self_ns,
+            outer.total_ns
+        );
+        assert_eq!(inner.self_ns, inner.total_ns, "leaf span is all self time");
+        // Self times of a nest sum to the outer total.
+        let sum = outer.self_ns + inner.self_ns;
+        assert!(sum.abs_diff(outer.total_ns) < outer.total_ns / 10 + 1_000_000);
+    }
+
+    #[test]
+    fn scopes_are_thread_isolated() {
+        let s = scope();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let t = scope();
+                    counter_add("test/iso", i + 1);
+                    t.snapshot().counter("test/iso")
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), i as u64 + 1);
+        }
+        assert_eq!(s.snapshot().counter("test/iso"), 0, "other threads' records must not leak");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1_000); // bucket 9 (512..1024? no: 2^9=512, 2^10=1024 -> bucket 9)
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        assert_eq!(h.count, 100);
+        assert!(h.quantile_ns(0.5) < 10_000);
+        assert!(h.quantile_ns(0.99) > 500_000);
+        assert_eq!(h.mean_ns(), (90 * 1_000 + 10 * 1_000_000) / 100);
+    }
+
+    #[test]
+    fn display_formats_every_kind() {
+        let s = scope();
+        counter_add("test/c", 1);
+        observe_ns("test/h", 42);
+        time("test/t", || ());
+        let text = s.snapshot().to_string();
+        assert!(text.contains("counter test/c"));
+        assert!(text.contains("hist    test/h"));
+        assert!(text.contains("span    test/t"));
+    }
+}

@@ -170,6 +170,7 @@ fn attention_rows(
 ///
 /// Panics on rank or dimension mismatches between `q`, `k`, and `v`.
 pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
+    let _span = crate::metrics::span("op/attention");
     let dims = attn_dims(q, k, v);
     let (qr, kr, vr) = (Rows::new(q), Rows::new(k), Rows::new(v));
     let total_rows = dims.nb * dims.tq;
@@ -179,10 +180,16 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
         let dims = std::sync::Arc::new(dims);
         let d2 = std::sync::Arc::clone(&dims);
         let threads = pool::num_threads().min(total_rows);
-        let out = pool::parallel_rows(total_rows, d2.dv, threads, move |first_row, chunk| {
-            let mut scores = vec![0.0f32; d2.tk];
-            attention_rows(&qr, &kr, &vr, scale, &d2, first_row, chunk, &mut scores);
-        });
+        let out = pool::parallel_rows_named(
+            "attention",
+            total_rows,
+            d2.dv,
+            threads,
+            move |first_row, chunk| {
+                let mut scores = vec![0.0f32; d2.tk];
+                attention_rows(&qr, &kr, &vr, scale, &d2, first_row, chunk, &mut scores);
+            },
+        );
         return Tensor::from_vec(out, &dims.out_shape);
     }
 
@@ -298,6 +305,7 @@ pub fn attention_backward(
     scale: f32,
     grad: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
+    let _span = crate::metrics::span("op/attention_bwd");
     let dims = attn_dims(q, k, v);
     assert_eq!(grad.shape(), &dims.out_shape[..], "attention grad shape mismatch");
     let (qc, kc, vc, gc) = (q.contiguous(), k.contiguous(), v.contiguous(), grad.contiguous());
@@ -312,7 +320,7 @@ pub fn attention_backward(
         let per = d2.nb.div_ceil(threads);
         let chunks = d2.nb.div_ceil(per);
         let nb = d2.nb;
-        let parts = pool::map_chunks(chunks, move |c| {
+        let parts = pool::map_chunks_named("attention_bwd", chunks, move |c| {
             let first = c * per;
             let count = per.min(nb - first);
             attention_backward_batches(

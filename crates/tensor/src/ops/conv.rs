@@ -90,15 +90,16 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
         let data = input.raw_arc();
         let off = input.offset();
         let threads = pool::num_threads().min(b);
-        let out = pool::parallel_rows(b, rows * cols, threads, move |first_b, chunk| {
-            let count = chunk.len() / (rows * cols);
-            for i in 0..count {
-                let bi = first_b + i;
-                let image = &data[off + bi * c * h * w..off + (bi + 1) * c * h * w];
-                let img_out = &mut chunk[i * rows * cols..(i + 1) * rows * cols];
-                im2col_image(image, img_out, c, h, w, &spec);
-            }
-        });
+        let out =
+            pool::parallel_rows_named("im2col", b, rows * cols, threads, move |first_b, chunk| {
+                let count = chunk.len() / (rows * cols);
+                for i in 0..count {
+                    let bi = first_b + i;
+                    let image = &data[off + bi * c * h * w..off + (bi + 1) * c * h * w];
+                    let img_out = &mut chunk[i * rows * cols..(i + 1) * rows * cols];
+                    im2col_image(image, img_out, c, h, w, &spec);
+                }
+            });
         return Tensor::from_vec(out, &[b, rows, cols]);
     }
 
@@ -163,6 +164,7 @@ pub fn col2im(cols_t: &Tensor, spec: &Conv2dSpec, c: usize, h: usize, w: usize) 
 ///
 /// Panics on shape mismatches between input, weight, and `spec`.
 pub fn conv2d(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let _span = crate::metrics::span("op/conv2d");
     let ish = input.shape();
     let wsh = weight.shape();
     assert_eq!(ish.len(), 4, "conv2d input must be [B, C, H, W]");

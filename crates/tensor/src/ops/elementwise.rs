@@ -25,16 +25,23 @@ fn unary<F>(a: &Tensor, f: F) -> Tensor
 where
     F: Fn(f32) -> f32 + Copy + Send + Sync + 'static,
 {
+    let _span = crate::metrics::span("op/elementwise");
     if a.is_contiguous() && pool::should_parallelize(a.numel(), ELEMWISE_SERIAL_BELOW) {
         let n = a.numel();
         let ad = a.raw_arc();
         let off = a.offset();
-        let out = pool::parallel_rows(n, 1, pool::num_threads(), move |first, out| {
-            let src = &ad[off + first..off + first + out.len()];
-            for (o, &x) in out.iter_mut().zip(src) {
-                *o = f(x);
-            }
-        });
+        let out = pool::parallel_rows_named(
+            "elementwise",
+            n,
+            1,
+            pool::num_threads(),
+            move |first, out| {
+                let src = &ad[off + first..off + first + out.len()];
+                for (o, &x) in out.iter_mut().zip(src) {
+                    *o = f(x);
+                }
+            },
+        );
         Tensor::from_vec(out, a.shape())
     } else {
         a.map(f)
@@ -48,6 +55,7 @@ fn binary<F>(a: &Tensor, b: &Tensor, f: F) -> Tensor
 where
     F: Fn(f32, f32) -> f32 + Copy + Send + Sync + 'static,
 {
+    let _span = crate::metrics::span("op/elementwise");
     if a.shape() == b.shape()
         && a.is_contiguous()
         && b.is_contiguous()
@@ -56,13 +64,19 @@ where
         let n = a.numel();
         let (ad, bd) = (a.raw_arc(), b.raw_arc());
         let (ao, bo) = (a.offset(), b.offset());
-        let out = pool::parallel_rows(n, 1, pool::num_threads(), move |first, out| {
-            let xs = &ad[ao + first..ao + first + out.len()];
-            let ys = &bd[bo + first..bo + first + out.len()];
-            for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
-                *o = f(x, y);
-            }
-        });
+        let out = pool::parallel_rows_named(
+            "elementwise",
+            n,
+            1,
+            pool::num_threads(),
+            move |first, out| {
+                let xs = &ad[ao + first..ao + first + out.len()];
+                let ys = &bd[bo + first..bo + first + out.len()];
+                for ((o, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+                    *o = f(x, y);
+                }
+            },
+        );
         return Tensor::from_vec(out, a.shape());
     }
     binary_broadcast(a, b, f)

@@ -13,6 +13,7 @@ use crate::Tensor;
 ///
 /// Panics on shape mismatch or an out-of-range label.
 pub fn cross_entropy_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let _span = crate::metrics::span("op/cross_entropy");
     let sh = logits.shape();
     assert_eq!(sh.len(), 2, "cross_entropy_logits expects [N, C] logits");
     let (n, c) = (sh[0], sh[1]);
@@ -53,6 +54,7 @@ pub fn cross_entropy_logits_backward(probs: &Tensor, labels: &[usize], upstream:
 /// Returns `(loss, sigmoids)` with the sigmoid activations saved for the
 /// backward pass.
 pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    let _span = crate::metrics::span("op/bce");
     assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
     let n = logits.numel();
     assert!(n > 0, "bce over empty tensor");

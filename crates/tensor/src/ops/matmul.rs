@@ -85,6 +85,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// the output rows, and each row is always computed by exactly one thread in
 /// the same order.
 pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    let _span = crate::metrics::span("op/matmul");
     assert!(a.rank() >= 2 && b.rank() >= 2, "matmul requires rank >= 2 operands");
     let (ash, bsh) = (a.shape().to_vec(), b.shape().to_vec());
     let (m, ka) = (ash[ash.len() - 2], ash[ash.len() - 1]);
@@ -148,9 +149,10 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
         return Tensor::from_vec(out, &out_shape);
     }
     let ctx = Arc::new(ctx);
-    let out = pool::parallel_rows(total_rows, n, threads, move |first_row, chunk| {
-        compute_rows(chunk, first_row, &ctx)
-    });
+    let out =
+        pool::parallel_rows_named("matmul", total_rows, n, threads, move |first_row, chunk| {
+            compute_rows(chunk, first_row, &ctx)
+        });
     Tensor::from_vec(out, &out_shape)
 }
 
@@ -398,9 +400,9 @@ mod tests {
         let a = Tensor::from_fn(&[4, 6], |i| (i as f32).sin());
         let b = Tensor::from_fn(&[5, 6], |i| (i as f32).cos());
         let bt = transpose_last2(&b); // [6,5] view, unit row stride
-        let before = copy_metrics::copies();
+        let _scope = crate::metrics::scope();
         let c = matmul(&a, &bt);
-        assert_eq!(copy_metrics::copies(), before, "dot kernel must consume the view directly");
+        assert_eq!(copy_metrics::copies(), 0, "dot kernel must consume the view directly");
         for i in 0..4 {
             for j in 0..5 {
                 let mut acc = 0.0;
@@ -418,9 +420,9 @@ mod tests {
         let x = Tensor::from_fn(&[2, 3, 2, 4], |i| ((i % 17) as f32) * 0.25 - 2.0);
         let q = permute(&x, &[0, 2, 1, 3]); // [2,2,3,4]
         let kt = transpose_last2(&q); // [2,2,4,3]
-        let before = copy_metrics::copies();
+        let _scope = crate::metrics::scope();
         let scores = matmul(&q, &kt); // [2,2,3,3]
-        assert_eq!(copy_metrics::copies(), before);
+        assert_eq!(copy_metrics::copies(), 0);
         assert_eq!(scores.shape(), &[2, 2, 3, 3]);
         let scores_ref = matmul(&q.contiguous(), &kt.contiguous());
         assert!(scores.allclose(&scores_ref, 1e-5));

@@ -49,6 +49,7 @@ pub fn layer_norm_forward(
     beta: &Tensor,
     eps: f32,
 ) -> (Tensor, Tensor, Tensor) {
+    let _span = crate::metrics::span("op/layer_norm");
     let d = *x.shape().last().expect("layer_norm requires rank >= 1");
     assert_eq!(gamma.shape(), &[d], "gamma must be [D]");
     assert_eq!(beta.shape(), &[d], "beta must be [D]");
@@ -65,7 +66,7 @@ pub fn layer_norm_forward(
         let chunks = rows.div_ceil(rows_per);
         let gd = std::sync::Arc::new(gd);
         let bd = std::sync::Arc::new(bd);
-        let parts = pool::map_chunks(chunks, move |c| {
+        let parts = pool::map_chunks_named("layer_norm", chunks, move |c| {
             let first = c * rows_per;
             let count = rows_per.min(rows - first);
             let mut out = vec![0.0f32; count * d];

@@ -135,9 +135,15 @@ where
             // over the pool.
             let ad = a.raw_arc();
             let off = a.offset();
-            out = pool::parallel_rows(outer, inner, pool::num_threads(), move |first_o, buf| {
-                reduce_outer_slab(&ad[off..], buf, first_o, d, inner, init, f);
-            });
+            out = pool::parallel_rows_named(
+                "reduce_axis",
+                outer,
+                inner,
+                pool::num_threads(),
+                move |first_o, buf| {
+                    reduce_outer_slab(&ad[off..], buf, first_o, d, inner, init, f);
+                },
+            );
         } else {
             reduce_outer_slab(a.data(), &mut out, 0, d, inner, init, f);
         }
@@ -244,15 +250,22 @@ fn log_softmax_rows(src: &[f32], out: &mut [f32], d: usize) {
 /// kernel sees exactly the same `(src, out)` row slices either way, so the
 /// result is bit-identical for every pool size.
 fn rowwise(a: &Tensor, d: usize, kernel: fn(&[f32], &mut [f32], usize)) -> Tensor {
+    let _span = crate::metrics::span("op/rowwise");
     let rows = a.numel() / d;
     let a = a.contiguous(); // the row kernels need packed rows
     if rows > 1 && pool::should_parallelize(a.numel(), ROWWISE_SERIAL_BELOW) {
         let ad = a.raw_arc();
         let off = a.offset();
-        let out = pool::parallel_rows(rows, d, pool::num_threads(), move |first_row, out| {
-            let src = &ad[off + first_row * d..off + first_row * d + out.len()];
-            kernel(src, out, d);
-        });
+        let out = pool::parallel_rows_named(
+            "rowwise",
+            rows,
+            d,
+            pool::num_threads(),
+            move |first_row, out| {
+                let src = &ad[off + first_row * d..off + first_row * d + out.len()];
+                kernel(src, out, d);
+            },
+        );
         return Tensor::from_vec(out, a.shape());
     }
     let mut out = vec![0.0f32; a.numel()];

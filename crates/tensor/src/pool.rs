@@ -47,11 +47,18 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::Instant;
+
+use crate::metrics;
 
 /// A job shipped to a worker: boxed so the queue is homogeneous, `'static`
 /// because the workers outlive every caller (kernels move `Arc` clones of
 /// tensor buffers into their jobs instead of borrowing).
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-chunk `(queue_wait_ns, exec_ns)` samples shared between a metered
+/// dispatch and its worker jobs.
+type ChunkMeter = Arc<Mutex<Vec<(u64, u64)>>>;
 
 /// The process-wide pool: a shared injector queue drained by `size` workers.
 struct WorkerPool {
@@ -265,6 +272,36 @@ where
     T: Send + 'static,
     F: Fn(usize) -> T + Send + Sync + 'static,
 {
+    dispatch_chunks(None, chunks, task)
+}
+
+/// [`map_chunks`] with a kernel name for [`crate::metrics`].
+///
+/// When metrics are enabled (a scope is open on the dispatching thread or
+/// `TSDX_METRICS=1`), every *pool* dispatch records, keyed by `kernel`:
+/// counters `pool/dispatch/<kernel>` (one per dispatch) and
+/// `pool/chunks/<kernel>` (chunks per dispatch), and histograms
+/// `pool/queue_wait/<kernel>` (enqueue to job start) and
+/// `pool/exec/<kernel>` (job run time), one observation per chunk. Workers
+/// measure their own timings and ship them back over a shared buffer; the
+/// dispatcher records them after the drain barrier, so all metric state
+/// stays local to the dispatching thread and metering never changes which
+/// chunk computes which output (the determinism contract is unaffected —
+/// the parity suite runs with metrics on and off). Inline runs (one chunk
+/// or nested dispatch) are not pool traffic and record nothing.
+pub fn map_chunks_named<T, F>(kernel: &'static str, chunks: usize, task: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    dispatch_chunks(Some(kernel), chunks, task)
+}
+
+fn dispatch_chunks<T, F>(kernel: Option<&'static str>, chunks: usize, task: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
     if chunks == 0 {
         return Vec::new();
     }
@@ -279,6 +316,17 @@ where
         #[cfg(not(feature = "fault-inject"))]
         return (0..chunks).map(task).collect();
     }
+    // Per-chunk (queue_wait_ns, exec_ns) samples, allocated only when a
+    // metrics sink is live at dispatch time. Workers push, the dispatcher
+    // reads after the drain barrier below.
+    let meter: Option<ChunkMeter> = match kernel {
+        Some(k) if metrics::active() => {
+            metrics::counter_add(&format!("pool/dispatch/{k}"), 1);
+            metrics::counter_add(&format!("pool/chunks/{k}"), chunks as u64);
+            Some(Arc::new(Mutex::new(Vec::with_capacity(chunks))))
+        }
+        _ => None,
+    };
     let pool = pool();
     let task = Arc::new(task);
     let (tx, rx) = mpsc::channel::<Result<(usize, T), ChunkPanic>>();
@@ -287,13 +335,22 @@ where
         for i in 0..chunks {
             let task = Arc::clone(&task);
             let tx = tx.clone();
+            let meter = meter.clone();
+            let enqueued = meter.as_ref().map(|_| Instant::now());
             injector
                 .send(Box::new(move || {
+                    let timer = enqueued.map(|t| (t.elapsed().as_nanos() as u64, Instant::now()));
                     let r = run_captured(i, || {
                         #[cfg(feature = "fault-inject")]
                         crate::faults::maybe_panic_worker(i);
                         task(i)
                     });
+                    if let (Some(m), Some((wait_ns, start))) = (&meter, timer) {
+                        let exec_ns = start.elapsed().as_nanos() as u64;
+                        if let Ok(mut v) = m.lock() {
+                            v.push((wait_ns, exec_ns));
+                        }
+                    }
                     let _ = tx.send(r.map(|v| (i, v)));
                 }))
                 .expect("pool queue closed");
@@ -314,6 +371,17 @@ where
                     first_panic = Some(p);
                 }
             }
+        }
+    }
+    if let (Some(k), Some(m)) = (kernel, meter) {
+        // All workers have reported (the channel closed), so the lock is
+        // uncontended and the samples are complete.
+        let samples = m.lock().map(|v| v.clone()).unwrap_or_default();
+        let wait_key = format!("pool/queue_wait/{k}");
+        let exec_key = format!("pool/exec/{k}");
+        for (wait_ns, exec_ns) in samples {
+            metrics::observe_ns(&wait_key, wait_ns);
+            metrics::observe_ns(&exec_key, exec_ns);
         }
     }
     if let Some(p) = first_panic {
@@ -340,6 +408,35 @@ pub fn parallel_rows<F>(rows: usize, row_len: usize, threads: usize, work: F) ->
 where
     F: Fn(usize, &mut [f32]) + Send + Sync + 'static,
 {
+    parallel_rows_impl(None, rows, row_len, threads, work)
+}
+
+/// [`parallel_rows`] with a kernel name for [`crate::metrics`]; pool
+/// dispatches record the same per-kernel counters and histograms as
+/// [`map_chunks_named`].
+pub fn parallel_rows_named<F>(
+    kernel: &'static str,
+    rows: usize,
+    row_len: usize,
+    threads: usize,
+    work: F,
+) -> Vec<f32>
+where
+    F: Fn(usize, &mut [f32]) + Send + Sync + 'static,
+{
+    parallel_rows_impl(Some(kernel), rows, row_len, threads, work)
+}
+
+fn parallel_rows_impl<F>(
+    kernel: Option<&'static str>,
+    rows: usize,
+    row_len: usize,
+    threads: usize,
+    work: F,
+) -> Vec<f32>
+where
+    F: Fn(usize, &mut [f32]) + Send + Sync + 'static,
+{
     let n = rows * row_len;
     let threads = threads.max(1).min(rows.max(1));
     if threads == 1 || n == 0 || on_worker_thread() {
@@ -352,7 +449,7 @@ where
     let rows_per = rows.div_ceil(threads);
     let chunks = rows.div_ceil(rows_per);
     let work = Arc::new(work);
-    let parts = map_chunks(chunks, move |c| {
+    let parts = dispatch_chunks(kernel, chunks, move |c| {
         let first = c * rows_per;
         let count = rows_per.min(rows - first);
         let mut buf = vec![0.0f32; count * row_len];

@@ -5,32 +5,36 @@ use std::sync::Arc;
 
 use crate::shape;
 
-/// Per-thread counters for buffer materializations.
+/// Scoped counting of buffer materializations.
 ///
 /// Every time a tensor's elements are physically copied to satisfy a layout
 /// requirement (a `contiguous()` gather, a copy-on-write in
-/// [`Tensor::data_mut`], a reshape of a non-contiguous view), the copy
-/// counter increments. View operations — `reshape` of contiguous tensors,
-/// `permute`, `transpose`, `narrow`, `slice`, `split` — must not move data
-/// and therefore must not bump this counter; tests assert exactly that.
+/// [`Tensor::data_mut`], a reshape of a non-contiguous view), the counter
+/// [`KEY`](copy_metrics::KEY) increments in every open [`crate::metrics`]
+/// scope on the calling thread. View operations — `reshape` of contiguous
+/// tensors, `permute`, `transpose`, `narrow`, `slice`, `split` — must not
+/// move data and therefore must not bump this counter; tests assert exactly
+/// that by opening a fresh scope and asserting the absolute count, which
+/// cannot race with concurrently running tests (scopes are thread-local).
 pub mod copy_metrics {
-    use std::cell::Cell;
+    use crate::metrics;
 
-    // Thread-local so concurrently running tests (and caller threads in
-    // general) each observe only their own materializations. All copies are
-    // recorded on the thread that calls the op — the parallel matmul
-    // materializes operands before spawning workers.
-    thread_local! {
-        static COPIES: Cell<usize> = const { Cell::new(0) };
-    }
+    /// Metric key under which buffer materializations are counted.
+    pub const KEY: &str = "tensor/copies";
 
-    /// Number of buffer materializations performed by this thread.
+    /// Number of buffer materializations observed by the innermost open
+    /// [`crate::metrics`] scope on this thread (0 when no scope is open).
+    ///
+    /// Open a fresh [`metrics::scope`] around the code under test and read
+    /// the absolute value — never diff two reads of an ambient counter.
     pub fn copies() -> usize {
-        COPIES.with(Cell::get)
+        metrics::current_counter(KEY) as usize
     }
 
+    // Copies are recorded on the thread that calls the op — the parallel
+    // matmul materializes operands before dispatching to workers.
     pub(crate) fn record_copy() {
-        COPIES.with(|c| c.set(c.get() + 1));
+        metrics::counter_add(KEY, 1);
     }
 }
 
@@ -557,12 +561,12 @@ mod tests {
     #[test]
     fn data_mut_skips_copy_when_unique() {
         let mut t = Tensor::arange(64);
-        let before = copy_metrics::copies();
+        let _scope = crate::metrics::scope();
         t.data_mut()[0] = 5.0;
         t.data_mut()[1] = 6.0;
         assert_eq!(
             copy_metrics::copies(),
-            before,
+            0,
             "uniquely-owned contiguous buffer must mutate in place"
         );
         assert_eq!(t.at(&[0]), 5.0);
@@ -572,9 +576,9 @@ mod tests {
     fn data_mut_copies_when_shared() {
         let mut t = Tensor::arange(8);
         let keep = t.clone();
-        let before = copy_metrics::copies();
+        let _scope = crate::metrics::scope();
         t.data_mut()[0] = -1.0;
-        assert_eq!(copy_metrics::copies(), before + 1);
+        assert_eq!(copy_metrics::copies(), 1);
         assert_eq!(keep.at(&[0]), 0.0);
     }
 
@@ -589,9 +593,9 @@ mod tests {
     #[test]
     fn reshape_of_contiguous_is_zero_copy() {
         let t = Tensor::arange(24);
-        let before = copy_metrics::copies();
+        let _scope = crate::metrics::scope();
         let r = t.reshape(&[2, 3, 4]).reshape(&[6, 4]).reshape(&[24]);
-        assert_eq!(copy_metrics::copies(), before);
+        assert_eq!(copy_metrics::copies(), 0);
         assert_eq!(r, t);
     }
 

@@ -13,7 +13,7 @@
 //!    nodes on the tape.
 
 use proptest::prelude::*;
-use tsdx_tensor::{copy_metrics, grad_check, ops, shape, Graph, Tensor};
+use tsdx_tensor::{copy_metrics, grad_check, metrics, ops, shape, Graph, Tensor};
 
 /// Strategy: a rank-3 shape with extents 1-4.
 fn shape3() -> impl Strategy<Value = Vec<usize>> {
@@ -130,14 +130,15 @@ proptest! {
         (t, perm) in tensor_and_perm(),
         axis in 0usize..3,
     ) {
-        let before = copy_metrics::copies();
+        let scope = metrics::scope();
         let v1 = ops::permute(&t, &perm);
         let v2 = ops::transpose_last2(&v1);
         let len = v2.shape()[axis];
         let v3 = ops::narrow(&v2, axis, 0, len.div_ceil(2));
         let parts = ops::split(&v3, 0, v3.shape()[0]);
-        prop_assert_eq!(copy_metrics::copies(), before,
+        prop_assert_eq!(scope.snapshot().counter(copy_metrics::KEY), 0,
             "view ops must not materialize");
+        drop(scope);
         // The views still read correct data afterwards.
         prop_assert_eq!(parts.len(), v3.shape()[0]);
         prop_assert_eq!(v3.to_vec().len(), v3.numel());
@@ -201,14 +202,14 @@ fn backward_through_views_copies_only_at_the_boundary() {
     let x = g.leaf(t);
     let p = g.permute(x, &[2, 0, 1]);
     let loss = g.sum_all(p);
-    let before = copy_metrics::copies();
+    let scope = metrics::scope();
     let grads = g.backward(loss);
-    let after = copy_metrics::copies();
+    let copies = scope.snapshot().counter(copy_metrics::KEY);
+    drop(scope);
     assert!(
-        after - before <= 1,
+        copies <= 1,
         "backward through a permute should materialize at most the leaf \
-         gradient, saw {} copies",
-        after - before
+         gradient, saw {copies} copies",
     );
     assert!(grads.get(x).unwrap().is_contiguous());
 }

@@ -17,7 +17,7 @@ fn heat(v: f32, max: f32) -> char {
     RAMP[i.min(RAMP.len() - 1)] as char
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating 240 clips and training briefly...");
     let clips = generate_dataset(&DatasetConfig { n_clips: 240, ..DatasetConfig::default() });
     let mut extractor = ScenarioExtractor::untrained(ModelConfig::default(), 5);
@@ -40,7 +40,7 @@ fn main() {
     for clip in clips.iter().take(3) {
         let video = clip.video.reshape(&[1, cfg.frames, cfg.height, cfg.width]);
         let map = extractor.model().attention_map(&video); // [1, nt, ns]
-        let pred = extractor.extract(&clip.video);
+        let pred = extractor.extract_checked(&clip.video)?;
         println!("\ntruth: {}", clip.truth);
         println!(" pred: {pred}");
         println!("CLS spatial attention per time group ({grid_h}x{grid_w} tubelets):");
@@ -59,4 +59,5 @@ fn main() {
             }
         }
     }
+    Ok(())
 }

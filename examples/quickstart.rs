@@ -7,7 +7,7 @@ use tsdx::core::{evaluate, ModelConfig, ScenarioExtractor, TrainConfig};
 use tsdx::data::{generate_dataset, select, stratified_split, DatasetConfig};
 use tsdx::nn::LrSchedule;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Data: 400 labeled clips from the traffic simulator + renderer.
     println!("generating 400 synthetic driving clips...");
     let clips = generate_dataset(&DatasetConfig { n_clips: 400, ..DatasetConfig::default() });
@@ -49,8 +49,11 @@ fn main() {
     // 5. Extract descriptions for a few test clips.
     println!("\nsample extractions (truth vs predicted):");
     for &i in split.test.iter().take(6) {
-        let predicted = extractor.extract(&clips[i].video);
+        // `extract_checked` reports malformed clips as a typed
+        // `ExtractError`; `?` surfaces it in the exit message.
+        let predicted = extractor.extract_checked(&clips[i].video)?;
         println!("  truth: {}", clips[i].truth);
         println!("   pred: {predicted}\n");
     }
+    Ok(())
 }

@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("restored {restored} parameter tensors");
 
     let video = &clips[0].video;
-    let a = extractor.extract(video);
-    let b = fresh.extract(video);
+    let a = extractor.extract_checked(video)?;
+    let b = fresh.extract_checked(video)?;
     println!("original:  {a}");
     println!("restored:  {b}");
     assert_eq!(a, b, "restored model must reproduce predictions exactly");

@@ -20,6 +20,12 @@ cargo test --workspace -q
 echo "==> tier-1 again under a 2-worker pool (TSDX_NUM_THREADS=2)"
 TSDX_NUM_THREADS=2 cargo test -q
 
+echo "==> tensor suite with 8 concurrent test threads (metric-scope isolation)"
+cargo test -q -p tsdx-tensor -- --test-threads=8
+
+echo "==> profile binary smoke test (self-time coverage + overhead asserts)"
+cargo run -q -p tsdx-bench --release --bin profile -- --quick > /dev/null
+
 echo "==> fault-injection suite (worker panics, torn/corrupt checkpoints, NaN grads)"
 cargo test -q --features fault-inject
 
