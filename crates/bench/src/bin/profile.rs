@@ -9,6 +9,8 @@
 //!   instrumented total instead of double-counting);
 //! - a **pool table** per named kernel: dispatches, chunks, and the
 //!   queue-wait / execution latency distributions;
+//! - a **workspace table**: arena hit/miss traffic and megabytes of buffer
+//!   recycling per training step, plus process-lifetime totals;
 //! - a **stage table** for the inference path latency histograms
 //!   (`stage/tubelet_embed` → `stage/encoder` → `stage/heads` →
 //!   `stage/decode`);
@@ -150,6 +152,40 @@ fn main() {
             tsdx_tensor::pool::num_threads()
         );
     }
+
+    // ---- Workspace arena table. ----
+    // Per-step traffic from the profiled scope's counters; lifetime totals
+    // from the process-wide stats (includes warm-up and inference passes).
+    let (ws_hits, ws_misses, ws_bytes) = tsdx_tensor::workspace::stats();
+    let per_step = |c: u64| format!("{:.0}", c as f64 / steps as f64);
+    let rate = |h: u64, m: u64| {
+        if h + m == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", h as f64 / (h + m) as f64 * 100.0)
+        }
+    };
+    let ws_rows = vec![
+        vec![
+            "profiled steps".to_string(),
+            per_step(snap.counter("workspace/hit")),
+            per_step(snap.counter("workspace/miss")),
+            rate(snap.counter("workspace/hit"), snap.counter("workspace/miss")),
+            format!("{:.2}", snap.counter("workspace/bytes_recycled") as f64 / steps as f64 / 1e6),
+        ],
+        vec![
+            "process lifetime".to_string(),
+            ws_hits.to_string(),
+            ws_misses.to_string(),
+            rate(ws_hits, ws_misses),
+            format!("{:.2}", ws_bytes as f64 / 1e6),
+        ],
+    ];
+    print_table(
+        "workspace arena (per step / total)",
+        &["window", "hits", "misses", "hit %", "MB recycled"],
+        &ws_rows,
+    );
 
     // ---- Inference stage table. ----
     let stage_rows: Vec<Vec<String>> = ["tubelet_embed", "encoder", "heads", "decode"]

@@ -1,0 +1,145 @@
+//! Steady-state training steps barely touch the system allocator.
+//!
+//! The workspace arena (`tsdx_tensor::workspace`) exists to recycle the
+//! large `f32` buffers behind activations, gradients, and kernel scratch:
+//! after a few warm-up steps every big allocation should be served from the
+//! arena, leaving only small metadata (shapes, tape nodes, `Arc` headers)
+//! for the system allocator. This test pins that property with a counting
+//! global allocator: the same training step is driven with the arena
+//! disabled and enabled, and the enabled run must allocate at least 10×
+//! fewer bytes per step.
+//!
+//! Lives in its own integration-test file so the `#[global_allocator]`
+//! override owns the whole process and no concurrent `#[test]` pollutes the
+//! counters; the pool is forced to one chunk so every allocation lands on
+//! the counting thread deterministically.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_core::{multitask_loss, ClipModel, LossWeights, ModelConfig, VideoScenarioTransformer};
+use tsdx_data::{collate, generate_dataset, DatasetConfig};
+use tsdx_render::RenderConfig;
+use tsdx_tensor::{pool, workspace, Graph};
+
+/// Forwards to the system allocator, counting calls and bytes.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+// SAFETY: delegates directly to `System`; the counters are relaxed atomics
+// with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (u64, u64) {
+    (ALLOC_CALLS.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+#[test]
+fn steady_state_step_allocations_drop_with_workspaces() {
+    // The evaluation-default model (8x32x32 clips, width 64): its activation
+    // and gradient buffers are tens of KB each, so buffer traffic — the
+    // thing the arena absorbs — dominates the byte counts. On a toy config
+    // small tape/shape metadata would swamp the measurement instead.
+    let model = VideoScenarioTransformer::new(ModelConfig::default(), 0);
+    let clips = generate_dataset(&DatasetConfig {
+        n_clips: 4,
+        render: RenderConfig::default(),
+        ..DatasetConfig::default()
+    });
+    let refs: Vec<&tsdx_data::Clip> = clips.iter().collect();
+    let batch = collate(&refs);
+
+    let step = || {
+        let mut g = Graph::new();
+        let binding = model.params().bind(&mut g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = model.forward(&mut g, &binding, &batch.videos, &mut rng, true);
+        let loss = multitask_loss(&mut g, &logits, &batch, &LossWeights::default());
+        let grads = g.backward(loss);
+        std::hint::black_box(model.params().collect_grads(&binding, &grads));
+    };
+
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 5;
+
+    // Everything on this thread: the arena is thread-local, and so is the
+    // meaning of `with_mode`.
+    let (calls_off, bytes_off, calls_on, bytes_on) = pool::with_forced_threads(1, || {
+        let (mut calls_off, mut bytes_off, mut calls_on, mut bytes_on) = (0, 0, 0, 0);
+        workspace::with_mode(false, || {
+            for _ in 0..WARMUP {
+                step();
+            }
+            let (c0, b0) = snapshot();
+            for _ in 0..MEASURED {
+                step();
+            }
+            let (c1, b1) = snapshot();
+            (calls_off, bytes_off) = (c1 - c0, b1 - b0);
+        });
+        workspace::with_mode(true, || {
+            for _ in 0..WARMUP {
+                step();
+            }
+            let (c0, b0) = snapshot();
+            for _ in 0..MEASURED {
+                step();
+            }
+            let (c1, b1) = snapshot();
+            (calls_on, bytes_on) = (c1 - c0, b1 - b0);
+        });
+        (calls_off, bytes_off, calls_on, bytes_on)
+    });
+
+    let per_step = |v: u64| v / MEASURED as u64;
+    eprintln!(
+        "alloc/step: arena off {} calls / {} bytes, arena on {} calls / {} bytes",
+        per_step(calls_off),
+        per_step(bytes_off),
+        per_step(calls_on),
+        per_step(bytes_on),
+    );
+
+    assert!(bytes_on > 0 && bytes_off > 0, "counting allocator saw no traffic");
+    assert!(
+        bytes_off >= 10 * bytes_on,
+        "workspace arena no longer absorbs the f32 buffer traffic: \
+         {} bytes/step with arena off vs {} with arena on (need >= 10x)",
+        per_step(bytes_off),
+        per_step(bytes_on),
+    );
+    // Call-count budget: metadata (shapes, tape nodes, Arc headers) still
+    // allocates, but recycling must remove the per-buffer allocations too.
+    assert!(
+        calls_off > calls_on,
+        "arena on should issue fewer allocator calls: off {calls_off} vs on {calls_on}"
+    );
+}

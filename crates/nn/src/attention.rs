@@ -6,6 +6,19 @@ use tsdx_tensor::{Graph, Var};
 use crate::linear::Linear;
 use crate::params::{Binding, ParamStore};
 
+/// Largest `[B, H, T, T]` score-tensor size (elements) routed to the
+/// composed matmul/softmax/matmul path by
+/// [`MultiHeadAttention::forward`].
+///
+/// Measured on the table-4 geometry (`B*H` 32, `T` 17, `Dh` 16): composed
+/// forward 97µs vs 125µs fused, and composed backward reuses the retained
+/// probabilities where fused backward pays a 276µs recompute of every score
+/// row. The composed advantage holds while the probability tensor stays
+/// cache-resident; past 2^16 elements (256 KB) its materialization,
+/// autograd retention, and the extra transpose overtake the fused kernel's
+/// O(T) per-row streaming, so large problems go fused.
+pub const COMPOSED_SCORES_MAX: usize = 1 << 16;
+
 /// Multi-head scaled-dot-product self-attention over `[B, T, D]` inputs.
 ///
 /// Heads are realized by reshaping the projected queries/keys/values to
@@ -57,11 +70,36 @@ impl MultiHeadAttention {
 
     /// Applies self-attention to `x` of shape `[B, T, D]`.
     ///
-    /// Uses the fused [`Graph::attention`] kernel: one tape node computes
-    /// `softmax(QKᵀ/√Dh)·V` without materializing the `[B, H, T, T]`
-    /// probability tensor. Use [`forward_with_attn`](Self::forward_with_attn)
-    /// when the probabilities themselves are needed.
+    /// Dispatches between two equivalent realizations of
+    /// `softmax(QKᵀ/√Dh)·V` on the size of the `[B, H, T, T]` score tensor
+    /// (see [`COMPOSED_SCORES_MAX`]): small problems take the composed
+    /// matmul/softmax/matmul graph, whose retained probabilities make
+    /// backward a pair of cheap matmuls; large problems take the fused
+    /// [`Graph::attention`] kernel, which streams scores per query row and
+    /// never materializes the probability tensor. Use
+    /// [`forward_with_attn`](Self::forward_with_attn) when the
+    /// probabilities themselves are needed.
     pub fn forward(&self, g: &mut Graph, p: &Binding, x: Var) -> Var {
+        self.forward_impl(g, p, x, false).0
+    }
+
+    /// Like [`forward`](Self::forward) but also returns the attention
+    /// probabilities (`[B, H, T, T]`) for introspection. Always takes the
+    /// composed path, which produces them as a graph node.
+    pub fn forward_with_attn(&self, g: &mut Graph, p: &Binding, x: Var) -> (Var, Var) {
+        let (y, attn) = self.forward_impl(g, p, x, true);
+        (y, attn.expect("composed path always yields probabilities"))
+    }
+
+    /// Shared projection/head-split/merge graph around either attention
+    /// realization. Returns the probabilities when the composed path ran.
+    fn forward_impl(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        x: Var,
+        want_attn: bool,
+    ) -> (Var, Option<Var>) {
         let sh = g.shape(x).to_vec();
         assert_eq!(sh.len(), 3, "attention input must be [B, T, D]");
         let (b, t, d) = (sh[0], sh[1], sh[2]);
@@ -81,36 +119,17 @@ impl MultiHeadAttention {
         let q = split(g, q);
         let k = split(g, k);
         let v = split(g, v);
+        let scale = 1.0 / (dh as f32).sqrt();
 
-        // Fused context [B, H, T, Dh] -> [B, T, D].
-        let ctx = g.attention(q, k, v, 1.0 / (dh as f32).sqrt());
-        let merged = g.permute(ctx, &[0, 2, 1, 3]);
-        let flat = g.reshape(merged, &[b, t, d]);
-        self.wo.forward(g, p, flat)
-    }
-
-    /// Like [`forward`](Self::forward) but also returns the attention
-    /// probabilities (`[B, H, T, T]`) for introspection.
-    pub fn forward_with_attn(&self, g: &mut Graph, p: &Binding, x: Var) -> (Var, Var) {
-        let sh = g.shape(x).to_vec();
-        let (b, t, d) = (sh[0], sh[1], sh[2]);
-        let h = self.heads;
-        let dh = d / h;
-        let q = self.wq.forward(g, p, x);
-        let k = self.wk.forward(g, p, x);
-        let v = self.wv.forward(g, p, x);
-        let split = |g: &mut Graph, y: Var| {
-            let r = g.reshape(y, &[b, t, h, dh]);
-            g.permute(r, &[0, 2, 1, 3])
+        let (ctx, attn) = if want_attn || b * h * t * t <= COMPOSED_SCORES_MAX {
+            let kt = g.transpose_last2(k);
+            let scores = g.matmul(q, kt);
+            let scaled = g.scale(scores, scale);
+            let attn = g.softmax_last(scaled);
+            (g.matmul(attn, v), Some(attn))
+        } else {
+            (g.attention(q, k, v, scale), None)
         };
-        let q = split(g, q);
-        let k = split(g, k);
-        let v = split(g, v);
-        let kt = g.transpose_last2(k);
-        let scores = g.matmul(q, kt);
-        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
-        let attn = g.softmax_last(scaled);
-        let ctx = g.matmul(attn, v);
         let merged = g.permute(ctx, &[0, 2, 1, 3]);
         let flat = g.reshape(merged, &[b, t, d]);
         (self.wo.forward(g, p, flat), attn)
@@ -190,17 +209,37 @@ mod tests {
 
     #[test]
     fn fused_forward_matches_composed_path() {
-        // `forward` uses the fused kernel, `forward_with_attn` the composed
-        // matmul/softmax/matmul graph; both must agree.
+        // Past the dispatch cap `forward` uses the fused kernel while
+        // `forward_with_attn` always composes; both must agree. T is sized
+        // so B*H*T*T exceeds COMPOSED_SCORES_MAX and the fused branch
+        // actually runs.
+        let (store, mha) = setup(8, 2);
+        let t = 200;
+        assert!(2 * t * t > COMPOSED_SCORES_MAX, "test no longer covers the fused branch");
+        let mut g = Graph::new();
+        let p = store.bind(&mut g);
+        let x = g.constant(Tensor::from_fn(&[1, t, 8], |i| (i as f32 * 0.13).sin()));
+        let fused = mha.forward(&mut g, &p, x);
+        let (composed, _) = mha.forward_with_attn(&mut g, &p, x);
+        assert!(
+            g.value(fused).allclose(g.value(composed), 1e-4),
+            "fused and composed attention diverged"
+        );
+    }
+
+    #[test]
+    fn dispatch_paths_agree_below_cap() {
+        // Below the cap `forward` takes the composed path; it must agree
+        // with `forward_with_attn`'s graph exactly (same ops, same order).
         let (store, mha) = setup(8, 2);
         let mut g = Graph::new();
         let p = store.bind(&mut g);
         let x = g.constant(Tensor::from_fn(&[2, 5, 8], |i| (i as f32 * 0.13).sin()));
-        let fused = mha.forward(&mut g, &p, x);
+        let small = mha.forward(&mut g, &p, x);
         let (composed, _) = mha.forward_with_attn(&mut g, &p, x);
         assert!(
-            g.value(fused).allclose(g.value(composed), 1e-5),
-            "fused and composed attention diverged"
+            g.value(small).allclose(g.value(composed), 1e-6),
+            "composed dispatch diverged from forward_with_attn"
         );
     }
 

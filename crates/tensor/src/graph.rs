@@ -500,7 +500,9 @@ impl Graph {
             return;
         }
         match &mut grads[v.0] {
-            Some(existing) => *existing = ops::add(existing, &g),
+            // In-place accumulation: reuse the existing gradient buffer
+            // instead of allocating a fresh sum tensor per contribution.
+            Some(existing) => ops::add_assign(existing, &g),
             slot @ None => *slot = Some(g),
         }
     }
@@ -712,7 +714,7 @@ fn spread_axis(
     let g = g.contiguous(); // the slice kernel below needs packed rows
     let gd = g.data();
     debug_assert_eq!(gd.len(), outer * inner, "reduced grad size mismatch (keepdim={keepdim})");
-    let mut out = Vec::with_capacity(outer * d * inner);
+    let mut out = crate::workspace::take_reserve(outer * d * inner);
     for o in 0..outer {
         let row = &gd[o * inner..(o + 1) * inner];
         for _ in 0..d {
@@ -738,9 +740,9 @@ fn layer_norm_backward(
     let gam = gamma.to_vec();
     let md = mean.data();
     let rd = rstd.data();
-    let mut dx = vec![0.0f32; x.numel()];
-    let mut dgamma = vec![0.0f32; d];
-    let mut dbeta = vec![0.0f32; d];
+    let mut dx = crate::workspace::take_zeroed(x.numel());
+    let mut dgamma = crate::workspace::take_zeroed(d);
+    let mut dbeta = crate::workspace::take_zeroed(d);
     for r in 0..rows {
         let xrow = &xd[r * d..(r + 1) * d];
         let grow = &gd[r * d..(r + 1) * d];

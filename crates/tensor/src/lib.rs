@@ -55,6 +55,7 @@ pub mod ops;
 pub mod pool;
 pub mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use graph::{Gradients, Graph, Var};
 pub use tensor::{copy_metrics, Tensor};

@@ -171,6 +171,10 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanStat>,
     /// Latency histograms.
     pub hists: BTreeMap<String, Histogram>,
+    /// Number of recording calls that reached this collector (one per
+    /// `counter_add`/`observe_ns`/span close, independent of the amount a
+    /// counter was bumped by).
+    pub records: u64,
 }
 
 impl Snapshot {
@@ -184,12 +188,12 @@ impl Snapshot {
         self.spans.get(key).copied().unwrap_or_default()
     }
 
-    /// Total recorded events across all three primitives (used by the
-    /// overhead bench to count instrumentation call sites per step).
+    /// Total recording calls across all three primitives (used by the
+    /// overhead bench to count instrumentation call sites per step). A
+    /// `counter_add(key, n)` is one record regardless of `n`: quantity
+    /// counters like `workspace/bytes_recycled` bump by thousands per call.
     pub fn total_records(&self) -> u64 {
-        self.counters.values().sum::<u64>()
-            + self.spans.values().map(|s| s.count).sum::<u64>()
-            + self.hists.values().map(|h| h.count).sum::<u64>()
+        self.records
     }
 }
 
@@ -226,6 +230,7 @@ struct Collector {
     counters: BTreeMap<String, u64>,
     spans: BTreeMap<String, SpanStat>,
     hists: BTreeMap<String, Histogram>,
+    records: u64,
 }
 
 impl Collector {
@@ -234,6 +239,7 @@ impl Collector {
             counters: self.counters.clone(),
             spans: self.spans.clone(),
             hists: self.hists.clone(),
+            records: self.records,
         }
     }
 }
@@ -339,10 +345,13 @@ pub fn counter_add(key: &str, n: u64) {
 
 #[cold]
 fn counter_add_slow(key: &str, n: u64) {
-    with_collectors(|c| match c.counters.get_mut(key) {
-        Some(v) => *v += n,
-        None => {
-            c.counters.insert(key.to_string(), n);
+    with_collectors(|c| {
+        c.records += 1;
+        match c.counters.get_mut(key) {
+            Some(v) => *v += n,
+            None => {
+                c.counters.insert(key.to_string(), n);
+            }
         }
     });
 }
@@ -367,7 +376,10 @@ pub fn observe_ns(key: &str, ns: u64) {
 
 #[cold]
 fn observe_ns_slow(key: &str, ns: u64) {
-    with_collectors(|c| c.hists.entry(key.to_string()).or_default().observe(ns));
+    with_collectors(|c| {
+        c.records += 1;
+        c.hists.entry(key.to_string()).or_default().observe(ns);
+    });
 }
 
 /// An open span timer; created by [`span`]/[`span_dyn`], recorded on drop.
@@ -465,6 +477,7 @@ impl Drop for Span {
         let self_ns = elapsed.saturating_sub(child_ns);
         let key = inner.key.as_str();
         with_collectors(|c| {
+            c.records += 1;
             let stat = c.spans.entry(key.to_string()).or_default();
             stat.count += 1;
             stat.total_ns += elapsed;

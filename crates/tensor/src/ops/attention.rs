@@ -72,7 +72,7 @@ fn attn_dims(q: &Tensor, k: &Tensor, v: &Tensor) -> AttnDims {
 /// (head-split `[B, T, H, Dh]` → `[B, H, T, Dh]` is the canonical case) in
 /// place, skipping the `contiguous()` copy the composed path never pays.
 struct Rows {
-    data: std::sync::Arc<Vec<f32>>,
+    data: crate::workspace::ArcBuf,
     offsets: std::sync::Arc<Vec<usize>>,
 }
 
@@ -186,14 +186,16 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> Tensor {
             d2.dv,
             threads,
             move |first_row, chunk| {
-                let mut scores = vec![0.0f32; d2.tk];
+                let mut scores = crate::workspace::Scratch::zeroed(d2.tk);
                 attention_rows(&qr, &kr, &vr, scale, &d2, first_row, chunk, &mut scores);
             },
         );
         return Tensor::from_vec(out, &dims.out_shape);
     }
 
-    let mut out = vec![0.0f32; total_rows * dims.dv];
+    // Every element of `out` is written by `attention_rows` (fill + scaled
+    // accumulate per row), so recycled workspace contents never leak.
+    let mut out = crate::workspace::take_uninit(total_rows * dims.dv);
     let mut scores = vec![0.0f32; dims.tk];
     attention_rows(&qr, &kr, &vr, scale, &dims, 0, &mut out, &mut scores);
     Tensor::from_vec(out, &dims.out_shape)
@@ -215,11 +217,11 @@ fn attention_backward_batches(
     count: usize,
 ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
     let (tq, tk, d, dv) = (dims.tq, dims.tk, dims.d, dims.dv);
-    let mut dq = vec![0.0f32; count * tq * d];
-    let mut dk = vec![0.0f32; count * tk * d];
-    let mut dvv = vec![0.0f32; count * tk * dv];
-    let mut scores = vec![0.0f32; tk];
-    let mut dscores = vec![0.0f32; tk];
+    let mut dq = crate::workspace::take_zeroed(count * tq * d);
+    let mut dk = crate::workspace::take_zeroed(count * tk * d);
+    let mut dvv = crate::workspace::take_zeroed(count * tk * dv);
+    let mut scores = crate::workspace::Scratch::zeroed(tk);
+    let mut dscores = crate::workspace::Scratch::zeroed(tk);
     for c in 0..count {
         let bi = first_b + c;
         let qb = &qd[bi * tq * d..(bi + 1) * tq * d];
@@ -334,13 +336,16 @@ pub fn attention_backward(
                 count,
             )
         });
-        let mut dq = Vec::with_capacity(dims.nb * dims.tq * dims.d);
-        let mut dk = Vec::with_capacity(dims.nb * dims.tk * dims.d);
-        let mut dv = Vec::with_capacity(dims.nb * dims.tk * dims.dv);
+        let mut dq = crate::workspace::take_reserve(dims.nb * dims.tq * dims.d);
+        let mut dk = crate::workspace::take_reserve(dims.nb * dims.tk * dims.d);
+        let mut dv = crate::workspace::take_reserve(dims.nb * dims.tk * dims.dv);
         for (pq, pk, pv) in parts {
             dq.extend_from_slice(&pq);
             dk.extend_from_slice(&pk);
             dv.extend_from_slice(&pv);
+            crate::workspace::give(pq);
+            crate::workspace::give(pk);
+            crate::workspace::give(pv);
         }
         (dq, dk, dv)
     } else {

@@ -41,8 +41,10 @@ impl Conv2dSpec {
 }
 
 /// Gathers the patches of a single `[C, H, W]` image into `out`
-/// (`C*KH*KW * OH*OW` elements, already zeroed). Shared by the serial and
-/// pooled [`im2col`] paths so both produce bit-identical columns.
+/// (`C*KH*KW * OH*OW` elements). Every element is stored — padding
+/// positions write an explicit `0.0` — so callers may hand over
+/// uninitialized (recycled) buffers. Shared by the serial and pooled
+/// [`im2col`] paths so both produce bit-identical columns.
 fn im2col_image(image: &[f32], out: &mut [f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) {
     let (oh, ow) = spec.out_size(h, w);
     let cols = oh * ow;
@@ -55,11 +57,14 @@ fn im2col_image(image: &[f32], out: &mut [f32], c: usize, h: usize, w: usize, sp
                 let mut p = 0usize;
                 for oy in 0..oh {
                     let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    let in_y = iy >= 0 && iy < h as isize;
                     for ox in 0..ow {
                         let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            orow[p] = image[ci * h * w + iy as usize * w + ix as usize];
-                        }
+                        orow[p] = if in_y && ix >= 0 && ix < w as isize {
+                            image[ci * h * w + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
                         p += 1;
                     }
                 }
@@ -103,7 +108,8 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
         return Tensor::from_vec(out, &[b, rows, cols]);
     }
 
-    let mut out = vec![0.0f32; b * rows * cols];
+    // `im2col_image` stores every element, padding included.
+    let mut out = crate::workspace::take_uninit(b * rows * cols);
     let data = input.data();
     for bi in 0..b {
         let image = &data[bi * c * h * w..(bi + 1) * c * h * w];
@@ -123,7 +129,7 @@ pub fn col2im(cols_t: &Tensor, spec: &Conv2dSpec, c: usize, h: usize, w: usize) 
     let rows = c * spec.kh * spec.kw;
     assert_eq!(sh[1], rows, "col2im row mismatch");
     assert_eq!(sh[2], cols, "col2im column mismatch");
-    let mut out = vec![0.0f32; b * c * h * w];
+    let mut out = crate::workspace::take_zeroed(b * c * h * w);
     let cols_t = cols_t.contiguous();
     let data = cols_t.data();
     let pad = spec.padding as isize;
@@ -193,7 +199,8 @@ pub fn avg_pool2d(input: &Tensor, k: usize) -> Tensor {
     let (oh, ow) = (h / k, w / k);
     let input = input.contiguous();
     let data = input.data();
-    let mut out = vec![0.0f32; b * c * oh * ow];
+    // Every output pixel is stored below, so recycled contents are fine.
+    let mut out = crate::workspace::take_uninit(b * c * oh * ow);
     let inv = 1.0 / (k * k) as f32;
     for bc in 0..b * c {
         let ibase = bc * h * w;
@@ -230,7 +237,7 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
     let (oh, ow) = (h / k, w / k);
     let input = input.contiguous();
     let data = input.data();
-    let mut out = Vec::with_capacity(b * c * oh * ow);
+    let mut out = crate::workspace::take_reserve(b * c * oh * ow);
     let mut argmax = Vec::with_capacity(b * c * oh * ow);
     for bc in 0..b * c {
         let ibase = bc * h * w;
@@ -260,7 +267,7 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
 /// position that produced the maximum.
 pub fn max_pool2d_backward(grad: &Tensor, argmax: &[usize], input_numel: usize) -> Tensor {
     assert_eq!(grad.numel(), argmax.len(), "grad/argmax mismatch");
-    let mut out = vec![0.0f32; input_numel];
+    let mut out = crate::workspace::take_zeroed(input_numel);
     for (g, &i) in grad.to_vec().iter().zip(argmax) {
         out[i] += g;
     }
@@ -277,7 +284,7 @@ pub fn pad2d(input: &Tensor, pad: usize) -> Tensor {
     assert_eq!(sh.len(), 4, "pad2d expects [B, C, H, W]");
     let (b, c, h, w) = (sh[0], sh[1], sh[2], sh[3]);
     let (nh, nw) = (h + 2 * pad, w + 2 * pad);
-    let mut out = vec![0.0f32; b * c * nh * nw];
+    let mut out = crate::workspace::take_zeroed(b * c * nh * nw);
     let input = input.contiguous();
     let data = input.data();
     for bc in 0..b * c {
@@ -298,7 +305,7 @@ pub fn avg_pool2d_backward(grad: &Tensor, k: usize, h: usize, w: usize) -> Tenso
     assert_eq!((oh * k, ow * k), (h, w), "pool backward geometry mismatch");
     let grad = grad.contiguous();
     let gd = grad.data();
-    let mut out = vec![0.0f32; b * c * h * w];
+    let mut out = crate::workspace::take_zeroed(b * c * h * w);
     let inv = 1.0 / (k * k) as f32;
     for bc in 0..b * c {
         let obase = bc * oh * ow;

@@ -120,8 +120,9 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
         let a_flat = &ad[a.offset()..a.offset() + n];
         let b_flat = &bd[b.offset()..b.offset() + d];
         // Preallocated rows instead of per-element `push`: the zipped slice
-        // loop has no capacity checks, so it vectorizes.
-        let mut out = vec![0.0f32; n];
+        // loop has no capacity checks, so it vectorizes. Every element is
+        // written, so recycled workspace contents are fine.
+        let mut out = crate::workspace::take_uninit(n);
         for (orow, arow) in out.chunks_exact_mut(d).zip(a_flat.chunks_exact(d)) {
             for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(b_flat) {
                 *o = f(x, y);
@@ -130,7 +131,7 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
         return Tensor::from_vec(out, &out_shape);
     }
 
-    let mut out = Vec::with_capacity(n);
+    let mut out = crate::workspace::take_reserve(n);
     let mut ia = vec![0usize; rank];
     let mut offset_a = a.offset();
     let mut offset_b = b.offset();
@@ -155,6 +156,38 @@ pub fn binary_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> 
 /// Broadcasting elementwise addition.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     binary(a, b, |x, y| x + y)
+}
+
+/// Elementwise in-place addition: `dst += rhs`, reusing `dst`'s buffer.
+///
+/// Shapes must match exactly — no broadcasting. When `dst` solely owns a
+/// canonical buffer the sums land straight in it; a shared or strided `dst`
+/// is first materialized by the copy-on-write machinery in
+/// [`Tensor::data_mut`](crate::Tensor::data_mut). This is the autograd
+/// accumulation fast path: a `+=` into an existing gradient costs zero
+/// allocations instead of a fresh output tensor per contribution. Each
+/// element is the same pairwise `f32` sum as [`add`] computes, so results
+/// are bit-identical to the out-of-place op.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add_assign(dst: &mut Tensor, rhs: &Tensor) {
+    assert_eq!(dst.shape(), rhs.shape(), "add_assign requires matching shapes");
+    let _span = crate::metrics::span("op/elementwise");
+    if rhs.is_contiguous() {
+        let rd = rhs.raw_arc();
+        let src = &rd[rhs.offset()..rhs.offset() + rhs.numel()];
+        for (d, &x) in dst.data_mut().iter_mut().zip(src) {
+            *d += x;
+        }
+    } else {
+        // Strided `rhs`: walk it in row-major logical order, matching the
+        // canonical layout `data_mut` guarantees for `dst`.
+        for (d, x) in dst.data_mut().iter_mut().zip(rhs.iter_elems()) {
+            *d += x;
+        }
+    }
 }
 
 /// Broadcasting elementwise subtraction.
@@ -253,7 +286,7 @@ pub fn unbroadcast(grad: &Tensor, target_shape: &[usize]) -> Tensor {
     // Walk the (possibly non-contiguous) gradient through its view strides.
     let gs = grad.strides().to_vec();
     let n_out = shape::numel(&padded);
-    let mut out = vec![0.0f32; n_out];
+    let mut out = crate::workspace::take_zeroed(n_out);
     let ts = shape::strides(&padded);
     let gd = grad.raw_data();
     let gshape = grad.shape().to_vec();

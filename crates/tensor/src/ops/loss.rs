@@ -59,7 +59,7 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
     let n = logits.numel();
     assert!(n > 0, "bce over empty tensor");
     let mut loss = 0.0;
-    let mut sig = Vec::with_capacity(n);
+    let mut sig = crate::workspace::take_reserve(n);
     let (logits, targets) = (logits.contiguous(), targets.contiguous());
     for (&x, &t) in logits.data().iter().zip(targets.data()) {
         loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();

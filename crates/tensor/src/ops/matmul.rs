@@ -15,6 +15,17 @@
 //! - Anything else is materialized once with `contiguous()` and dispatched
 //!   to the SAXPY kernel.
 //!
+//! Problems whose `B` matrix spills L1 take the **packed-panel path**
+//! (PR 5): BLIS-style cache blocking where `B` is gathered once into
+//! zero-padded `[k][16]` column tiles (any stride pattern, so transposed
+//! and permuted views need no materialization) and each worker packs
+//! `MC`×`KC` blocks of `A` into `[kc][4]` micro-panels in recycled
+//! workspace, so the 4×16 micro-kernel streams unit-stride data from
+//! L1-resident panels regardless of the input layout. Every output element
+//! still accumulates in ascending-`k` order through exact `f32`
+//! store/reload block boundaries, so the packed path is bit-identical to
+//! the SAXPY kernel — for every pool size and block shape.
+//!
 //! Work is parallelized across the flattened batch×row space on the shared
 //! persistent worker pool (see [`crate::pool`]): the thread count comes from
 //! `TSDX_NUM_THREADS` when set, else from the machine's available
@@ -24,6 +35,7 @@ use std::sync::Arc;
 
 use crate::pool;
 use crate::shape;
+use crate::workspace::{self, ArcBuf, Buffer, Scratch};
 use crate::Tensor;
 
 /// Width of one output-column tile in the register-tiled kernel: 16 `f32`s
@@ -34,6 +46,40 @@ const J_TILE: usize = 16;
 /// Below this many scalar multiply-adds, pool dispatch overhead exceeds the
 /// kernel time and the multiply runs on the calling thread.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Packed-path micro-kernel height. An `MR`×`NR` f32 accumulator block is
+/// 12 of the 16 architectural YMM registers, leaving room for the two
+/// B-row vectors and the A broadcast — the deepest accumulator rotation
+/// that fits, which is what hides the FMA latency.
+const MR: usize = 6;
+
+/// Packed-path B-tile width: two full AVX2 vectors of `f32`.
+const NR: usize = 16;
+
+/// Packed-path `k`-block depth: one `KC`×[`NR`] B tile is 16 KB —
+/// half of a typical 32 KB L1D — and stays resident across a whole packed
+/// A block.
+const KC: usize = 256;
+
+/// Packed-path row-block height: an `MC`×`KC` packed A block is 64 KB,
+/// L2-resident while its [`J_TILE`]-wide B tiles stream through L1.
+const MC: usize = 64;
+
+/// Minimum `B`-matrix size (`k·n` elements) for the packed path. The floor
+/// keeps tiny per-batch matrices — e.g. the per-head attention products,
+/// where panel setup per batch element would dominate — on the unpacked
+/// kernels; the arithmetic gate below does the real amortization check. The
+/// training step's linear layers (`k·n` = 4–16K elements) all clear it: the
+/// 6×16 micro-kernel's register reuse beats SAXPY even when `B` fits L1.
+const PACK_MIN_B_ELEMS: usize = 2 * 1024;
+
+/// ...and once there is enough arithmetic to amortize the O(mk + kn)
+/// packing passes.
+const PACK_MIN_MADDS: usize = 1 << 20;
+
+/// Upper bound on the packed-B workspace in elements (32 MiB); batched
+/// problems that would exceed it fall back to the unpacked kernels.
+const PACK_B_CAP_ELEMS: usize = 1 << 23;
 
 /// The worker-thread count [`matmul`] uses — the shared pool's size
 /// ([`pool::num_threads`]): `TSDX_NUM_THREADS` if set to a positive
@@ -85,6 +131,18 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// the output rows, and each row is always computed by exactly one thread in
 /// the same order.
 pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    matmul_impl(a, b, threads, true)
+}
+
+/// [`matmul_with_threads`] restricted to the pre-packing (PR 2) kernels —
+/// register-tiled SAXPY and the transposed-view dot kernel. The packed-GEMM
+/// bit-parity tests compare the packed path against this one.
+#[doc(hidden)]
+pub fn matmul_unpacked(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    matmul_impl(a, b, threads, false)
+}
+
+fn matmul_impl(a: &Tensor, b: &Tensor, threads: usize, allow_packed: bool) -> Tensor {
     let _span = crate::metrics::span("op/matmul");
     assert!(a.rank() >= 2 && b.rank() >= 2, "matmul requires rank >= 2 operands");
     let (ash, bsh) = (a.shape().to_vec(), b.shape().to_vec());
@@ -102,9 +160,59 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let mut out_shape = batch.clone();
     out_shape.push(m);
     out_shape.push(n);
-    let mut out = vec![0.0f32; n_batch * m * n];
-    if out.is_empty() || k == 0 {
-        return Tensor::from_vec(out, &out_shape);
+    let total = n_batch * m * n;
+    if total == 0 || k == 0 {
+        // An empty contraction sums nothing: the result is all zeros.
+        return Tensor::from_vec(workspace::take_zeroed(total), &out_shape);
+    }
+    let total_rows = n_batch * m;
+    let threads = threads.max(1).min(total_rows);
+
+    // Packed-panel path: worth it once B spills L1 and the arithmetic
+    // amortizes the packing. Reads both operands through arbitrary strides,
+    // so views never materialize here. The decision depends only on the
+    // problem shape — never on `threads` — keeping kernel selection (and
+    // therefore bits) identical across pool sizes.
+    if allow_packed && k * n >= PACK_MIN_B_ELEMS && total * k >= PACK_MIN_MADDS {
+        let sa_batch =
+            shape::broadcast_view_strides(batch_a, &a.strides()[..batch_a.len()], &batch);
+        let sb_batch =
+            shape::broadcast_view_strides(batch_b, &b.strides()[..batch_b.len()], &batch);
+        let b_shared = sb_batch.iter().all(|&s| s == 0);
+        let nb_eff = if b_shared { 1 } else { n_batch };
+        let njt = n.div_ceil(NR);
+        if nb_eff * njt * NR * k <= PACK_B_CAP_ELEMS {
+            let (acs, ars) = last2_strides(a);
+            let bpack = pack_b(b, &batch, &sb_batch, nb_eff, njt, k, n);
+            let ctx = PackedCtx {
+                ad: a.raw_arc(),
+                a_off: a.offset(),
+                batch,
+                sa_batch,
+                bpack,
+                b_shared,
+                m,
+                n,
+                k,
+                njt,
+                ars,
+                acs,
+            };
+            if threads == 1 {
+                let mut out = workspace::take_uninit(total);
+                packed_rows(&mut out, 0, &ctx);
+                return Tensor::from_vec(out, &out_shape);
+            }
+            let ctx = Arc::new(ctx);
+            let out = pool::parallel_rows_named(
+                "matmul",
+                total_rows,
+                n,
+                threads,
+                move |first_row, chunk| packed_rows(chunk, first_row, &ctx),
+            );
+            return Tensor::from_vec(out, &out_shape);
+        }
     }
 
     // Pick a kernel from B's last-two-dim strides, materializing an operand
@@ -142,9 +250,10 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
         use_dot,
     };
 
-    let total_rows = n_batch * m;
-    let threads = threads.max(1).min(total_rows);
     if threads == 1 {
+        // Both kernels write every output element, so the buffer needs no
+        // pre-zeroing (take_uninit is legal here).
+        let mut out = workspace::take_uninit(total);
         compute_rows(&mut out, 0, &ctx);
         return Tensor::from_vec(out, &out_shape);
     }
@@ -162,11 +271,167 @@ fn last2_strides(t: &Tensor) -> (usize, usize) {
     (s[s.len() - 1], s[s.len() - 2])
 }
 
+/// Everything a worker needs to compute a span of output rows on the
+/// packed-panel path. Shared by `Arc` across `'static` pool jobs; the
+/// packed-B buffer recycles into the workspace arena when the last job
+/// drops it.
+struct PackedCtx {
+    ad: ArcBuf,
+    a_off: usize,
+    batch: Vec<usize>,
+    sa_batch: Vec<usize>,
+    /// `B` gathered into zero-padded `[njt][k][NR]` column tiles, one
+    /// block per distinct batch matrix (a single block when `B` broadcasts
+    /// across the batch).
+    bpack: ArcBuf,
+    b_shared: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    njt: usize,
+    ars: usize,
+    acs: usize,
+}
+
+/// Gathers `B` into contiguous zero-padded column tiles: tile `jt` holds
+/// `bp[kk*NR + j] = B[kk, jt*NR + j]` (0.0 past the column tail), read
+/// through `B`'s stride metadata so transposed/permuted/narrowed views pack
+/// at the same cost as contiguous ones.
+fn pack_b(
+    b: &Tensor,
+    batch: &[usize],
+    sb_batch: &[usize],
+    nb_eff: usize,
+    njt: usize,
+    k: usize,
+    n: usize,
+) -> ArcBuf {
+    let (bcs, brs) = last2_strides(b);
+    let bd = b.raw_data();
+    let b_off = b.offset();
+    let per = njt * k * NR;
+    // Every element is written below (real columns or explicit 0.0 pad).
+    let mut pk = workspace::take_uninit(nb_eff * per);
+    for (bi, block) in pk.chunks_exact_mut(per).enumerate() {
+        let base = b_off + dot_idx(&shape::index_of(batch, bi), sb_batch);
+        for (jt, tile) in block.chunks_exact_mut(k * NR).enumerate() {
+            let j0 = jt * NR;
+            let jn = NR.min(n - j0);
+            for (kk, row) in tile.chunks_exact_mut(NR).enumerate() {
+                let src = base + kk * brs + j0 * bcs;
+                for (j, slot) in row[..jn].iter_mut().enumerate() {
+                    *slot = bd[src + j * bcs];
+                }
+                row[jn..].fill(0.0);
+            }
+        }
+    }
+    Arc::new(Buffer::new(pk))
+}
+
+/// Computes the output rows `[start_row, start_row + chunk.len() / n)` of
+/// the flattened batch×row space into `chunk` via the packed panels.
+fn packed_rows(chunk: &mut [f32], start_row: usize, ctx: &PackedCtx) {
+    let PackedCtx { m, n, k, njt, .. } = *ctx;
+    let rows = chunk.len() / n;
+    let per = njt * k * NR;
+    let mut r = start_row;
+    let end = start_row + rows;
+    while r < end {
+        let bi = r / m;
+        let idx = shape::index_of(&ctx.batch, bi);
+        let a_base = ctx.a_off + dot_idx(&idx, &ctx.sa_batch);
+        let bsel = if ctx.b_shared { 0 } else { bi };
+        let bp = &ctx.bpack[bsel * per..(bsel + 1) * per];
+        let i0 = r % m;
+        let i1 = (end - bi * m).min(m);
+        let rows_here = i1 - i0;
+        let o = &mut chunk[(r - start_row) * n..(r - start_row + rows_here) * n];
+        packed_gemm(o, a_base, bp, i0, rows_here, ctx);
+        r += rows_here;
+    }
+}
+
+/// The BLIS loop nest over one batch matrix's row span: for each `MC`-row
+/// block, pack `A` into `[kc][MR]` micro-panels (workspace scratch, reused
+/// across calls), then stream every L1-resident B tile through the `MR`×`NR`
+/// micro-kernel. `k` is blocked by `KC`; partial accumulators round-trip
+/// through the output buffer between `k`-blocks, which is exact for `f32`,
+/// so each element's summation chain is plain ascending-`k` — bit-identical
+/// to the unpacked SAXPY kernel.
+fn packed_gemm(o: &mut [f32], a_base: usize, bp: &[f32], i0: usize, rows: usize, ctx: &PackedCtx) {
+    let PackedCtx { n, k, njt, ars, acs, .. } = *ctx;
+    let ad: &[f32] = &ctx.ad;
+    let mut apack = Scratch::uninit(MC.div_ceil(MR) * MR * KC);
+    for mb in (0..rows).step_by(MC) {
+        let mc = MC.min(rows - mb);
+        let mcp = mc.div_ceil(MR) * MR;
+        for (kbi, kb) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - kb);
+            // Pack the A block: `MR`-row micro-panels interleaved k-major
+            // (`ap[kk*MR + r]`), rows past the tail zero-filled so the
+            // micro-kernel never branches on row validity.
+            let ap = &mut apack[..mcp * kc];
+            for (mp, panel) in ap.chunks_exact_mut(kc * MR).enumerate() {
+                for r in 0..MR {
+                    let row = mb + mp * MR + r;
+                    if row < rows {
+                        let ab = a_base + (i0 + row) * ars + kb * acs;
+                        for kk in 0..kc {
+                            panel[kk * MR + r] = ad[ab + kk * acs];
+                        }
+                    } else {
+                        for kk in 0..kc {
+                            panel[kk * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+            for jt in 0..njt {
+                let bt = &bp[jt * k * NR + kb * NR..][..kc * NR];
+                let j0 = jt * NR;
+                let jn = NR.min(n - j0);
+                for (mp, panel) in ap.chunks_exact(kc * MR).enumerate() {
+                    let rv = MR.min(rows - (mb + mp * MR));
+                    let mut acc = [[0.0f32; NR]; MR];
+                    if kbi > 0 {
+                        // Resume this block's partial sums (exact reload).
+                        for (r, arow) in acc.iter_mut().enumerate().take(rv) {
+                            let ob = (mb + mp * MR + r) * n + j0;
+                            arow[..jn].copy_from_slice(&o[ob..ob + jn]);
+                        }
+                    }
+                    micro_mrxnr(panel, bt, &mut acc);
+                    for (r, arow) in acc.iter().enumerate().take(rv) {
+                        let ob = (mb + mp * MR + r) * n + j0;
+                        o[ob..ob + jn].copy_from_slice(&arow[..jn]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `MR`×`NR` register block over packed unit-stride panels: `ap` is
+/// `[kc][MR]` A-interleave, `bp` is `[kc][NR]` B-tile. One accumulator per
+/// output element, ascending `kk` — the same per-element chain as the
+/// SAXPY kernel, whatever the blocking.
+#[inline]
+fn micro_mrxnr(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ar, br) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (arow, &av) in acc.iter_mut().zip(ar) {
+            for (ov, &bv) in arow.iter_mut().zip(br) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
 /// Everything a worker needs to compute a span of output rows. Buffers are
 /// held by `Arc` so the context can move into `'static` pool jobs.
 struct KernelCtx {
-    ad: Arc<Vec<f32>>,
-    bd: Arc<Vec<f32>>,
+    ad: ArcBuf,
+    bd: ArcBuf,
     a_off: usize,
     b_off: usize,
     batch: Vec<usize>,

@@ -20,13 +20,13 @@ pub use conv::{
     pad2d, Conv2dSpec,
 };
 pub use elementwise::{
-    add, add_scalar, binary_broadcast, div, exp, gelu, gelu_backward, ln, mul, neg, relu,
-    relu_backward, scale, sigmoid, sqrt, sub, tanh, unbroadcast,
+    add, add_assign, add_scalar, binary_broadcast, div, exp, gelu, gelu_backward, ln, mul, neg,
+    relu, relu_backward, scale, sigmoid, sqrt, sub, tanh, unbroadcast,
 };
 pub use loss::{
     bce_with_logits, bce_with_logits_backward, cross_entropy_logits, cross_entropy_logits_backward,
 };
-pub use matmul::{configured_threads, matmul, matmul_with_threads};
+pub use matmul::{configured_threads, matmul, matmul_unpacked, matmul_with_threads};
 pub use norm::layer_norm_forward;
 pub use reduce::{
     argmax_last, log_softmax_last, max_axis, mean_all, mean_axis, softmax_last, sum_all, sum_axis,

@@ -69,20 +69,23 @@ pub fn layer_norm_forward(
         let parts = pool::map_chunks_named("layer_norm", chunks, move |c| {
             let first = c * rows_per;
             let count = rows_per.min(rows - first);
-            let mut out = vec![0.0f32; count * d];
-            let mut means = vec![0.0f32; count];
-            let mut rstds = vec![0.0f32; count];
+            let mut out = crate::workspace::take_zeroed(count * d);
+            let mut means = crate::workspace::take_zeroed(count);
+            let mut rstds = crate::workspace::take_zeroed(count);
             let src = &xd[off + first * d..off + (first + count) * d];
             layer_norm_rows(src, &gd, &bd, eps, &mut out, &mut means, &mut rstds);
             (out, means, rstds)
         });
-        let mut out = Vec::with_capacity(rows * d);
-        let mut means = Vec::with_capacity(rows);
-        let mut rstds = Vec::with_capacity(rows);
+        let mut out = crate::workspace::take_reserve(rows * d);
+        let mut means = crate::workspace::take_reserve(rows);
+        let mut rstds = crate::workspace::take_reserve(rows);
         for (o, m, r) in parts {
             out.extend_from_slice(&o);
             means.extend_from_slice(&m);
             rstds.extend_from_slice(&r);
+            crate::workspace::give(o);
+            crate::workspace::give(m);
+            crate::workspace::give(r);
         }
         return (
             Tensor::from_vec(out, x.shape()),
@@ -91,9 +94,9 @@ pub fn layer_norm_forward(
         );
     }
 
-    let mut out = vec![0.0f32; rows * d];
-    let mut means = vec![0.0f32; rows];
-    let mut rstds = vec![0.0f32; rows];
+    let mut out = crate::workspace::take_zeroed(rows * d);
+    let mut means = crate::workspace::take_zeroed(rows);
+    let mut rstds = crate::workspace::take_zeroed(rows);
     layer_norm_rows(xc.data(), &gd, &bd, eps, &mut out, &mut means, &mut rstds);
     (
         Tensor::from_vec(out, x.shape()),

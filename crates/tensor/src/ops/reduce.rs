@@ -199,7 +199,7 @@ pub fn argmax_last(a: &Tensor) -> Tensor {
     let rows = a.numel() / d;
     let a = a.contiguous(); // the row kernel needs packed rows
     let data = a.data();
-    let mut out = Vec::with_capacity(rows);
+    let mut out = crate::workspace::take_reserve(rows);
     for r in 0..rows {
         let row = &data[r * d..(r + 1) * d];
         let mut best = 0usize;
@@ -268,7 +268,8 @@ fn rowwise(a: &Tensor, d: usize, kernel: fn(&[f32], &mut [f32], usize)) -> Tenso
         );
         return Tensor::from_vec(out, a.shape());
     }
-    let mut out = vec![0.0f32; a.numel()];
+    // Both row kernels store every element of their rows.
+    let mut out = crate::workspace::take_uninit(a.numel());
     kernel(a.data(), &mut out, d);
     Tensor::from_vec(out, a.shape())
 }
@@ -293,7 +294,7 @@ pub(crate) fn softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
     let (y, g) = (y.contiguous(), g.contiguous());
     let yd = y.data();
     let gd = g.data();
-    let mut out = Vec::with_capacity(y.numel());
+    let mut out = crate::workspace::take_reserve(y.numel());
     for r in 0..rows {
         let yr = &yd[r * d..(r + 1) * d];
         let gr = &gd[r * d..(r + 1) * d];
@@ -311,7 +312,7 @@ pub(crate) fn log_softmax_last_backward(y: &Tensor, g: &Tensor) -> Tensor {
     let (y, g) = (y.contiguous(), g.contiguous());
     let yd = y.data();
     let gd = g.data();
-    let mut out = Vec::with_capacity(y.numel());
+    let mut out = crate::workspace::take_reserve(y.numel());
     for r in 0..rows {
         let yr = &yd[r * d..(r + 1) * d];
         let gr = &gd[r * d..(r + 1) * d];

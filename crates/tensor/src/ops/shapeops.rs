@@ -83,7 +83,7 @@ pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
     let owned: Vec<Tensor> = tensors.iter().map(|t| t.contiguous()).collect();
     let outer: usize = first[..axis].iter().product();
     let inner: usize = first[axis + 1..].iter().product();
-    let mut out = Vec::with_capacity(shape::numel(&out_shape));
+    let mut out = crate::workspace::take_reserve(shape::numel(&out_shape));
     for o in 0..outer {
         for t in &owned {
             let d = t.shape()[axis];
@@ -141,7 +141,7 @@ pub(crate) fn narrow_backward(
     let inner: usize = orig_shape[axis + 1..].iter().product();
     let d = orig_shape[axis];
     let len = grad.shape()[axis];
-    let mut out = vec![0.0f32; shape::numel(orig_shape)];
+    let mut out = crate::workspace::take_zeroed(shape::numel(orig_shape));
     let grad = grad.contiguous();
     let gd = grad.data();
     for o in 0..outer {
@@ -160,7 +160,7 @@ pub(crate) fn narrow_backward(
 pub fn stack(tensors: &[&Tensor]) -> Tensor {
     assert!(!tensors.is_empty(), "stack of zero tensors");
     let shape = tensors[0].shape();
-    let mut out = Vec::with_capacity(tensors.len() * tensors[0].numel());
+    let mut out = crate::workspace::take_reserve(tensors.len() * tensors[0].numel());
     for t in tensors {
         assert_eq!(t.shape(), shape, "stack shape mismatch");
         let c = t.contiguous();
@@ -202,7 +202,7 @@ pub fn index_select(a: &Tensor, indices: &[usize]) -> Tensor {
     let inner: usize = sh[1..].iter().product();
     let a = a.contiguous();
     let data = a.data();
-    let mut out = Vec::with_capacity(indices.len() * inner);
+    let mut out = crate::workspace::take_reserve(indices.len() * inner);
     for &i in indices {
         assert!(i < sh[0], "index {i} out of bounds for dim {}", sh[0]);
         out.extend_from_slice(&data[i * inner..(i + 1) * inner]);
@@ -220,7 +220,7 @@ pub(crate) fn index_select_backward(
     indices: &[usize],
 ) -> Tensor {
     let inner: usize = orig_shape[1..].iter().product();
-    let mut out = vec![0.0f32; shape::numel(orig_shape)];
+    let mut out = crate::workspace::take_zeroed(shape::numel(orig_shape));
     let grad = grad.contiguous();
     let gd = grad.data();
     for (row, &i) in indices.iter().enumerate() {

@@ -401,9 +401,12 @@ where
 /// `threads` contiguous chunks executed on the pool.
 ///
 /// `work(first_row, out)` must fill `out` (whose length is a multiple of
-/// `row_len`) with rows `first_row ..` in order. Each row is produced by
-/// exactly one chunk with the same per-row code on every path, so the result
-/// is bit-identical for every `threads` value.
+/// `row_len`) with rows `first_row ..` in order, **storing every element**:
+/// buffers arrive with arbitrary (recycled-workspace) contents, so a worker
+/// that skips positions would leak stale values and break the determinism
+/// contract. Each row is produced by exactly one chunk with the same
+/// per-row code on every path, so the result is bit-identical for every
+/// `threads` value.
 pub fn parallel_rows<F>(rows: usize, row_len: usize, threads: usize, work: F) -> Vec<f32>
 where
     F: Fn(usize, &mut [f32]) + Send + Sync + 'static,
@@ -440,7 +443,7 @@ where
     let n = rows * row_len;
     let threads = threads.max(1).min(rows.max(1));
     if threads == 1 || n == 0 || on_worker_thread() {
-        let mut out = vec![0.0f32; n];
+        let mut out = crate::workspace::take_uninit(n);
         if n > 0 {
             work(0, &mut out);
         }
@@ -452,13 +455,17 @@ where
     let parts = dispatch_chunks(kernel, chunks, move |c| {
         let first = c * rows_per;
         let count = rows_per.min(rows - first);
-        let mut buf = vec![0.0f32; count * row_len];
+        // Chunk buffers carry arbitrary recycled contents (the `work`
+        // contract requires every element to be stored); they return to
+        // the dispatcher's arena after assembly below.
+        let mut buf = crate::workspace::take_uninit(count * row_len);
         work(first, &mut buf);
         buf
     });
-    let mut out = Vec::with_capacity(n);
+    let mut out = crate::workspace::take_reserve(n);
     for p in parts {
         out.extend_from_slice(&p);
+        crate::workspace::give(p);
     }
     out
 }

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::shape;
+use crate::workspace::{self, ArcBuf, Buffer};
 
 /// Scoped counting of buffer materializations.
 ///
@@ -63,7 +64,7 @@ pub struct Tensor {
     shape: Vec<usize>,
     strides: Vec<usize>,
     offset: usize,
-    data: Arc<Vec<f32>>,
+    data: ArcBuf,
 }
 
 impl Tensor {
@@ -84,7 +85,7 @@ impl Tensor {
             shape: shape.to_vec(),
             strides: shape::strides(shape),
             offset: 0,
-            data: Arc::new(data),
+            data: Arc::new(Buffer::new(data)),
         }
     }
 
@@ -94,8 +95,13 @@ impl Tensor {
     }
 
     /// Creates a tensor filled with `v`.
+    ///
+    /// The buffer comes from the [`crate::workspace`] arena when recycling
+    /// is on; the fresh-allocation path is `vec![v; n]`, which for `0.0`
+    /// the allocator serves from calloc-backed zero pages instead of a
+    /// push-loop.
     pub fn full(shape: &[usize], v: f32) -> Self {
-        Tensor::from_vec(vec![v; shape::numel(shape)], shape)
+        Tensor::from_vec(workspace::take_filled(shape::numel(shape), v), shape)
     }
 
     /// Creates a tensor of zeros.
@@ -111,7 +117,7 @@ impl Tensor {
     /// Creates a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n = shape::numel(shape);
-        let mut data = Vec::with_capacity(n);
+        let mut data = workspace::take_reserve(n);
         for i in 0..n {
             data.push(f(i));
         }
@@ -167,7 +173,7 @@ impl Tensor {
 
     /// A cheap `Arc` clone of the backing buffer. Parallel kernels move
     /// these into `'static` pool jobs instead of borrowing the tensor.
-    pub(crate) fn raw_arc(&self) -> Arc<Vec<f32>> {
+    pub(crate) fn raw_arc(&self) -> ArcBuf {
         Arc::clone(&self.data)
     }
 
@@ -222,16 +228,18 @@ impl Tensor {
             return self.clone();
         }
         copy_metrics::record_copy();
-        Tensor::from_vec(self.iter_elems().collect(), &self.shape)
+        Tensor::from_vec(self.to_vec(), &self.shape)
     }
 
     /// The logical elements in row-major order as a fresh vector.
     pub fn to_vec(&self) -> Vec<f32> {
+        let mut v = workspace::take_reserve(self.numel());
         if self.is_contiguous() {
-            self.data[self.offset..self.offset + self.numel()].to_vec()
+            v.extend_from_slice(&self.data[self.offset..self.offset + self.numel()]);
         } else {
-            self.iter_elems().collect()
+            v.extend(self.iter_elems());
         }
+        v
     }
 
     /// Read-only view of the flat row-major buffer.
@@ -265,13 +273,13 @@ impl Tensor {
             // fresh, exactly-sized private buffer.
             copy_metrics::record_copy();
             let v = self.to_vec();
-            self.data = Arc::new(v);
+            self.data = Arc::new(Buffer::new(v));
             self.offset = 0;
             self.strides = shape::strides(&self.shape);
         } else if Arc::get_mut(&mut self.data).is_none() {
             // Shared buffer: clone-on-write.
             copy_metrics::record_copy();
-            self.data = Arc::new(self.data.as_ref().clone());
+            self.data = Arc::new(self.data.duplicate());
         }
         Arc::get_mut(&mut self.data).expect("buffer is uniquely owned here").as_mut_slice()
     }
@@ -280,7 +288,14 @@ impl Tensor {
     /// the buffer is shared or the tensor is a view).
     pub fn into_vec(self) -> Vec<f32> {
         if self.offset == 0 && self.data.len() == self.numel() && self.is_contiguous() {
-            Arc::try_unwrap(self.data).unwrap_or_else(|arc| (*arc).clone())
+            match Arc::try_unwrap(self.data) {
+                Ok(buf) => buf.into_inner(),
+                Err(arc) => {
+                    let mut v = workspace::take_uninit(arc.len());
+                    v.copy_from_slice(&arc);
+                    v
+                }
+            }
         } else {
             self.to_vec()
         }
@@ -360,12 +375,14 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new (contiguous) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut v = workspace::take_reserve(self.numel());
         if self.is_contiguous() {
             let d = &self.data[self.offset..self.offset + self.numel()];
-            Tensor::from_vec(d.iter().map(|&x| f(x)).collect(), &self.shape)
+            v.extend(d.iter().map(|&x| f(x)));
         } else {
-            Tensor::from_vec(self.iter_elems().map(f).collect(), &self.shape)
+            v.extend(self.iter_elems().map(f));
         }
+        Tensor::from_vec(v, &self.shape)
     }
 
     /// Combines two same-shaped tensors elementwise (no broadcasting; see
@@ -376,16 +393,15 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip requires identical shapes");
+        let mut v = workspace::take_reserve(self.numel());
         if self.is_contiguous() && other.is_contiguous() {
             let a = &self.data[self.offset..self.offset + self.numel()];
             let b = &other.data[other.offset..other.offset + other.numel()];
-            Tensor::from_vec(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect(), &self.shape)
+            v.extend(a.iter().zip(b).map(|(&x, &y)| f(x, y)));
         } else {
-            Tensor::from_vec(
-                self.iter_elems().zip(other.iter_elems()).map(|(x, y)| f(x, y)).collect(),
-                &self.shape,
-            )
+            v.extend(self.iter_elems().zip(other.iter_elems()).map(|(x, y)| f(x, y)));
         }
+        Tensor::from_vec(v, &self.shape)
     }
 
     /// True when all elements of `self` and `other` differ by at most `tol`.

@@ -1,0 +1,122 @@
+//! Bit-parity of the packed-panel GEMM against the pre-packing kernels.
+//!
+//! The packed path (`ops::matmul` on large problems) gathers both operands
+//! into contiguous panels through their strides, so it must produce the
+//! same bits as the register-tiled SAXPY kernel (`ops::matmul_unpacked` on
+//! contiguous operands) for every view: transposed, narrowed, offset,
+//! batch-broadcast. The micro-kernel accumulates each output element in a
+//! single f32 in ascending-k order — exactly like SAXPY — which is what
+//! makes bit equality (not just allclose) the right assertion.
+//!
+//! Sizes here are chosen to clear the packing thresholds
+//! (`k*n >= 32768` B elements, `m*n*k >= 2^20` madds); smaller problems
+//! take the unpacked kernels and are covered by `proptest_ops.rs`.
+
+use proptest::prelude::*;
+use tsdx_tensor::{ops, Tensor};
+
+/// Deterministic pseudo-random fill, cheap enough for million-element
+/// operands inside a proptest case.
+fn fill(shape: &[usize], seed: u32) -> Tensor {
+    Tensor::from_fn(shape, |i| {
+        let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(40503));
+        ((h >> 16) as f32 / 65536.0) - 0.5
+    })
+}
+
+/// Asserts `ops::matmul` (packed path) returns bit-identical results to the
+/// PR 2 SAXPY kernel run on contiguous copies of the same operands.
+fn assert_packed_parity(a: &Tensor, b: &Tensor) {
+    let reference = ops::matmul_unpacked(&a.contiguous(), &b.contiguous(), 1);
+    for threads in [1usize, 2] {
+        let packed = ops::matmul_with_threads(a, b, threads);
+        assert_eq!(packed.shape(), reference.shape());
+        let (p, r) = (packed.to_vec(), reference.to_vec());
+        for (i, (x, y)) in p.iter().zip(&r).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "packed GEMM diverged from SAXPY at flat index {i} \
+                 ({x} vs {y}, threads={threads}, {:?} @ {:?})",
+                a.shape(),
+                b.shape()
+            );
+        }
+    }
+}
+
+#[test]
+fn contiguous_operands_match() {
+    let a = fill(&[48, 160], 1);
+    let b = fill(&[160, 256], 2);
+    assert_packed_parity(&a, &b);
+}
+
+#[test]
+fn transposed_b_view_matches() {
+    // B arrives as a zero-copy transpose view: column-major strides.
+    let bt = fill(&[256, 160], 3);
+    let b = ops::transpose_last2(&bt);
+    let a = fill(&[48, 160], 4);
+    assert_packed_parity(&a, &b);
+}
+
+#[test]
+fn transposed_a_view_matches() {
+    let at = fill(&[160, 48], 5);
+    let a = ops::transpose_last2(&at);
+    let b = fill(&[160, 256], 6);
+    assert_packed_parity(&a, &b);
+}
+
+#[test]
+fn narrowed_views_match() {
+    // Both operands are interior windows of larger buffers: non-zero
+    // offset, row stride wider than the row length.
+    let big_a = fill(&[64, 200], 7);
+    let big_b = fill(&[200, 300], 8);
+    let a = ops::narrow(&ops::narrow(&big_a, 0, 9, 48), 1, 17, 160);
+    let b = ops::narrow(&ops::narrow(&big_b, 0, 17, 160), 1, 23, 256);
+    assert_packed_parity(&a, &b);
+}
+
+#[test]
+fn batched_with_shared_b_matches() {
+    // [4, 40, 160] @ [160, 256]: every batch element reuses one packed B.
+    let a = fill(&[4, 40, 160], 9);
+    let b = fill(&[160, 256], 10);
+    assert_packed_parity(&a, &b);
+}
+
+#[test]
+fn batched_with_permuted_batch_matches() {
+    // The batch axis of A is itself a permuted view.
+    let a0 = fill(&[40, 3, 160], 11);
+    let a = ops::permute(&a0, &[1, 0, 2]);
+    let b = fill(&[3, 160, 256], 12);
+    assert_packed_parity(&a, &b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Random geometry above the packing thresholds, with both operands
+    // narrowed out of larger buffers so strides and offsets vary too.
+    #[test]
+    fn random_strided_views_match(
+        m in 33usize..64,
+        k in 128usize..160,
+        n in 256usize..288,
+        ao in 0usize..8,
+        bo in 0usize..8,
+        seed in 0u32..1000,
+    ) {
+        // k >= 128 and n >= 256 keep k*n above the 32768-element packing
+        // threshold for every sampled geometry.
+        let big_a = fill(&[m + 8, k + 8], seed);
+        let big_b = fill(&[k + 8, n + 8], seed ^ 0xdead);
+        let a = ops::narrow(&ops::narrow(&big_a, 0, ao, m), 1, bo, k);
+        let b = ops::narrow(&ops::narrow(&big_b, 0, bo, k), 1, ao, n);
+        assert_packed_parity(&a, &b);
+    }
+}

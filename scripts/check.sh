@@ -20,6 +20,12 @@ cargo test --workspace -q
 echo "==> tier-1 again under a 2-worker pool (TSDX_NUM_THREADS=2)"
 TSDX_NUM_THREADS=2 cargo test -q
 
+echo "==> tier-1 again with the workspace arena disabled (TSDX_WORKSPACE=0)"
+TSDX_WORKSPACE=0 cargo test -q
+
+echo "==> steady-state allocation regression (arena must absorb buffer traffic)"
+cargo test -q --release -p tsdx-core --test alloc_regression
+
 echo "==> tensor suite with 8 concurrent test threads (metric-scope isolation)"
 cargo test -q -p tsdx-tensor -- --test-threads=8
 
