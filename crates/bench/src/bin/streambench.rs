@@ -1,0 +1,214 @@
+//! Streaming-session latency benchmark (PR 6).
+//!
+//! Measures per-window inference latency on a continuous frame feed two
+//! ways at several window lengths:
+//!
+//! - **streamed**: one long-lived `StreamSession` slides over the feed —
+//!   each step pushes one new tubelet group and reads out the window's
+//!   logits, reusing the cached spatial summaries of every older group;
+//! - **full recompute**: a cold session per window (the `extract_checked`
+//!   path) re-encodes all `nt` groups from pixels.
+//!
+//! The claim under test is that streamed per-window cost is **sublinear in
+//! window length**: the incremental path pays one group of spatial work
+//! plus an O(window) temporal stage, while full recompute pays spatial work
+//! for the whole window. So the streamed/full speedup must grow with the
+//! window, and streamed latency must grow by clearly less than the window
+//! length factor. Cache-effectiveness counters (`stage/cache_hit`,
+//! `stage/cache_miss`, `stage/window_hit`) are read from a metrics scope
+//! around the streamed phase and printed alongside.
+//!
+//! Prints a human table plus a JSON report on stdout (recorded in
+//! `BENCH_pr6.json`). Run with
+//! `cargo run -p tsdx-bench --release --bin streambench` (add `--quick`
+//! for the reduced run used by `scripts/check.sh`).
+
+use std::time::Instant;
+
+use tsdx_bench::{is_quick, print_table};
+use tsdx_core::{ModelConfig, ScenarioExtractor};
+use tsdx_tensor::{metrics, Tensor};
+
+/// Synthetic camera feed: frame `start..start+n` of an endless smoothly
+/// varying stream, so no two windows are identical and nothing is
+/// trivially cacheable beyond what the session claims.
+fn feed(cfg: &ModelConfig, start: usize, frames: usize) -> Tensor {
+    let frame = cfg.height * cfg.width;
+    Tensor::from_fn(&[frames, cfg.height, cfg.width], |i| {
+        ((start * frame + i) as f32 * 0.0041).sin() * 0.5
+    })
+}
+
+fn median_ms(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+struct WindowResult {
+    frames: usize,
+    groups: usize,
+    stream_ms: f64,
+    full_ms: f64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+fn bench_window(frames: usize, slides: usize) -> WindowResult {
+    let cfg = ModelConfig { frames, ..ModelConfig::default() };
+    let ex = ScenarioExtractor::untrained(cfg, 0);
+    let groups = cfg.n_time();
+    let step = cfg.tubelet_t;
+
+    // ---- Streamed: one session slides over the feed. ----
+    let mut session = ex.open_stream();
+    session.push_frames(&feed(&cfg, 0, frames)).expect("well-formed feed");
+    session.logits().expect("full window");
+    let mut fed = frames;
+    // Warm-up slides (arena, pool, page cache).
+    for _ in 0..2 {
+        session.push_frames(&feed(&cfg, fed, step)).unwrap();
+        fed += step;
+        session.logits().unwrap();
+    }
+    let scope = metrics::scope();
+    let mut stream = Vec::with_capacity(slides);
+    for _ in 0..slides {
+        let t = Instant::now();
+        session.push_frames(&feed(&cfg, fed, step)).unwrap();
+        fed += step;
+        std::hint::black_box(session.logits().unwrap());
+        stream.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let snap = scope.snapshot();
+    drop(scope);
+    let (hits, misses) = (snap.counter("stage/cache_hit"), snap.counter("stage/cache_miss"));
+
+    // ---- Full recompute: a cold session per window, same windows. ----
+    let mut start = frames;
+    for _ in 0..2 {
+        let mut cold = ex.open_stream();
+        cold.push_frames(&feed(&cfg, start, frames)).unwrap();
+        cold.logits().unwrap();
+        start += step;
+    }
+    let mut full = Vec::with_capacity(slides);
+    for _ in 0..slides {
+        let mut cold = ex.open_stream();
+        let t = Instant::now();
+        cold.push_frames(&feed(&cfg, start, frames)).unwrap();
+        start += step;
+        std::hint::black_box(cold.logits().unwrap());
+        full.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    WindowResult {
+        frames,
+        groups,
+        stream_ms: median_ms(&mut stream),
+        full_ms: median_ms(&mut full),
+        hits,
+        misses,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
+}
+
+fn main() {
+    let quick = is_quick();
+    let (windows, slides): (&[usize], usize) =
+        if quick { (&[8, 16], 5) } else { (&[8, 16, 32], 15) };
+
+    let results: Vec<WindowResult> = windows.iter().map(|&f| bench_window(f, slides)).collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.frames.to_string(),
+                r.groups.to_string(),
+                format!("{:.2}", r.stream_ms),
+                format!("{:.2}", r.full_ms),
+                format!("{:.2}", r.full_ms / r.stream_ms),
+                format!("{:.1}", r.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("per-window inference latency, streamed vs full recompute ({slides} slides)"),
+        &["frames", "groups", "stream ms", "full ms", "speedup", "cache hit %"],
+        &rows,
+    );
+
+    // Sublinearity: growing the window by KxK must grow streamed latency by
+    // well under K (only the temporal stage scales), while full recompute
+    // scales with the window. Checked between the smallest and largest
+    // measured windows.
+    let (a, z) = (&results[0], &results[results.len() - 1]);
+    let window_factor = z.frames as f64 / a.frames as f64;
+    let stream_factor = z.stream_ms / a.stream_ms;
+    println!(
+        "\nwindow {}x{} -> streamed latency x{:.2} (window grew x{:.0}); \
+         speedup {:.2}x -> {:.2}x",
+        a.frames,
+        z.frames,
+        stream_factor,
+        window_factor,
+        a.full_ms / a.stream_ms,
+        z.full_ms / z.stream_ms,
+    );
+    assert!(
+        stream_factor < window_factor * 0.75,
+        "streamed per-window latency is no longer sublinear in window length: \
+         x{stream_factor:.2} for a x{window_factor:.0} window"
+    );
+    for r in &results {
+        assert!(
+            r.full_ms > r.stream_ms,
+            "streaming must beat full recompute at {} frames: {:.2}ms vs {:.2}ms",
+            r.frames,
+            r.stream_ms,
+            r.full_ms
+        );
+        // Steady state recomputes exactly one group per slide.
+        assert!(
+            r.misses == slides as u64,
+            "expected {} cache misses (one per slide) at {} frames, saw {}",
+            slides,
+            r.frames,
+            r.misses
+        );
+        assert!(
+            r.hits == (slides * (r.groups - 1)) as u64,
+            "expected {} cache hits at {} frames, saw {}",
+            slides * (r.groups - 1),
+            r.frames,
+            r.hits
+        );
+    }
+
+    // JSON report (recorded in BENCH_pr6.json).
+    println!("\n{{");
+    println!(" \"streambench\": {{");
+    println!("  \"slides\": {slides},");
+    println!("  \"windows\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        println!(
+            "   {{\"frames\": {}, \"groups\": {}, \"stream_ms\": {:.3}, \"full_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"cache_hit_rate\": {:.3}}}{comma}",
+            r.frames,
+            r.groups,
+            r.stream_ms,
+            r.full_ms,
+            r.full_ms / r.stream_ms,
+            r.hit_rate
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"sublinear\": {{\"window_factor\": {window_factor:.2}, \
+         \"stream_latency_factor\": {stream_factor:.2}}}"
+    );
+    println!(" }}");
+    println!("}}");
+}

@@ -1,8 +1,23 @@
 //! Clip encoders: factorized (ViViT model 2) and joint space-time
 //! attention, with CLS or mean-pool readout.
+//!
+//! The factorized pipeline is split into two explicit, individually
+//! callable stages with a cacheable boundary between them:
+//!
+//! 1. [`ClipEncoder::spatial_summaries`] — per-group token rows
+//!    `[N, ns, D]` to frame summaries `[N, D]`. Row-independent and free of
+//!    temporal position, so a summary computed for one streamed group is
+//!    bit-identical to the same group inside a full batched window.
+//! 2. [`ClipEncoder::temporal_readout`] — frame summaries `[B, nt, D]` to
+//!    clip embeddings `[B, D]`. The *window-relative* temporal position is
+//!    applied here, followed by the temporal transformer.
+//!
+//! [`ClipEncoder::forward`] composes the two; a
+//! [`StreamSession`](crate::StreamSession) calls them separately and caches
+//! stage-1 outputs by absolute group index.
 
 use rand::Rng;
-use tsdx_nn::{Binding, ParamId, ParamStore, TransformerEncoder};
+use tsdx_nn::{Binding, EncoderKvCache, ParamId, ParamStore, TransformerEncoder};
 use tsdx_tensor::{Graph, Tensor, Var};
 
 use crate::config::{AttentionKind, ModelConfig, Readout};
@@ -16,6 +31,11 @@ pub struct ClipEncoder {
     temporal: Option<TransformerEncoder>,
     cls_space: Option<ParamId>,
     cls_time: Option<ParamId>,
+    /// Temporal positional embedding `[nt, 1, D]`, applied at the temporal
+    /// stage boundary (factorized) or to the token grid (joint). Lives here
+    /// rather than in the tubelet embedding so that spatial-stage outputs
+    /// stay window-position-free and therefore cacheable.
+    pos_time: ParamId,
     n_time: usize,
     n_space: usize,
     dim: usize,
@@ -63,6 +83,10 @@ impl ClipEncoder {
                         tsdx_nn::init::embedding_normal(&[1, cfg.dim], rng),
                     )
                 });
+                let pos_time = store.add(
+                    format!("{name}.pos_time"),
+                    tsdx_nn::init::embedding_normal(&[cfg.n_time(), 1, cfg.dim], rng),
+                );
                 ClipEncoder {
                     kind: cfg.attention,
                     readout: cfg.readout,
@@ -70,6 +94,7 @@ impl ClipEncoder {
                     temporal: Some(temporal),
                     cls_space,
                     cls_time,
+                    pos_time,
                     n_time: cfg.n_time(),
                     n_space: cfg.n_space(),
                     dim: cfg.dim,
@@ -92,6 +117,10 @@ impl ClipEncoder {
                         tsdx_nn::init::embedding_normal(&[1, cfg.dim], rng),
                     )
                 });
+                let pos_time = store.add(
+                    format!("{name}.pos_time"),
+                    tsdx_nn::init::embedding_normal(&[cfg.n_time(), 1, cfg.dim], rng),
+                );
                 ClipEncoder {
                     kind: cfg.attention,
                     readout: cfg.readout,
@@ -99,6 +128,7 @@ impl ClipEncoder {
                     temporal: None,
                     cls_space,
                     cls_time: None,
+                    pos_time,
                     n_time: cfg.n_time(),
                     n_space: cfg.n_space(),
                     dim: cfg.dim,
@@ -107,7 +137,8 @@ impl ClipEncoder {
         }
     }
 
-    /// Encodes `[B, nt*ns, D]` tokens to a `[B, D]` clip embedding.
+    /// Encodes `[B, nt*ns, D]` tokens (projected, spatially positioned,
+    /// *not* temporally positioned) to a `[B, D]` clip embedding.
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -119,25 +150,116 @@ impl ClipEncoder {
         let b = g.shape(tokens)[0];
         match self.kind {
             AttentionKind::Joint => {
-                let seq = self.with_cls(g, p, tokens, self.cls_space);
+                // Joint attention has no cacheable stage boundary: the
+                // temporal position goes straight onto the token grid.
+                let timed = self.with_time_positions_grid(g, p, tokens);
+                let seq = self.with_cls(g, p, timed, self.cls_space);
                 let encoded = self.spatial.forward(g, p, seq, rng, train);
                 self.read(g, encoded)
             }
             AttentionKind::Factorized => {
                 // Spatial stage over each time group independently.
                 let per_frame = g.reshape(tokens, &[b * self.n_time, self.n_space, self.dim]);
-                let seq = self.with_cls(g, p, per_frame, self.cls_space);
-                let encoded = self.spatial.forward(g, p, seq, rng, train);
-                let frame_embed = self.read(g, encoded); // [B*nt, D]
+                let frame_embed = self.spatial_summaries(g, p, per_frame, rng, train); // [B*nt, D]
                 let temporal_tokens = g.reshape(frame_embed, &[b, self.n_time, self.dim]);
-                // Temporal stage over frame summaries.
-                let seq_t = self.with_cls(g, p, temporal_tokens, self.cls_time);
-                let temporal =
-                    self.temporal.as_ref().expect("factorized encoder has a temporal stage");
-                let encoded_t = temporal.forward(g, p, seq_t, rng, train);
-                self.read(g, encoded_t)
+                self.temporal_readout(g, p, temporal_tokens, rng, train)
             }
         }
+    }
+
+    /// Spatial stage of the factorized pipeline: per-group token rows
+    /// `[N, ns, D]` (one row of `ns` spatial tokens per time group) to
+    /// frame summaries `[N, D]`.
+    ///
+    /// Every operation here is row-independent and free of temporal
+    /// position, so a summary computed for one group at a time is
+    /// bit-identical to the same group inside a batched window — the
+    /// invariant [`StreamSession`](crate::StreamSession) caches against.
+    ///
+    /// # Panics
+    ///
+    /// Panics for joint encoders, which have no separate spatial stage.
+    pub fn spatial_summaries(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        groups: Var,
+        rng: &mut impl Rng,
+        train: bool,
+    ) -> Var {
+        assert_eq!(
+            self.kind,
+            AttentionKind::Factorized,
+            "spatial_summaries is a factorized-pipeline stage"
+        );
+        let seq = self.with_cls(g, p, groups, self.cls_space);
+        let encoded = self.spatial.forward(g, p, seq, rng, train);
+        self.read(g, encoded)
+    }
+
+    /// Temporal stage of the factorized pipeline: raw frame summaries
+    /// `[B, nt, D]` to clip embeddings `[B, D]`. Applies the
+    /// window-relative temporal position, prepends the temporal CLS, and
+    /// runs the temporal transformer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for joint encoders.
+    pub fn temporal_readout(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        frames: Var,
+        rng: &mut impl Rng,
+        train: bool,
+    ) -> Var {
+        let temporal = self.temporal.as_ref().expect("factorized encoder has a temporal stage");
+        let timed = self.with_time_positions(g, p, frames);
+        let seq_t = self.with_cls(g, p, timed, self.cls_time);
+        let encoded_t = temporal.forward(g, p, seq_t, rng, train);
+        self.read(g, encoded_t)
+    }
+
+    /// Prefix-aware [`temporal_readout`](Self::temporal_readout) for
+    /// streaming inference; bit-identical to it at `train == false`.
+    ///
+    /// Under sliding windows only the CLS row of the temporal sequence is
+    /// prefix-stable — content rows carry window-*relative* positions, so a
+    /// group that slid from slot `i` to slot `i-1` is a different token
+    /// even though its summary was cached. When a CLS readout and a cache
+    /// are present, its key/value rows are served from the cache
+    /// ([`TransformerEncoder::forward_prefix`]); the returned cache feeds
+    /// the next window.
+    pub fn temporal_readout_streaming(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        frames: Var,
+        cache: Option<&EncoderKvCache>,
+    ) -> (Var, EncoderKvCache) {
+        let temporal = self.temporal.as_ref().expect("factorized encoder has a temporal stage");
+        let timed = self.with_time_positions(g, p, frames);
+        let seq_t = self.with_cls(g, p, timed, self.cls_time);
+        let prefix = usize::from(self.cls_time.is_some() && cache.is_some_and(|c| !c.is_empty()));
+        let (encoded_t, next) = temporal.forward_prefix(g, p, seq_t, cache, prefix);
+        (self.read(g, encoded_t), next)
+    }
+
+    /// Adds the temporal position table to frame summaries `[B, nt, D]`.
+    fn with_time_positions(&self, g: &mut Graph, p: &Binding, frames: Var) -> Var {
+        let pt = p.var(self.pos_time);
+        let flat = g.reshape(pt, &[self.n_time, self.dim]);
+        g.add(frames, flat)
+    }
+
+    /// Adds the temporal position to a joint token grid `[B, nt*ns, D]`
+    /// (broadcast over the `ns` spatial tokens of each group).
+    fn with_time_positions_grid(&self, g: &mut Graph, p: &Binding, tokens: Var) -> Var {
+        let b = g.shape(tokens)[0];
+        let grid = g.reshape(tokens, &[b, self.n_time, self.n_space, self.dim]);
+        let pt = p.var(self.pos_time);
+        let timed = g.add(grid, pt);
+        g.reshape(timed, &[b, self.n_time * self.n_space, self.dim])
     }
 
     /// Runs the (first) spatial or joint stage and returns the attention
@@ -152,7 +274,8 @@ impl ClipEncoder {
         let b = g.shape(tokens)[0];
         match self.kind {
             AttentionKind::Joint => {
-                let seq = self.with_cls(g, p, tokens, self.cls_space);
+                let timed = self.with_time_positions_grid(g, p, tokens);
+                let seq = self.with_cls(g, p, timed, self.cls_space);
                 let (_, attn) = self.spatial.forward_with_attn(g, p, seq, rng, false);
                 attn
             }
@@ -181,11 +304,10 @@ impl ClipEncoder {
         let temporal = self.temporal.as_ref()?;
         let b = g.shape(tokens)[0];
         let per_frame = g.reshape(tokens, &[b * self.n_time, self.n_space, self.dim]);
-        let seq = self.with_cls(g, p, per_frame, self.cls_space);
-        let encoded = self.spatial.forward(g, p, seq, rng, false);
-        let frame_embed = self.read(g, encoded);
+        let frame_embed = self.spatial_summaries(g, p, per_frame, rng, false);
         let temporal_tokens = g.reshape(frame_embed, &[b, self.n_time, self.dim]);
-        let seq_t = self.with_cls(g, p, temporal_tokens, self.cls_time);
+        let timed = self.with_time_positions(g, p, temporal_tokens);
+        let seq_t = self.with_cls(g, p, timed, self.cls_time);
         let (_, attn) = temporal.forward_with_attn(g, p, seq_t, rng, false);
         Some(attn)
     }
@@ -298,6 +420,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn staged_calls_compose_to_forward_bitwise() {
+        // spatial_summaries + temporal_readout must rebuild exactly the
+        // graph `forward` builds — the streaming session depends on it.
+        for readout in [Readout::Cls, Readout::MeanPool] {
+            let cfg = cfg(AttentionKind::Factorized, readout);
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(3);
+            let enc = ClipEncoder::new(&mut store, &mut rng, "enc", &cfg);
+            let mut g = Graph::new();
+            let p = store.bind_frozen(&mut g);
+            let x0 = Tensor::from_fn(&[2, 8, 8], |i| (i as f32 * 0.05).sin());
+            let tokens = g.constant(x0);
+            let full = enc.forward(&mut g, &p, tokens, &mut rng, false);
+
+            let per_frame = g.reshape(tokens, &[4, 4, 8]);
+            let sums = enc.spatial_summaries(&mut g, &p, per_frame, &mut rng, false);
+            let frames = g.reshape(sums, &[2, 2, 8]);
+            let staged = enc.temporal_readout(&mut g, &p, frames, &mut rng, false);
+            assert_eq!(g.value(full).data(), g.value(staged).data(), "{readout:?}");
+
+            // The streaming temporal stage agrees too, with and without a
+            // warm key/value cache.
+            let (cold, kv) = enc.temporal_readout_streaming(&mut g, &p, frames, None);
+            assert_eq!(g.value(full).data(), g.value(cold).data());
+            let (warm, _) = enc.temporal_readout_streaming(&mut g, &p, frames, Some(&kv));
+            assert_eq!(g.value(full).data(), g.value(warm).data());
+        }
+    }
+
+    #[test]
+    fn temporal_positions_differentiate_time_groups() {
+        // With identical per-group inputs, the clip embedding must still
+        // depend on order: the temporal position is applied at the
+        // temporal-stage boundary.
+        let cfg = cfg(AttentionKind::Factorized, Readout::Cls);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = ClipEncoder::new(&mut store, &mut rng, "enc", &cfg);
+        let mut g = Graph::new();
+        let p = store.bind_frozen(&mut g);
+        let a = Tensor::from_fn(&[1, 2, 8], |i| if i < 8 { 1.0 } else { -1.0 });
+        let mut rev = a.to_vec();
+        rev.rotate_left(8);
+        let fa = g.constant(a);
+        let fb = g.constant(Tensor::from_vec(rev, &[1, 2, 8]));
+        let ya = enc.temporal_readout(&mut g, &p, fa, &mut rng, false);
+        let yb = enc.temporal_readout(&mut g, &p, fb, &mut rng, false);
+        assert_ne!(g.value(ya).data(), g.value(yb).data(), "time order must matter");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use tsdx_sdl::Scenario;
 use tsdx_tensor::Tensor;
 
 use crate::model::VideoScenarioTransformer;
+use crate::session::StreamSession;
 use crate::train::{predict_labels, TrainConfig};
 
 /// A malformed extraction input, reported by
@@ -29,8 +30,29 @@ pub enum ExtractError {
     },
     /// A pixel is NaN or infinite.
     NonFinite {
-        /// Flat index of the first offending pixel.
+        /// Flat index of the first offending pixel (within the offending
+        /// tensor — the whole video for one-shot extraction, the pushed
+        /// chunk for streams).
         index: usize,
+    },
+    /// The video has no frames at all (`T == 0`).
+    Empty,
+    /// Fewer frames than the model's window requires — e.g. a clip shorter
+    /// than the tubelet temporal extent, or a stream asked to describe
+    /// before a full window has arrived.
+    TooShort {
+        /// Frames available.
+        frames: usize,
+        /// Frames one window requires.
+        min: usize,
+    },
+    /// A streamed frame chunk's spatial dimensions disagree with the model
+    /// (the frame count of a chunk is free; height and width are not).
+    BadFrameShape {
+        /// `[height, width]` the model was built for.
+        expected: [usize; 2],
+        /// `[height, width]` of the offending chunk.
+        found: [usize; 2],
     },
 }
 
@@ -45,6 +67,16 @@ impl fmt::Display for ExtractError {
             }
             ExtractError::NonFinite { index } => {
                 write!(f, "video contains a non-finite pixel at flat index {index}")
+            }
+            ExtractError::Empty => write!(f, "video has no frames"),
+            ExtractError::TooShort { frames, min } => {
+                write!(f, "only {frames} frame(s) available, a window needs {min}")
+            }
+            ExtractError::BadFrameShape { expected, found } => {
+                write!(
+                    f,
+                    "frame dimensions {found:?} do not match the model's expected {expected:?}"
+                )
             }
         }
     }
@@ -113,15 +145,21 @@ impl ScenarioExtractor {
     /// Extracts the SDL description of a single video `[T, H, W]`,
     /// validating the input first.
     ///
+    /// Implemented as a single-window [`StreamSession`]: one-shot and
+    /// streaming extraction share exactly one forward path, so their
+    /// outputs cannot drift apart.
+    ///
     /// The returned scenario always satisfies [`Scenario::validate`].
     ///
     /// # Errors
     ///
     /// [`ExtractError::BadRank`] unless the input is rank 3,
-    /// [`ExtractError::BadShape`] unless its dimensions match the model
-    /// configuration, and [`ExtractError::NonFinite`] when any pixel is
-    /// NaN or infinite — never a panic, so a malformed request cannot take
-    /// down a serving process.
+    /// [`ExtractError::Empty`] when it has no frames,
+    /// [`ExtractError::TooShort`] when it has fewer frames than one window,
+    /// [`ExtractError::BadShape`] when its dimensions otherwise disagree
+    /// with the model configuration, and [`ExtractError::NonFinite`] when
+    /// any pixel is NaN or infinite — never a panic, so a malformed request
+    /// cannot take down a serving process.
     pub fn extract_checked(&self, video: &Tensor) -> Result<Scenario, ExtractError> {
         let sh = video.shape();
         if sh.len() != 3 {
@@ -129,15 +167,29 @@ impl ScenarioExtractor {
         }
         let cfg = self.model.config();
         let expected = [cfg.frames, cfg.height, cfg.width];
-        if sh != expected {
+        if sh[0] == 0 {
+            return Err(ExtractError::Empty);
+        }
+        if sh[1] != cfg.height || sh[2] != cfg.width {
             return Err(ExtractError::BadShape { expected, found: sh.to_vec() });
         }
-        if let Some(index) = video.to_vec().iter().position(|v| !v.is_finite()) {
-            return Err(ExtractError::NonFinite { index });
+        if sh[0] < cfg.frames {
+            return Err(ExtractError::TooShort { frames: sh[0], min: cfg.frames });
         }
-        let batched = video.reshape(&[1, sh[0], sh[1], sh[2]]);
-        let labels = self.model.predict(&batched);
-        Ok(labels[0].to_scenario())
+        if sh[0] > cfg.frames {
+            return Err(ExtractError::BadShape { expected, found: sh.to_vec() });
+        }
+        let mut session = self.open_stream();
+        session.push_frames(video)?;
+        session.describe()
+    }
+
+    /// Opens a streaming session over this extractor's model: push frames
+    /// as they arrive, describe the newest window incrementally. The
+    /// session borrows the extractor, so the model cannot be mutated (and
+    /// its caches silently invalidated) while a stream is live.
+    pub fn open_stream(&self) -> StreamSession<'_> {
+        StreamSession::new(&self.model)
     }
 
     /// Extracts descriptions for a batch of clips.

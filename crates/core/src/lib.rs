@@ -41,6 +41,7 @@ mod extract;
 mod flops;
 mod heads;
 mod model;
+mod session;
 mod telemetry;
 mod train;
 mod tubelet;
@@ -52,6 +53,7 @@ pub use extract::ScenarioExtractor;
 pub use flops::clip_macs;
 pub use heads::{multitask_loss, HeadLogits, LossWeights, SdlHeads};
 pub use model::{decode_logits, ClipModel, VideoScenarioTransformer};
+pub use session::{StreamSession, WindowLogits};
 pub use telemetry::{LogLevel, TrainLogger};
 pub use train::{
     evaluate, predict_labels, summarize, train, train_resilient, EvalSummary, ResilienceConfig,

@@ -147,6 +147,10 @@ impl VideoScenarioTransformer {
         &self.encoder
     }
 
+    pub(crate) fn heads_ref(&self) -> &SdlHeads {
+        &self.heads
+    }
+
     /// Runs inference on a video batch, returning decoded labels.
     ///
     /// When metrics are enabled, each pipeline stage records a latency
@@ -186,6 +190,15 @@ impl ClipModel for VideoScenarioTransformer {
         rng: &mut StdRng,
         train: bool,
     ) -> HeadLogits {
+        // Streamed pushes may extract partial windows, but the batched
+        // forward is strictly whole-window.
+        assert_eq!(
+            videos.shape()[1],
+            self.cfg.frames,
+            "expected {} frames per clip, got {}",
+            self.cfg.frames,
+            videos.shape()[1]
+        );
         // Ops execute eagerly as the tape is built, so timing each stage of
         // tape construction times the forward compute itself.
         let tokens = metrics::stage("stage/tubelet_embed", || {

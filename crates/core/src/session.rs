@@ -1,0 +1,466 @@
+//! Streaming inference sessions: incremental, cache-aware extraction over
+//! continuous frame feeds.
+//!
+//! A [`StreamSession`] turns the clip-at-a-time extractor into a per-stream
+//! object: frames arrive in arbitrary chunks via
+//! [`push_frames`](StreamSession::push_frames), and
+//! [`describe`](StreamSession::describe) reads out the scenario for the
+//! most recent window. Overlapping windows share most of their frames, and
+//! the factorized architecture makes that shareable work explicit:
+//!
+//! * **Tubelet + spatial stage, cached per group.** Every `tubelet_t`
+//!   consecutive frames form a time group. The tubelet embedding and the
+//!   spatial encoder are free of temporal position (see
+//!   [`ClipEncoder::spatial_summaries`](crate::ClipEncoder::spatial_summaries)),
+//!   so a group's frame summary depends only on its own pixels and is
+//!   cached in a ring keyed by **absolute group index**. Sliding the window
+//!   recomputes only newly arrived groups.
+//! * **Temporal stage, recomputed per window with CLS key/value reuse.**
+//!   Temporal positions are window-relative, so a slid window re-runs the
+//!   temporal encoder over the `nt` cached summaries; the position-free CLS
+//!   row's key/value projections are served from the previous window's
+//!   cache ([`TransformerEncoder::forward_prefix`](tsdx_nn::TransformerEncoder::forward_prefix)).
+//! * **Whole-window logits cache.** Asking twice about the same window
+//!   costs one lookup.
+//!
+//! Parity is the contract: a session's head logits are **bit-identical** to
+//! a full recompute of the same window (all readouts, pool sizes, and
+//! workspace modes) — pinned by `tests/streaming_parity.rs`. Cache
+//! effectiveness is observable through the `stage/cache_hit`,
+//! `stage/cache_miss`, and `stage/window_hit` metric counters.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdx_nn::EncoderKvCache;
+use tsdx_sdl::Scenario;
+use tsdx_tensor::{metrics, Graph, Tensor};
+
+use crate::config::{AttentionKind, ModelConfig};
+use crate::extract::ExtractError;
+use crate::model::{decode_logits, VideoScenarioTransformer};
+use crate::tubelet::extract_tubelets;
+
+/// One cached time group: the stage outputs that depend only on the
+/// group's own pixels.
+struct GroupCache {
+    /// Absolute group index since the start of the stream (frame index
+    /// `index * tubelet_t` onward) — the cache key.
+    index: u64,
+    /// Factorized: the frame summary `[D]` out of the spatial stage.
+    /// Joint: projected, spatially positioned tokens `[ns, D]` (joint
+    /// attention offers no deeper position-free boundary).
+    data: Tensor,
+}
+
+/// Head-logit values for one window (batch dimension 1), exposed so parity
+/// harnesses and serving layers can compare or post-process raw scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowLogits {
+    /// Ego-maneuver logits `[1, EgoManeuver::COUNT]`.
+    pub ego: Tensor,
+    /// Road-kind logits `[1, RoadKind::COUNT]`.
+    pub road: Tensor,
+    /// Event logits `[1, EVENT_COUNT]`.
+    pub event: Tensor,
+    /// Actor-position logits `[1, POSITION_COUNT]`.
+    pub position: Tensor,
+    /// Actor-presence logits `[1, ActorKind::COUNT]`.
+    pub presence: Tensor,
+}
+
+/// Memoized result for the most recently inferred window.
+struct WindowCache {
+    /// Exclusive end group index of the window the result belongs to.
+    end: u64,
+    logits: WindowLogits,
+    scenario: Scenario,
+}
+
+/// An incremental extraction session over one video stream.
+///
+/// Created by [`ScenarioExtractor::open_stream`](crate::ScenarioExtractor::open_stream);
+/// borrows the model immutably, so weights cannot change under a live
+/// session (which would invalidate every cache here).
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_core::{ModelConfig, ScenarioExtractor};
+/// use tsdx_tensor::Tensor;
+///
+/// let cfg = ModelConfig {
+///     frames: 4, height: 16, width: 16, tubelet_t: 2, patch: 8,
+///     dim: 16, spatial_depth: 1, temporal_depth: 1, heads: 2,
+///     ..ModelConfig::default()
+/// };
+/// let extractor = ScenarioExtractor::untrained(cfg, 0);
+/// let mut session = extractor.open_stream();
+/// // Feed frames as they arrive — chunk sizes are arbitrary.
+/// session.push_frames(&Tensor::zeros(&[3, 16, 16])).unwrap();
+/// assert!(!session.ready());
+/// session.push_frames(&Tensor::zeros(&[1, 16, 16])).unwrap();
+/// let scenario = session.describe().unwrap();
+/// scenario.validate().unwrap();
+/// ```
+pub struct StreamSession<'m> {
+    model: &'m VideoScenarioTransformer,
+    /// Frames that do not yet fill a tubelet group, flattened pixel rows;
+    /// always shorter than one group. Reused across pushes.
+    pending: Vec<f32>,
+    /// The newest `nt` group caches, oldest first.
+    ring: VecDeque<GroupCache>,
+    /// Total frames accepted so far.
+    frames_seen: u64,
+    /// Index the next completed group will receive.
+    next_group: u64,
+    /// Groups computed since the last inference — the work the cache could
+    /// not save for the next window.
+    fresh_groups: usize,
+    /// Temporal-encoder key/value rows from the previous window.
+    temporal_kv: Option<EncoderKvCache>,
+    window: Option<WindowCache>,
+}
+
+impl<'m> StreamSession<'m> {
+    pub(crate) fn new(model: &'m VideoScenarioTransformer) -> Self {
+        StreamSession {
+            model,
+            pending: Vec::new(),
+            ring: VecDeque::with_capacity(model.config().n_time()),
+            frames_seen: 0,
+            next_group: 0,
+            fresh_groups: 0,
+            temporal_kv: None,
+            window: None,
+        }
+    }
+
+    /// The configuration of the underlying model.
+    pub fn config(&self) -> &ModelConfig {
+        self.model.config()
+    }
+
+    /// Total frames accepted so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Whether a full window of frames has arrived, i.e. whether
+    /// [`describe`](Self::describe) will succeed.
+    pub fn ready(&self) -> bool {
+        self.ring.len() == self.model.config().n_time()
+    }
+
+    /// Absolute group index range `[start, end)` of the current window, or
+    /// `None` before the first full window.
+    pub fn window_groups(&self) -> Option<(u64, u64)> {
+        if !self.ready() {
+            return None;
+        }
+        let end = self.ring.back().expect("ready implies a full ring").index + 1;
+        Some((end - self.model.config().n_time() as u64, end))
+    }
+
+    /// Feeds a chunk of frames `[n, H, W]` into the stream and returns the
+    /// number of newly completed (and therefore newly encoded) time
+    /// groups. Chunk sizes are arbitrary; `n == 0` is a no-op.
+    ///
+    /// Only new groups are encoded — steady-state cost is proportional to
+    /// the frames pushed, not to the window length.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::BadRank`] unless the chunk is rank 3,
+    /// [`ExtractError::BadFrameShape`] unless its spatial dimensions match
+    /// the model, and [`ExtractError::NonFinite`] when any pixel is NaN or
+    /// infinite (reported with its flat index within the chunk, and the
+    /// chunk is rejected whole — session state is unchanged).
+    pub fn push_frames(&mut self, frames: &Tensor) -> Result<usize, ExtractError> {
+        let sh = frames.shape().to_vec();
+        if sh.len() != 3 {
+            return Err(ExtractError::BadRank { found: sh.len() });
+        }
+        let cfg = *self.model.config();
+        if sh[1] != cfg.height || sh[2] != cfg.width {
+            return Err(ExtractError::BadFrameShape {
+                expected: [cfg.height, cfg.width],
+                found: [sh[1], sh[2]],
+            });
+        }
+        if sh[0] == 0 {
+            return Ok(0);
+        }
+        let frames = frames.contiguous();
+        let data = frames.data();
+        if let Some(index) = data.iter().position(|v| !v.is_finite()) {
+            return Err(ExtractError::NonFinite { index });
+        }
+
+        let group_len = cfg.tubelet_t * cfg.height * cfg.width;
+        self.pending.extend_from_slice(data);
+        self.frames_seen += sh[0] as u64;
+        let mut completed = 0;
+        while self.pending.len() >= group_len {
+            metrics::stage("stage/stream_push", || {
+                let group: Vec<f32> = self.pending.drain(..group_len).collect();
+                self.encode_group(&cfg, group);
+            });
+            completed += 1;
+        }
+        Ok(completed)
+    }
+
+    /// Encodes one complete time group and caches its stage output.
+    fn encode_group(&mut self, cfg: &ModelConfig, pixels: Vec<f32>) {
+        let group = Tensor::from_vec(pixels, &[1, cfg.tubelet_t, cfg.height, cfg.width]);
+        let tubs = extract_tubelets(cfg, &group); // [1, ns, vol]
+        let mut g = Graph::new();
+        let p = self.model.params_ref().bind_frozen(&mut g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = g.constant(tubs);
+        let tokens = self.model.embed_ref().forward(&mut g, &p, t); // [1, ns, D]
+        let data = match cfg.attention {
+            AttentionKind::Factorized => {
+                let summary =
+                    self.model.encoder_ref().spatial_summaries(&mut g, &p, tokens, &mut rng, false);
+                g.value(summary).reshape(&[cfg.dim])
+            }
+            AttentionKind::Joint => g.value(tokens).reshape(&[cfg.n_space(), cfg.dim]),
+        };
+        metrics::counter_add("stage/cache_miss", 1);
+        if self.ring.len() == cfg.n_time() {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(GroupCache { index: self.next_group, data });
+        self.next_group += 1;
+        self.fresh_groups += 1;
+    }
+
+    /// Head logits for the window ending at the newest pushed group,
+    /// bit-identical to a full recompute of that window.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::TooShort`] before the first full window of frames
+    /// has arrived.
+    pub fn logits(&mut self) -> Result<WindowLogits, ExtractError> {
+        self.infer().map(|w| w.logits.clone())
+    }
+
+    /// The scenario description of the current window (see
+    /// [`logits`](Self::logits) for windowing and errors). The returned
+    /// scenario always satisfies [`Scenario::validate`].
+    pub fn describe(&mut self) -> Result<Scenario, ExtractError> {
+        self.infer().map(|w| w.scenario.clone())
+    }
+
+    /// Ensures `self.window` holds the result for the current window.
+    fn infer(&mut self) -> Result<&WindowCache, ExtractError> {
+        let cfg = *self.model.config();
+        let nt = cfg.n_time();
+        if self.ring.len() < nt {
+            return Err(ExtractError::TooShort {
+                frames: usize::try_from(self.frames_seen).unwrap_or(usize::MAX),
+                min: cfg.frames,
+            });
+        }
+        let end = self.ring.back().expect("ring is full").index + 1;
+        if self.window.as_ref().is_some_and(|w| w.end == end) {
+            // Unchanged window: every group reused, no forward pass at all.
+            metrics::counter_add("stage/cache_hit", nt as u64);
+            metrics::counter_add("stage/window_hit", 1);
+            return Ok(self.window.as_ref().expect("just checked"));
+        }
+        metrics::counter_add("stage/cache_hit", nt.saturating_sub(self.fresh_groups) as u64);
+        self.fresh_groups = 0;
+        let logits = metrics::stage("stage/stream_infer", || self.infer_window(&cfg));
+        let labels = decode_logits(
+            &logits.ego,
+            &logits.road,
+            &logits.event,
+            &logits.position,
+            &logits.presence,
+        );
+        let scenario = labels[0].to_scenario();
+        self.window = Some(WindowCache { end, logits, scenario });
+        Ok(self.window.as_ref().expect("just set"))
+    }
+
+    /// Runs the window-level forward pass over the cached stage outputs.
+    fn infer_window(&mut self, cfg: &ModelConfig) -> WindowLogits {
+        let nt = cfg.n_time();
+        let mut g = Graph::new();
+        let p = self.model.params_ref().bind_frozen(&mut g);
+        let emb = match cfg.attention {
+            AttentionKind::Factorized => {
+                // Assemble the cached frame summaries into [1, nt, D].
+                let mut buf = Vec::with_capacity(nt * cfg.dim);
+                for c in &self.ring {
+                    buf.extend_from_slice(c.data.data());
+                }
+                let frames = g.constant(Tensor::from_vec(buf, &[1, nt, cfg.dim]));
+                let (emb, kv) = self.model.encoder_ref().temporal_readout_streaming(
+                    &mut g,
+                    &p,
+                    frames,
+                    self.temporal_kv.as_ref(),
+                );
+                self.temporal_kv = Some(kv);
+                emb
+            }
+            AttentionKind::Joint => {
+                // Joint attention reruns the whole encoder; only the
+                // projection work was cached.
+                let ns = cfg.n_space();
+                let mut buf = Vec::with_capacity(nt * ns * cfg.dim);
+                for c in &self.ring {
+                    buf.extend_from_slice(c.data.data());
+                }
+                let tokens = g.constant(Tensor::from_vec(buf, &[1, nt * ns, cfg.dim]));
+                let mut rng = StdRng::seed_from_u64(0);
+                self.model.encoder_ref().forward(&mut g, &p, tokens, &mut rng, false)
+            }
+        };
+        let logits = self.model.heads_ref().forward(&mut g, &p, emb);
+        WindowLogits {
+            ego: g.value(logits.ego).clone(),
+            road: g.value(logits.road).clone(),
+            event: g.value(logits.event).clone(),
+            position: g.value(logits.position).clone(),
+            presence: g.value(logits.presence).clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("frames_seen", &self.frames_seen)
+            .field("cached_groups", &self.ring.len())
+            .field("ready", &self.ready())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Readout;
+    use crate::ScenarioExtractor;
+
+    fn tiny_cfg(attention: AttentionKind, readout: Readout) -> ModelConfig {
+        ModelConfig {
+            frames: 4,
+            height: 16,
+            width: 16,
+            tubelet_t: 2,
+            patch: 8,
+            dim: 16,
+            spatial_depth: 1,
+            temporal_depth: 1,
+            heads: 2,
+            mlp_ratio: 2,
+            dropout: 0.0,
+            attention,
+            readout,
+        }
+    }
+
+    fn video(frames: usize, seed: f32) -> Tensor {
+        Tensor::from_fn(&[frames, 16, 16], |i| ((i as f32 + seed) * 0.013).sin())
+    }
+
+    #[test]
+    fn session_matches_one_shot_extraction_on_the_first_window() {
+        for attention in [AttentionKind::Factorized, AttentionKind::Joint] {
+            for readout in [Readout::Cls, Readout::MeanPool] {
+                let ex = ScenarioExtractor::untrained(tiny_cfg(attention, readout), 5);
+                let v = video(4, 1.0);
+                let mut s = ex.open_stream();
+                assert_eq!(s.push_frames(&v).unwrap(), 2);
+                assert!(s.ready());
+                assert_eq!(s.describe().unwrap(), ex.extract(&v), "{attention:?}/{readout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_chunks_accumulate_like_one_push() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 7);
+        let v = video(4, 2.0);
+        let mut whole = ex.open_stream();
+        whole.push_frames(&v).unwrap();
+        let mut ragged = ex.open_stream();
+        for i in 0..4 {
+            let frame = Tensor::from_vec(v.data()[i * 256..(i + 1) * 256].to_vec(), &[1, 16, 16]);
+            ragged.push_frames(&frame).unwrap();
+        }
+        assert_eq!(whole.frames_seen(), ragged.frames_seen());
+        assert_eq!(whole.window_groups(), ragged.window_groups());
+        assert_eq!(whole.logits().unwrap(), ragged.logits().unwrap());
+    }
+
+    #[test]
+    fn sliding_recomputes_only_new_groups() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 9);
+        let mut s = ex.open_stream();
+        s.push_frames(&video(4, 3.0)).unwrap();
+        s.describe().unwrap();
+        assert_eq!(s.window_groups(), Some((0, 2)));
+        // Slide by one group: exactly one new group is encoded.
+        assert_eq!(s.push_frames(&video(2, 9.0)).unwrap(), 1);
+        s.describe().unwrap();
+        assert_eq!(s.window_groups(), Some((1, 3)));
+        assert_eq!(s.frames_seen(), 6);
+    }
+
+    #[test]
+    fn describe_before_a_full_window_is_a_typed_error() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 1);
+        let mut s = ex.open_stream();
+        assert_eq!(s.describe(), Err(ExtractError::TooShort { frames: 0, min: 4 }));
+        s.push_frames(&video(3, 0.0)).unwrap();
+        assert!(!s.ready());
+        assert_eq!(s.describe(), Err(ExtractError::TooShort { frames: 3, min: 4 }));
+    }
+
+    #[test]
+    fn malformed_chunks_are_rejected_without_corrupting_state() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 2);
+        let mut s = ex.open_stream();
+        assert_eq!(
+            s.push_frames(&Tensor::zeros(&[1, 2, 16, 16])),
+            Err(ExtractError::BadRank { found: 4 })
+        );
+        assert_eq!(
+            s.push_frames(&Tensor::zeros(&[1, 8, 16])),
+            Err(ExtractError::BadFrameShape { expected: [16, 16], found: [8, 16] })
+        );
+        let mut bad = Tensor::zeros(&[1, 16, 16]);
+        bad.set(&[0, 0, 3], f32::NAN);
+        assert_eq!(s.push_frames(&bad), Err(ExtractError::NonFinite { index: 3 }));
+        // Nothing was buffered by the failed pushes.
+        assert_eq!(s.frames_seen(), 0);
+        let v = video(4, 5.0);
+        s.push_frames(&v).unwrap();
+        assert_eq!(s.describe().unwrap(), ex.extract(&v));
+    }
+
+    #[test]
+    fn repeated_describe_serves_the_cached_window() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 3);
+        let mut s = ex.open_stream();
+        s.push_frames(&video(4, 7.0)).unwrap();
+        let scope = metrics::scope();
+        let first = s.describe().unwrap();
+        let again = s.describe().unwrap();
+        let snap = scope.snapshot();
+        drop(scope);
+        assert_eq!(first, again);
+        assert_eq!(snap.counter("stage/window_hit"), 1);
+        // First describe: 2 fresh groups, 0 hits; second: 2 hits.
+        assert_eq!(snap.counter("stage/cache_hit"), 2);
+    }
+}

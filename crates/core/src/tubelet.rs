@@ -5,6 +5,14 @@
 //! flattened and linearly projected to the model width. Because videos are
 //! inputs (no gradient needed), the rearrangement runs as a plain tensor
 //! transform; only the projection lives on the autograd tape.
+//!
+//! Embedding stops at the projection plus the *spatial* position: the
+//! temporal position is a window-relative quantity, so it is applied at the
+//! temporal-stage boundary by the encoder (see
+//! [`ClipEncoder`](crate::ClipEncoder)). That split is what lets a
+//! streaming session cache per-group embeddings by absolute frame index —
+//! a group's embedding no longer depends on where the group happens to sit
+//! inside the current window.
 
 use rand::Rng;
 use tsdx_nn::{Binding, Linear, ParamStore};
@@ -14,22 +22,27 @@ use crate::config::ModelConfig;
 
 /// Rearranges a video batch `[B, T, H, W]` into flattened tubelets
 /// `[B, nt*ns, tubelet_volume]`, in `(time-group, row-major space)` token
-/// order.
+/// order, where `nt = T / tubelet_t`.
+///
+/// `T` may be any positive multiple of `cfg.tubelet_t` — a full window, or
+/// a single group of `tubelet_t` frames arriving on a stream.
 ///
 /// # Panics
 ///
-/// Panics if the video shape disagrees with `cfg`.
+/// Panics if the spatial dimensions disagree with `cfg`, or if `T` is zero
+/// or not a multiple of `cfg.tubelet_t`.
 pub fn extract_tubelets(cfg: &ModelConfig, videos: &Tensor) -> Tensor {
     let sh = videos.shape();
     assert_eq!(sh.len(), 4, "expected [B, T, H, W] videos");
-    assert_eq!(
-        &sh[1..],
-        &[cfg.frames, cfg.height, cfg.width],
-        "video shape {:?} does not match config",
-        sh
+    assert_eq!(&sh[2..], &[cfg.height, cfg.width], "video shape {:?} does not match config", sh);
+    let frames = sh[1];
+    let tt = cfg.tubelet_t;
+    assert!(
+        frames > 0 && frames.is_multiple_of(tt),
+        "frame count {frames} is not a positive multiple of tubelet_t ({tt})"
     );
     let b = sh[0];
-    let (nt, tt) = (cfg.n_time(), cfg.tubelet_t);
+    let nt = frames / tt;
     let (nh, nw, p) = (cfg.height / cfg.patch, cfg.width / cfg.patch, cfg.patch);
     let ns = nh * nw;
     let vol = cfg.tubelet_volume();
@@ -38,7 +51,7 @@ pub fn extract_tubelets(cfg: &ModelConfig, videos: &Tensor) -> Tensor {
     let src = videos.data();
     let mut out = Vec::with_capacity(b * nt * ns * vol);
     for bi in 0..b {
-        let clip = &src[bi * cfg.frames * h * w..(bi + 1) * cfg.frames * h * w];
+        let clip = &src[bi * frames * h * w..(bi + 1) * frames * h * w];
         for g in 0..nt {
             for py in 0..nh {
                 for px in 0..nw {
@@ -57,56 +70,55 @@ pub fn extract_tubelets(cfg: &ModelConfig, videos: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[b, nt * ns, vol])
 }
 
-/// Learned tubelet embedding: projection plus separable positional
-/// embeddings (spatial + temporal) shared across the batch.
+/// Learned tubelet embedding: projection plus the spatial positional
+/// embedding, shared across the batch and across time groups.
+///
+/// Deliberately *time-invariant*: two groups with identical pixels embed
+/// identically regardless of their position in the clip, so streaming
+/// sessions can cache group embeddings by absolute index. The temporal
+/// position lives in the encoder's temporal stage instead.
 #[derive(Debug, Clone)]
 pub struct TubeletEmbed {
     proj: Linear,
     /// Spatial positional embedding `[1, ns, D]` (broadcast over time).
     pos_space: tsdx_nn::ParamId,
-    /// Temporal positional embedding `[nt, 1, D]` (broadcast over space).
-    pos_time: tsdx_nn::ParamId,
-    n_time: usize,
     n_space: usize,
     dim: usize,
 }
 
 impl TubeletEmbed {
-    /// Registers the projection and positional parameters.
+    /// Registers the projection and spatial positional parameters.
     pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, cfg: &ModelConfig) -> Self {
         let proj = Linear::new(store, rng, &format!("{name}.proj"), cfg.tubelet_volume(), cfg.dim);
         let pos_space = store.add(
             format!("{name}.pos_space"),
             tsdx_nn::init::embedding_normal(&[1, cfg.n_space(), cfg.dim], rng),
         );
-        let pos_time = store.add(
-            format!("{name}.pos_time"),
-            tsdx_nn::init::embedding_normal(&[cfg.n_time(), 1, cfg.dim], rng),
-        );
-        TubeletEmbed {
-            proj,
-            pos_space,
-            pos_time,
-            n_time: cfg.n_time(),
-            n_space: cfg.n_space(),
-            dim: cfg.dim,
-        }
+        TubeletEmbed { proj, pos_space, n_space: cfg.n_space(), dim: cfg.dim }
     }
 
     /// Embeds pre-extracted tubelets `[B, nt*ns, vol]` to tokens
-    /// `[B, nt*ns, D]` with positional information added.
+    /// `[B, nt*ns, D]` with the spatial position added. Accepts any number
+    /// of time groups (`nt >= 1`) — the computation is per-group, so a
+    /// single streamed group embeds bit-identically to the same group
+    /// inside a full window.
     pub fn forward(&self, g: &mut Graph, p: &Binding, tubelets: Var) -> Var {
-        let b = g.shape(tubelets)[0];
-        // Project to [B, nt*ns, D], then add separable positions: reshape to
-        // [B, nt, ns, D], add pos_space [1, ns, D] and pos_time [nt, 1, D]
-        // (both broadcast).
+        let sh = g.shape(tubelets).to_vec();
+        let (b, n) = (sh[0], sh[1]);
+        assert!(
+            n.is_multiple_of(self.n_space),
+            "token count {n} is not a multiple of ns ({})",
+            self.n_space
+        );
+        let nt = n / self.n_space;
+        // Project to [B, nt*ns, D], then add the spatial position: reshape
+        // to [B, nt, ns, D] and add pos_space [1, ns, D] (broadcast over
+        // batch and time).
         let tokens = self.proj.forward(g, p, tubelets);
-        let grid = g.reshape(tokens, &[b, self.n_time, self.n_space, self.dim]);
+        let grid = g.reshape(tokens, &[b, nt, self.n_space, self.dim]);
         let ps = p.var(self.pos_space);
-        let pt = p.var(self.pos_time);
         let with_space = g.add(grid, ps);
-        let with_both = g.add(with_space, pt);
-        g.reshape(with_both, &[b, self.n_time * self.n_space, self.dim])
+        g.reshape(with_space, &[b, n, self.dim])
     }
 }
 
@@ -160,7 +172,24 @@ mod tests {
     }
 
     #[test]
-    fn embedding_output_shape_and_positions_matter() {
+    fn partial_windows_extract_the_same_tubelets() {
+        // A single streamed group must gather exactly the tokens the full
+        // window gathers for that group — the cache-keying contract.
+        let cfg = tiny_cfg();
+        let v = Tensor::from_fn(&[1, 4, 8, 8], |i| (i as f32 * 0.37).sin());
+        let full = extract_tubelets(&cfg, &v);
+        let second_group = Tensor::from_vec(v.data()[2 * 64..4 * 64].to_vec(), &[1, 2, 8, 8]);
+        let partial = extract_tubelets(&cfg, &second_group);
+        assert_eq!(partial.shape(), &[1, 4, 32]);
+        for token in 0..4 {
+            for e in 0..32 {
+                assert_eq!(partial.at(&[0, token, e]), full.at(&[0, 4 + token, e]));
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_is_time_invariant_but_space_aware() {
         let cfg = tiny_cfg();
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
@@ -170,14 +199,16 @@ mod tests {
         let tubs = g.constant(Tensor::zeros(&[2, 8, 32]));
         let tokens = embed.forward(&mut g, &p, tubs);
         assert_eq!(g.shape(tokens), &[2, 8, 8]);
-        // With zero input, output tokens are pure positional embeddings —
-        // and tokens at different grid positions must differ.
+        // With zero input, output tokens are pure positional embeddings.
         let val = g.value(tokens);
         let t0: Vec<f32> = (0..8).map(|d| val.at(&[0, 0, d])).collect();
         let t1: Vec<f32> = (0..8).map(|d| val.at(&[0, 1, d])).collect();
         let t4: Vec<f32> = (0..8).map(|d| val.at(&[0, 4, d])).collect();
         assert_ne!(t0, t1, "spatial positions must differentiate tokens");
-        assert_ne!(t0, t4, "temporal positions must differentiate tokens");
+        // Same patch in a different time group embeds identically — the
+        // temporal position is applied later, at the temporal stage, so
+        // group embeddings are cacheable by absolute index.
+        assert_eq!(t0, t4, "tubelet embedding must be time-invariant");
     }
 
     #[test]
@@ -185,5 +216,12 @@ mod tests {
     fn shape_mismatch_panics() {
         let cfg = tiny_cfg();
         extract_tubelets(&cfg, &Tensor::zeros(&[1, 4, 8, 10]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_multiple_frame_count_panics() {
+        let cfg = tiny_cfg();
+        extract_tubelets(&cfg, &Tensor::zeros(&[1, 3, 8, 8]));
     }
 }

@@ -10,19 +10,24 @@
 //! fewer bytes per step.
 //!
 //! Lives in its own integration-test file so the `#[global_allocator]`
-//! override owns the whole process and no concurrent `#[test]` pollutes the
-//! counters; the pool is forced to one chunk so every allocation lands on
-//! the counting thread deterministically.
+//! override owns the whole process; the tests here serialize on a mutex
+//! (the harness would otherwise interleave them and pollute the counters),
+//! and the pool is forced to one chunk so every allocation lands on the
+//! counting thread deterministically.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tsdx_core::{multitask_loss, ClipModel, LossWeights, ModelConfig, VideoScenarioTransformer};
+use tsdx_core::{
+    multitask_loss, ClipModel, LossWeights, ModelConfig, ScenarioExtractor,
+    VideoScenarioTransformer,
+};
 use tsdx_data::{collate, generate_dataset, DatasetConfig};
 use tsdx_render::RenderConfig;
-use tsdx_tensor::{pool, workspace, Graph};
+use tsdx_tensor::{pool, workspace, Graph, Tensor};
 
 /// Forwards to the system allocator, counting calls and bytes.
 struct CountingAlloc;
@@ -62,8 +67,16 @@ fn snapshot() -> (u64, u64) {
     (ALLOC_CALLS.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
 }
 
+/// Serializes the measuring tests so one test's allocations never land in
+/// another's measurement window.
+fn measuring() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn steady_state_step_allocations_drop_with_workspaces() {
+    let _serial = measuring();
     // The evaluation-default model (8x32x32 clips, width 64): its activation
     // and gradient buffers are tens of KB each, so buffer traffic — the
     // thing the arena absorbs — dominates the byte counts. On a toy config
@@ -141,5 +154,94 @@ fn steady_state_step_allocations_drop_with_workspaces() {
     assert!(
         calls_off > calls_on,
         "arena on should issue fewer allocator calls: off {calls_off} vs on {calls_on}"
+    );
+}
+
+#[test]
+fn steady_state_stream_push_allocates_per_frame_not_per_window() {
+    let _serial = measuring();
+    // A longer window (16 frames = 8 tubelet groups at the default model
+    // width) makes the claim measurable: pushing one group into a warm
+    // session must cost roughly one group's worth of spatial-stage work,
+    // while a full-window recompute pays for all eight groups — so its
+    // allocator traffic must dwarf the incremental push's. A session that
+    // secretly re-encoded the whole ring on every push would collapse the
+    // ratio to ~1x and fail here.
+    let cfg = ModelConfig { frames: 16, ..ModelConfig::default() };
+    let nt = cfg.n_time() as u64;
+    let ex = ScenarioExtractor::untrained(cfg, 0);
+    let frame_len = cfg.tubelet_t * cfg.height * cfg.width;
+    let video = |start: usize, frames: usize| {
+        Tensor::from_fn(&[frames, cfg.height, cfg.width], |i| {
+            (((start * frame_len / cfg.tubelet_t) + i) as f32 * 0.003).sin()
+        })
+    };
+
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 5;
+
+    let (bytes_push, bytes_full) = pool::with_forced_threads(1, || {
+        workspace::with_mode(true, || {
+            // Warm session: a full window plus a few steady-state slides so
+            // the arena and the session's own buffers reach steady state.
+            let mut session = ex.open_stream();
+            session.push_frames(&video(0, cfg.frames)).unwrap();
+            session.logits().unwrap();
+            let mut fed = cfg.frames;
+            for _ in 0..WARMUP {
+                session.push_frames(&video(fed, cfg.tubelet_t)).unwrap();
+                fed += cfg.tubelet_t;
+                session.logits().unwrap();
+            }
+
+            // Steady state: one new group per window slide.
+            let (_, b0) = snapshot();
+            for _ in 0..MEASURED {
+                session.push_frames(&video(fed, cfg.tubelet_t)).unwrap();
+                fed += cfg.tubelet_t;
+                std::hint::black_box(session.logits().unwrap());
+            }
+            let (_, b1) = snapshot();
+
+            // Full recompute of the same windows: a cold session per window
+            // (the `extract_checked` path), arena equally warm.
+            let mut start = cfg.frames;
+            for _ in 0..WARMUP {
+                let mut cold = ex.open_stream();
+                cold.push_frames(&video(start, cfg.frames)).unwrap();
+                cold.logits().unwrap();
+                start += cfg.tubelet_t;
+            }
+            let (_, b2) = snapshot();
+            for _ in 0..MEASURED {
+                let mut cold = ex.open_stream();
+                cold.push_frames(&video(start, cfg.frames)).unwrap();
+                start += cfg.tubelet_t;
+                std::hint::black_box(cold.logits().unwrap());
+            }
+            let (_, b3) = snapshot();
+            (b1 - b0, b3 - b2)
+        })
+    });
+
+    let per = |v: u64| v / MEASURED as u64;
+    eprintln!(
+        "alloc/window: incremental push {} bytes, full recompute {} bytes ({}x, {} groups/window)",
+        per(bytes_push),
+        per(bytes_full),
+        if bytes_push > 0 { bytes_full / bytes_push.max(1) } else { 0 },
+        nt,
+    );
+    assert!(bytes_push > 0 && bytes_full > 0, "counting allocator saw no traffic");
+    // O(new frames), not O(window): with 8 groups per window and one new
+    // group per slide, full recompute must allocate several times more than
+    // the incremental push. 3x leaves headroom for the window-level
+    // temporal + head stages the session still pays on every slide.
+    assert!(
+        bytes_full >= 3 * bytes_push,
+        "streaming push no longer scales with new frames only: \
+         {} bytes/slide streamed vs {} recomputed (need >= 3x)",
+        per(bytes_push),
+        per(bytes_full),
     );
 }

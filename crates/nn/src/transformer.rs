@@ -3,7 +3,7 @@
 use rand::Rng;
 use tsdx_tensor::{metrics, Graph, Var};
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{AttnKvCache, MultiHeadAttention};
 use crate::dropout::Dropout;
 use crate::linear::Linear;
 use crate::norm::LayerNorm;
@@ -101,6 +101,46 @@ impl TransformerBlock {
         g.add(x, m)
     }
 
+    /// Inference-only forward pass (no dropout sites, no RNG).
+    ///
+    /// Dropout at eval time is an exact identity, so this builds the same
+    /// graph as [`forward`](Self::forward) with `train == false` and is
+    /// bit-identical to it.
+    pub fn forward_eval(&self, g: &mut Graph, p: &Binding, x: Var) -> Var {
+        let _span = metrics::span_dyn(|| format!("layer/{}", self.name));
+        let n1 = self.ln1.forward(g, p, x);
+        let a = self.attn.forward(g, p, n1);
+        let x = g.add(x, a);
+        let n2 = self.ln2.forward(g, p, x);
+        let m = self.mlp.forward(g, p, n2);
+        g.add(x, m)
+    }
+
+    /// Prefix-aware, inference-only forward pass.
+    ///
+    /// The leading `prefix` tokens of `x` must be bitwise identical to the
+    /// tokens of the call that produced `cache`: layer norm acts row-wise,
+    /// so those rows of `ln1(x)` — and therefore their key/value
+    /// projections — are unchanged and are served from the cache (see
+    /// [`MultiHeadAttention::forward_prefix`]). Output is bit-identical to
+    /// [`forward_eval`](Self::forward_eval).
+    pub fn forward_prefix(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        x: Var,
+        cache: Option<&AttnKvCache>,
+        prefix: usize,
+    ) -> (Var, AttnKvCache) {
+        let _span = metrics::span_dyn(|| format!("layer/{}", self.name));
+        let n1 = self.ln1.forward(g, p, x);
+        let (a, next) = self.attn.forward_prefix(g, p, n1, cache, prefix);
+        let x = g.add(x, a);
+        let n2 = self.ln2.forward(g, p, x);
+        let m = self.mlp.forward(g, p, n2);
+        (g.add(x, m), next)
+    }
+
     /// Like [`TransformerBlock::forward`], also returning the attention
     /// probabilities `[B, H, T, T]` for introspection.
     pub fn forward_with_attn(
@@ -120,6 +160,26 @@ impl TransformerBlock {
         let m = self.mlp.forward(g, p, n2);
         let m = self.dropout.forward(g, m, rng, train);
         (g.add(x, m), attn)
+    }
+}
+
+/// Key/value state retained across [`TransformerEncoder::forward_prefix`]
+/// calls. Holds the first block's [`AttnKvCache`] — the only layer whose
+/// inputs keep a stable prefix under bidirectional attention.
+#[derive(Debug, Clone, Default)]
+pub struct EncoderKvCache {
+    block0: Option<AttnKvCache>,
+}
+
+impl EncoderKvCache {
+    /// Number of token rows cached for the first block (0 when empty).
+    pub fn len(&self) -> usize {
+        self.block0.as_ref().map_or(0, AttnKvCache::len)
+    }
+
+    /// Whether any rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -180,6 +240,47 @@ impl TransformerEncoder {
             x = block.forward(g, p, x, rng, train);
         }
         self.ln_final.forward(g, p, x)
+    }
+
+    /// Inference-only forward pass (no dropout sites, no RNG);
+    /// bit-identical to [`forward`](Self::forward) with `train == false`.
+    pub fn forward_eval(&self, g: &mut Graph, p: &Binding, mut x: Var) -> Var {
+        for block in &self.blocks {
+            x = block.forward_eval(g, p, x);
+        }
+        self.ln_final.forward(g, p, x)
+    }
+
+    /// Prefix-aware, inference-only forward pass for streaming callers.
+    ///
+    /// The leading `prefix` tokens of `x` must be bitwise identical to the
+    /// input of the call that produced `cache`. Only the **first** block can
+    /// exploit that: bidirectional attention mixes every token into every
+    /// output, so after one block even the prefix rows have changed and
+    /// deeper blocks recompute in full. The returned cache holds the first
+    /// block's key/value rows for the next call.
+    ///
+    /// Output is bit-identical to [`forward_eval`](Self::forward_eval).
+    pub fn forward_prefix(
+        &self,
+        g: &mut Graph,
+        p: &Binding,
+        mut x: Var,
+        cache: Option<&EncoderKvCache>,
+        prefix: usize,
+    ) -> (Var, EncoderKvCache) {
+        let mut block0 = None;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if i == 0 {
+                let (y, kv) =
+                    block.forward_prefix(g, p, x, cache.and_then(|c| c.block0.as_ref()), prefix);
+                x = y;
+                block0 = Some(kv);
+            } else {
+                x = block.forward_eval(g, p, x);
+            }
+        }
+        (self.ln_final.forward(g, p, x), EncoderKvCache { block0 })
     }
 
     /// Like [`TransformerEncoder::forward`], also returning the *last*
@@ -247,6 +348,53 @@ mod tests {
         }
         // Every tensor should participate in a pre-norm block.
         assert!(nonzero >= store.len() - 1, "only {nonzero}/{} grads nonzero", store.len());
+    }
+
+    #[test]
+    fn eval_and_prefix_paths_are_bit_identical_to_forward() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", 8, 2, 2, 2, 0.1);
+        let x0 = Tensor::from_fn(&[2, 5, 8], |i| (i as f32 * 0.03).sin());
+
+        let mut g = Graph::new();
+        let p = store.bind_frozen(&mut g);
+        let x = g.constant(x0.clone());
+        let reference = enc.forward(&mut g, &p, x, &mut rng, false);
+        let evaled = enc.forward_eval(&mut g, &p, x);
+        assert_eq!(g.value(reference).data(), g.value(evaled).data());
+
+        // Seed a cache, then rerun with the first two tokens unchanged.
+        let (_, cache) = enc.forward_prefix(&mut g, &p, x, None, 0);
+        assert_eq!(cache.len(), 5);
+        let x1 = Tensor::from_fn(&[2, 5, 8], |i| {
+            let row = (i / 8) % 5;
+            let base = (i as f32 * 0.03).sin();
+            if row < 2 {
+                base
+            } else {
+                base * 0.5 + 0.1
+            }
+        });
+        let xb = g.constant(x1);
+        let full = enc.forward_eval(&mut g, &p, xb);
+        let (streamed, next) = enc.forward_prefix(&mut g, &p, xb, Some(&cache), 2);
+        assert_eq!(g.value(full).data(), g.value(streamed).data());
+        assert!(!next.is_empty());
+    }
+
+    #[test]
+    fn prefix_path_handles_an_empty_encoder() {
+        // temporal_depth can legitimately be small; depth 0 must not panic.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let enc = TransformerEncoder::new(&mut store, &mut rng, "enc", 4, 0, 1, 2, 0.0);
+        let mut g = Graph::new();
+        let p = store.bind_frozen(&mut g);
+        let x = g.constant(Tensor::ones(&[1, 3, 4]));
+        let (y, cache) = enc.forward_prefix(&mut g, &p, x, None, 0);
+        assert_eq!(g.shape(y), &[1, 3, 4]);
+        assert!(cache.is_empty());
     }
 
     #[test]

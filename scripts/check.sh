@@ -26,11 +26,18 @@ TSDX_WORKSPACE=0 cargo test -q
 echo "==> steady-state allocation regression (arena must absorb buffer traffic)"
 cargo test -q --release -p tsdx-core --test alloc_regression
 
+echo "==> streaming parity under both workspace modes (session == full recompute, bitwise)"
+TSDX_WORKSPACE=1 cargo test -q -p tsdx-core --test streaming_parity
+TSDX_WORKSPACE=0 cargo test -q -p tsdx-core --test streaming_parity
+
 echo "==> tensor suite with 8 concurrent test threads (metric-scope isolation)"
 cargo test -q -p tsdx-tensor -- --test-threads=8
 
 echo "==> profile binary smoke test (self-time coverage + overhead asserts)"
 cargo run -q -p tsdx-bench --release --bin profile -- --quick > /dev/null
+
+echo "==> streambench smoke test (streamed windows sublinear + cache-counter asserts)"
+cargo run -q -p tsdx-bench --release --bin streambench -- --quick > /dev/null
 
 echo "==> fault-injection suite (worker panics, torn/corrupt checkpoints, NaN grads)"
 cargo test -q --features fault-inject
