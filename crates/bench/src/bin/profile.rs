@@ -202,6 +202,47 @@ fn main() {
         .collect();
     print_table("inference stages", &["stage", "n", "mean ms", "p99 ms"], &stage_rows);
 
+    // ---- Precision plane: which GEMM served each inference product. ----
+    // Under `TSDX_PRECISION=int8` the eval bindings route linear layers
+    // through the packed i8 GEMM (`dispatch/matmul_i8`), leaving only the
+    // activation-side products (attention scores/values) on the f32
+    // kernels; under the default f32 dial the i8 row must stay zero.
+    let precision = tsdx_core::precision::active();
+    let gemm = infer.span("op/matmul");
+    let gemm_i8 = infer.span("op/matmul_i8");
+    let prec_rows = vec![
+        vec![
+            "f32 (op/matmul)".to_string(),
+            infer.counter("dispatch/matmul_packed").to_string(),
+            infer.counter("dispatch/matmul_unpacked").to_string(),
+            ms(gemm.self_ns),
+        ],
+        vec![
+            "int8 (op/matmul_i8)".to_string(),
+            infer.counter("dispatch/matmul_i8").to_string(),
+            "0".to_string(),
+            ms(gemm_i8.self_ns),
+        ],
+    ];
+    print_table(
+        &format!("inference GEMM dispatch (TSDX_PRECISION={precision})"),
+        &["kernel", "packed", "unpacked", "self ms"],
+        &prec_rows,
+    );
+    println!(
+        "quantized rows: {} activation rows quantized, {} output rows dequantized",
+        infer.counter("quant/quant_rows"),
+        infer.counter("quant/dequant_rows"),
+    );
+    // The packed/unpacked split covers every f32 matmul, and the i8 plane
+    // only lights up when the dial asks for it.
+    if precision == tsdx_core::precision::Precision::F32 {
+        assert_eq!(infer.counter("dispatch/matmul_i8"), 0, "f32 dial must not hit the i8 GEMM");
+    } else {
+        assert!(infer.counter("dispatch/matmul_i8") > 0, "int8 dial must use the i8 GEMM");
+        assert!(infer.counter("quant/dequant_rows") > 0, "i8 GEMM must count dequantized rows");
+    }
+
     // ---- Streaming cache effectiveness. ----
     // A short sliding-window run under its own scope (so its counters stay
     // out of the training-step tables and the coverage assert above): one

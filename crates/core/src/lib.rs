@@ -41,6 +41,7 @@ mod extract;
 mod flops;
 mod heads;
 mod model;
+pub mod precision;
 mod session;
 mod telemetry;
 mod train;
@@ -49,7 +50,7 @@ mod tubelet;
 pub use config::{AttentionKind, ModelConfig, Readout};
 pub use encoder::ClipEncoder;
 pub use extract::ExtractError;
-pub use extract::ScenarioExtractor;
+pub use extract::{QuantReport, ScenarioExtractor};
 pub use flops::clip_macs;
 pub use heads::{multitask_loss, HeadLogits, LossWeights, SdlHeads};
 pub use model::{decode_logits, ClipModel, VideoScenarioTransformer};

@@ -1,12 +1,16 @@
 //! The video scenario transformer and the [`ClipModel`] abstraction shared
 //! with the baselines.
 
+use std::sync::{Arc, OnceLock};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tsdx_data::{ClipLabels, POSITION_COUNT};
-use tsdx_nn::{Binding, ParamStore};
+use tsdx_nn::{Binding, ParamStore, QuantizedWeights};
 use tsdx_sdl::{vocab, ActorKind, EgoManeuver, RoadKind};
 use tsdx_tensor::{metrics, ops, Graph, Tensor};
+
+use crate::precision::{self, Precision};
 
 use crate::config::ModelConfig;
 use crate::encoder::ClipEncoder;
@@ -39,6 +43,16 @@ pub trait ClipModel {
 
     /// Human-readable model name for reports.
     fn name(&self) -> &str;
+
+    /// Binds the parameters for an eval-time (frozen) forward pass.
+    ///
+    /// The default is [`ParamStore::bind_frozen`]; precision-aware models
+    /// override this to honor the `TSDX_PRECISION` dial (the video
+    /// scenario transformer routes int8 bindings through its prepacked
+    /// quantized weights). Training bindings are unaffected.
+    fn bind_eval(&self, g: &mut Graph) -> Binding {
+        self.params().bind_frozen(g)
+    }
 }
 
 /// Decodes head logit *values* into per-clip labels (argmax heads,
@@ -95,6 +109,11 @@ pub struct VideoScenarioTransformer {
     embed: TubeletEmbed,
     encoder: ClipEncoder,
     heads: SdlHeads,
+    /// Lazily-built prepacked int8 weights for `TSDX_PRECISION=int8`
+    /// bindings, invalidated whenever the parameters can change
+    /// ([`ClipModel::params_mut`] is the mutation choke point used by
+    /// optimizers and checkpoint loading).
+    quant: OnceLock<Arc<QuantizedWeights>>,
 }
 
 impl VideoScenarioTransformer {
@@ -110,7 +129,35 @@ impl VideoScenarioTransformer {
         let embed = TubeletEmbed::new(&mut store, &mut rng, "embed", &cfg);
         let encoder = ClipEncoder::new(&mut store, &mut rng, "encoder", &cfg);
         let heads = SdlHeads::new(&mut store, &mut rng, "heads", cfg.dim);
-        VideoScenarioTransformer { cfg, store, embed, encoder, heads }
+        VideoScenarioTransformer { cfg, store, embed, encoder, heads, quant: OnceLock::new() }
+    }
+
+    /// The prepacked int8 weights for this model's current parameters,
+    /// building them on first use: every rank-2 `.weight` matrix of the
+    /// encoder (attention Q/K/V/O and MLP projections) and the SDL heads.
+    /// The tubelet embedding stays f32 — first-layer quantization costs
+    /// the most accuracy for the least time, the standard PTQ trade.
+    pub fn quantized_weights(&self) -> Arc<QuantizedWeights> {
+        self.quant
+            .get_or_init(|| {
+                Arc::new(self.store.quantize_where(|name, t| {
+                    t.rank() == 2
+                        && name.ends_with(".weight")
+                        && (name.starts_with("encoder.") || name.starts_with("heads."))
+                }))
+            })
+            .clone()
+    }
+
+    /// Precision-aware frozen binding: `bind_frozen` under
+    /// [`Precision::F32`] (bit-identical to the pre-quantization path),
+    /// `bind_quantized` with the cached packed weights under
+    /// [`Precision::Int8`].
+    pub fn bind_eval_active(&self, g: &mut Graph) -> Binding {
+        match precision::active() {
+            Precision::F32 => self.store.bind_frozen(g),
+            Precision::Int8 => self.store.bind_quantized(g, &self.quantized_weights()),
+        }
     }
 
     /// The configuration this model was built with.
@@ -127,7 +174,7 @@ impl VideoScenarioTransformer {
     /// heads — used for representation probing and retrieval.
     pub fn embed_clips(&self, videos: &Tensor) -> Tensor {
         let mut g = Graph::new();
-        let p = self.store.bind_frozen(&mut g);
+        let p = self.bind_eval_active(&mut g);
         let mut rng = StdRng::seed_from_u64(0);
         let tubs = g.constant(extract_tubelets(&self.cfg, videos));
         let tokens = self.embed.forward(&mut g, &p, tubs);
@@ -158,7 +205,7 @@ impl VideoScenarioTransformer {
     /// (from [`ClipModel::forward`]) and `stage/decode` here.
     pub fn predict(&self, videos: &Tensor) -> Vec<ClipLabels> {
         let mut g = Graph::new();
-        let p = self.store.bind_frozen(&mut g);
+        let p = self.bind_eval_active(&mut g);
         let mut rng = StdRng::seed_from_u64(0);
         let logits = self.forward(&mut g, &p, videos, &mut rng, false);
         metrics::stage("stage/decode", || {
@@ -179,7 +226,14 @@ impl ClipModel for VideoScenarioTransformer {
     }
 
     fn params_mut(&mut self) -> &mut ParamStore {
+        // The caller may mutate any parameter: drop the packed int8 cache
+        // so the next quantized binding re-quantizes the new values.
+        self.quant.take();
         &mut self.store
+    }
+
+    fn bind_eval(&self, g: &mut Graph) -> Binding {
+        self.bind_eval_active(g)
     }
 
     fn forward(

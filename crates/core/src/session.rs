@@ -217,7 +217,7 @@ impl<'m> StreamSession<'m> {
         let group = Tensor::from_vec(pixels, &[1, cfg.tubelet_t, cfg.height, cfg.width]);
         let tubs = extract_tubelets(cfg, &group); // [1, ns, vol]
         let mut g = Graph::new();
-        let p = self.model.params_ref().bind_frozen(&mut g);
+        let p = self.model.bind_eval_active(&mut g);
         let mut rng = StdRng::seed_from_u64(0);
         let t = g.constant(tubs);
         let tokens = self.model.embed_ref().forward(&mut g, &p, t); // [1, ns, D]
@@ -292,7 +292,7 @@ impl<'m> StreamSession<'m> {
     fn infer_window(&mut self, cfg: &ModelConfig) -> WindowLogits {
         let nt = cfg.n_time();
         let mut g = Graph::new();
-        let p = self.model.params_ref().bind_frozen(&mut g);
+        let p = self.model.bind_eval_active(&mut g);
         let emb = match cfg.attention {
             AttentionKind::Factorized => {
                 // Assemble the cached frame summaries into [1, nt, D].

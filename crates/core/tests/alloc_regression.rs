@@ -158,6 +158,63 @@ fn steady_state_step_allocations_drop_with_workspaces() {
 }
 
 #[test]
+fn quantized_steady_state_allocates_no_more_than_f32() {
+    let _serial = measuring();
+    // The int8 plane packs weights exactly once — at `quantize()` time.
+    // Steady-state extraction under the int8 dial must therefore issue no
+    // more allocator traffic than the f32 plane: activation quantization
+    // runs in recycled thread-local scratch, outputs come from the same
+    // workspace arena, and no weight is ever re-quantized or re-packed.
+    // A regression that re-packs per call would multiply the byte count by
+    // the packed-plane size per window and fail loudly here.
+    use tsdx_core::precision::{self, Precision};
+
+    let ex = ScenarioExtractor::untrained(ModelConfig::default(), 0);
+    ex.quantize(); // prepack up front: packing cost must not be steady-state
+    let cfg = *ex.model().config();
+    let video =
+        Tensor::from_fn(&[cfg.frames, cfg.height, cfg.width], |i| (i as f32 * 0.0041).sin() * 0.5);
+
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 5;
+
+    let run = |p: Precision| {
+        precision::with_forced(p, || {
+            for _ in 0..WARMUP {
+                std::hint::black_box(ex.extract_checked(&video).unwrap());
+            }
+            let (c0, b0) = snapshot();
+            for _ in 0..MEASURED {
+                std::hint::black_box(ex.extract_checked(&video).unwrap());
+            }
+            let (c1, b1) = snapshot();
+            (c1 - c0, b1 - b0)
+        })
+    };
+
+    let ((calls_f32, bytes_f32), (calls_i8, bytes_i8)) = pool::with_forced_threads(1, || {
+        workspace::with_mode(true, || (run(Precision::F32), run(Precision::Int8)))
+    });
+
+    let per = |v: u64| v / MEASURED as u64;
+    eprintln!(
+        "alloc/extract: f32 {} calls / {} bytes, int8 {} calls / {} bytes",
+        per(calls_f32),
+        per(bytes_f32),
+        per(calls_i8),
+        per(bytes_i8),
+    );
+    assert!(bytes_f32 > 0 && bytes_i8 > 0, "counting allocator saw no traffic");
+    assert!(
+        bytes_i8 <= bytes_f32,
+        "int8 steady state allocates more than f32: {} vs {} bytes/extract \
+         (is something re-quantizing or re-packing per call?)",
+        per(bytes_i8),
+        per(bytes_f32),
+    );
+}
+
+#[test]
 fn steady_state_stream_push_allocates_per_frame_not_per_window() {
     let _serial = measuring();
     // A longer window (16 frames = 8 tubelet groups at the default model

@@ -60,7 +60,7 @@ pub use dropout::Dropout;
 pub use linear::Linear;
 pub use norm::LayerNorm;
 pub use optim::{clip_global_norm, AdamW, AdamWState, LrSchedule, Optimizer, Sgd};
-pub use params::{Binding, ParamId, ParamStore, ShapeMismatch};
+pub use params::{Binding, ParamId, ParamStore, QuantizedWeights, ShapeMismatch};
 pub use rnn::Gru;
 pub use serialize::{
     load_checkpoint, read_checkpoint, read_train_checkpoint, save_checkpoint,

@@ -1,7 +1,7 @@
 //! Fully-connected (affine) layer.
 
 use rand::Rng;
-use tsdx_tensor::{Graph, Var};
+use tsdx_tensor::{quant, Graph, Var};
 
 use crate::init;
 use crate::params::{Binding, ParamId, ParamStore};
@@ -61,24 +61,38 @@ impl Linear {
 
     /// Applies the layer on the tape.
     ///
+    /// When `p` carries a prepacked int8 form of this layer's weight (a
+    /// [`crate::ParamStore::bind_quantized`] binding under
+    /// `TSDX_PRECISION=int8`), the product runs on the exact-integer i8
+    /// GEMM with a fused dequant+bias epilogue and enters the tape as a
+    /// constant — inference-only, no gradients, and row-wise exactly like
+    /// the f32 path (each output row depends only on its input row), so
+    /// prefix/KV caching layered on top stays sound.
+    ///
     /// # Panics
     ///
     /// Panics (inside the tensor ops) if the last dimension of `x` is not
     /// `in_features`.
     pub fn forward(&self, g: &mut Graph, p: &Binding, x: Var) -> Var {
-        let w = p.var(self.weight);
         // Flatten batch dims so matmul sees [N, in] @ [in, out].
         let in_shape = g.shape(x).to_vec();
         let d = *in_shape.last().expect("linear input must have rank >= 1");
         assert_eq!(d, self.in_features, "linear expected {} inputs, got {d}", self.in_features);
         let flat = g.reshape(x, &[usize::MAX, d]);
+        let mut out_shape = in_shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_features;
+        if let Some(qw) = p.quant(self.weight).cloned() {
+            let xv = g.value(flat).clone();
+            let bias = self.bias.map(|b| g.value(p.var(b)).clone());
+            let y = g.constant(quant::linear_q8(&xv, &qw, bias.as_ref()));
+            return g.reshape(y, &out_shape);
+        }
+        let w = p.var(self.weight);
         let mut y = g.matmul(flat, w);
         if let Some(b) = self.bias {
             let bv = p.var(b);
             y = g.add(y, bv);
         }
-        let mut out_shape = in_shape;
-        *out_shape.last_mut().expect("rank >= 1") = self.out_features;
         g.reshape(y, &out_shape)
     }
 }
@@ -133,6 +147,33 @@ mod tests {
         assert_eq!(collected[1].shape(), &[2]);
         // d loss / d bias = batch size per output.
         assert_eq!(collected[1].data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn quantized_binding_takes_int8_path_within_tolerance() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let lin = Linear::new(&mut store, &mut rng, "l", 16, 8);
+        let qw = store.quantize_where(|name, t| name == "l.weight" && t.rank() == 2);
+        assert_eq!(qw.len(), 1);
+        let x = Tensor::from_fn(&[3, 16], |i| ((i % 11) as f32 - 5.0) / 4.0);
+
+        let mut g = Graph::new();
+        let p = store.bind_frozen(&mut g);
+        let xv = g.constant(x.clone());
+        let y32 = lin.forward(&mut g, &p, xv);
+
+        let mut gq = Graph::new();
+        let pq = store.bind_quantized(&mut gq, &qw);
+        let xq = gq.constant(x);
+        let y8 = lin.forward(&mut gq, &pq, xq);
+
+        assert_eq!(gq.shape(y8), &[3, 8]);
+        assert!(g.value(y32).allclose(gq.value(y8), 0.05));
+        // The quantized product is a constant: frozen semantics hold.
+        let loss = gq.sum_all(y8);
+        let grads = gq.backward(loss);
+        assert!(grads.get(pq.var(lin.weight)).is_none());
     }
 
     #[test]

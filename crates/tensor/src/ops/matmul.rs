@@ -182,6 +182,7 @@ fn matmul_impl(a: &Tensor, b: &Tensor, threads: usize, allow_packed: bool) -> Te
         let nb_eff = if b_shared { 1 } else { n_batch };
         let njt = n.div_ceil(NR);
         if nb_eff * njt * NR * k <= PACK_B_CAP_ELEMS {
+            crate::metrics::counter_add("dispatch/matmul_packed", 1);
             let (acs, ars) = last2_strides(a);
             let bpack = pack_b(b, &batch, &sb_batch, nb_eff, njt, k, n);
             let ctx = PackedCtx {
@@ -217,6 +218,7 @@ fn matmul_impl(a: &Tensor, b: &Tensor, threads: usize, allow_packed: bool) -> Te
 
     // Pick a kernel from B's last-two-dim strides, materializing an operand
     // only when no stride pattern fits (the clones are Arc-cheap otherwise).
+    crate::metrics::counter_add("dispatch/matmul_unpacked", 1);
     let (bcs, brs) = last2_strides(b);
     let (b, use_dot) = if bcs == 1 {
         (b.clone(), false)

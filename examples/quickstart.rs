@@ -46,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary.presence_f1 * 100.0
     );
 
-    // 5. Extract descriptions for a few test clips.
-    println!("\nsample extractions (truth vs predicted):");
+    // 5. Extract descriptions for a few test clips. Inference runs on the
+    // plane the `TSDX_PRECISION` dial selects (default f32); under int8,
+    // prepack the weights once up front so extraction never re-quantizes.
+    let precision = tsdx::core::precision::active();
+    if precision == tsdx::core::precision::Precision::Int8 {
+        println!("prepacked int8 weights: {}", extractor.quantize());
+    }
+    println!("\nsample {precision} extractions (truth vs predicted):");
     for &i in split.test.iter().take(6) {
         // `extract_checked` reports malformed clips as a typed
         // `ExtractError`; `?` surfaces it in the exit message.

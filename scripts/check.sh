@@ -33,6 +33,18 @@ TSDX_WORKSPACE=0 cargo test -q -p tsdx-core --test streaming_parity
 echo "==> tensor suite with 8 concurrent test threads (metric-scope isolation)"
 cargo test -q -p tsdx-tensor -- --test-threads=8
 
+echo "==> tier-1 again under the int8 inference plane (TSDX_PRECISION=int8)"
+TSDX_PRECISION=int8 cargo test -q
+
+echo "==> streaming parity under int8 (cached groups == recompute, bitwise, on the i8 GEMM)"
+TSDX_PRECISION=int8 cargo test -q -p tsdx-core --test streaming_parity
+
+echo "==> f32 default stays bit-identical with the int8 plane packed (accuracy gate)"
+cargo test -q -p tsdx-core --test quant_accuracy
+
+echo "==> profile binary under int8 (i8 dispatch counters + per-kernel self time)"
+TSDX_PRECISION=int8 cargo run -q -p tsdx-bench --release --bin profile -- --quick > /dev/null
+
 echo "==> profile binary smoke test (self-time coverage + overhead asserts)"
 cargo run -q -p tsdx-bench --release --bin profile -- --quick > /dev/null
 
