@@ -1,0 +1,403 @@
+//! Load-test harness for the extraction server (PR 8).
+//!
+//! Boots an in-process [`tsdx_serve::Server`] and drives it over real TCP
+//! sockets with synthetic concurrent clients, one phase per robustness
+//! claim:
+//!
+//! 1. **Steady state** — well-behaved clients; records end-to-end p50/p99
+//!    and the mean coalesced batch size.
+//! 2. **Overload** — far more concurrent demand than a deliberately tiny
+//!    queue can hold; asserts every request gets a *typed* outcome (200 or
+//!    a retryable 429/503 shed), that sheds actually happen, that accepted
+//!    requests stay within their deadline at p99, and that nothing is
+//!    accepted-then-dropped (`accepted == completed` on exit).
+//! 3. **Degrade** — pressure past the degrade threshold; reports how many
+//!    batches the valve flipped to the int8 plane.
+//! 4. **Faults** — slow-writer clients (stall mid-request) and aborting
+//!    clients (vanish mid-body); asserts the listener keeps serving.
+//! 5. **Drain** — a graceful shutdown racing a request burst; asserts every
+//!    admitted request was answered.
+//!
+//! The model is trained in-process first (stage tag `serve_fit`), so with
+//! `--resume` the checkpoint lands in the `servebench` namespace
+//! (`results/checkpoints/servebench/serve_fit.ckpt`) and can never
+//! cross-restore another experiment's stages.
+//!
+//! Run with `cargo run -p tsdx-bench --release --bin servebench` (add
+//! `--quick` for a reduced variant).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use tsdx_bench::{fit_model, is_quick, print_table};
+use tsdx_core::{ModelConfig, ScenarioExtractor, VideoScenarioTransformer};
+use tsdx_data::{generate_dataset, DatasetConfig};
+use tsdx_render::RenderConfig;
+use tsdx_serve::{BatchConfig, Server, ServerConfig};
+
+/// The bench model: small enough that a request is milliseconds, so
+/// queueing dynamics (not raw FLOPs) dominate what we measure.
+fn bench_model_config() -> ModelConfig {
+    ModelConfig {
+        frames: 4,
+        height: 16,
+        width: 16,
+        tubelet_t: 2,
+        patch: 8,
+        dim: 16,
+        spatial_depth: 1,
+        temporal_depth: 1,
+        heads: 2,
+        dropout: 0.0,
+        ..ModelConfig::default()
+    }
+}
+
+/// One valid clip body, as raw f32 LE bytes for the octet-stream fast path.
+fn clip_bytes(seed: usize) -> Vec<u8> {
+    (0..4 * 16 * 16)
+        .map(|i| ((i + seed * 131) % 97) as f32 / 97.0)
+        .flat_map(|f| f.to_le_bytes())
+        .collect()
+}
+
+/// Sends one `POST /v1/extract` and returns `(status, latency)`.
+fn post_clip(
+    addr: SocketAddr,
+    body: &[u8],
+    deadline_ms: Option<u64>,
+) -> std::io::Result<(u16, Duration)> {
+    let t0 = Instant::now();
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut req = String::from("POST /v1/extract HTTP/1.1\r\nhost: bench\r\n");
+    req.push_str("content-type: application/octet-stream\r\nx-video-shape: 4x16x16\r\n");
+    if let Some(ms) = deadline_ms {
+        req.push_str(&format!("x-deadline-ms: {ms}\r\n"));
+    }
+    req.push_str(&format!("content-length: {}\r\nconnection: close\r\n\r\n", body.len()));
+    let mut w = stream.try_clone()?;
+    w.write_all(req.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let status: u16 =
+        line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad status: {line:?}"))
+        })?;
+    Ok((status, t0.elapsed()))
+}
+
+/// A GET that only cares about the status.
+fn get_status(addr: SocketAddr, path: &str) -> std::io::Result<u16> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut w = stream.try_clone()?;
+    w.write_all(format!("GET {path} HTTP/1.1\r\nhost: b\r\nconnection: close\r\n\r\n").as_bytes())?;
+    w.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))
+}
+
+fn quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+struct PhaseOutcome {
+    ok: usize,
+    shed_429: usize,
+    shed_503: usize,
+    other: usize,
+    latencies_us: Vec<u64>,
+}
+
+/// `clients` threads each fire `reqs` requests as fast as they can.
+fn hammer(addr: SocketAddr, clients: usize, reqs: usize, deadline_ms: Option<u64>) -> PhaseOutcome {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut results = Vec::with_capacity(reqs);
+                for r in 0..reqs {
+                    let body = clip_bytes(c * 1000 + r);
+                    results.push(post_clip(addr, &body, deadline_ms));
+                }
+                results
+            })
+        })
+        .collect();
+    let mut out =
+        PhaseOutcome { ok: 0, shed_429: 0, shed_503: 0, other: 0, latencies_us: Vec::new() };
+    for h in handles {
+        for result in h.join().expect("client thread") {
+            match result {
+                Ok((200, lat)) => {
+                    out.ok += 1;
+                    out.latencies_us.push(lat.as_micros() as u64);
+                }
+                Ok((429, _)) => out.shed_429 += 1,
+                Ok((503, _)) => out.shed_503 += 1,
+                Ok((status, _)) => {
+                    eprintln!("unexpected status {status}");
+                    out.other += 1;
+                }
+                Err(e) => {
+                    eprintln!("client error: {e}");
+                    out.other += 1;
+                }
+            }
+        }
+    }
+    out.latencies_us.sort_unstable();
+    out
+}
+
+fn start_server(extractor: ScenarioExtractor, batch: BatchConfig) -> Server {
+    Server::start(
+        extractor,
+        ServerConfig {
+            batch,
+            max_connections: 128,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench server")
+}
+
+fn main() {
+    let quick = is_quick();
+
+    // ---- Train the model the service fronts (namespaced stage). ----
+    let clips = generate_dataset(&DatasetConfig {
+        n_clips: if quick { 8 } else { 24 },
+        render: RenderConfig { width: 16, height: 16, frames: 4, ..RenderConfig::default() },
+        ..DatasetConfig::default()
+    });
+    let idx: Vec<usize> = (0..clips.len()).collect();
+    let mut model = VideoScenarioTransformer::new(bench_model_config(), tsdx_bench::STD_SEED);
+    fit_model("serve_fit", &mut model, &clips, &idx, if quick { 1 } else { 2 });
+    let extractor = || ScenarioExtractor::new(model.clone());
+
+    let (steady_clients, steady_reqs) = if quick { (3, 6) } else { (6, 12) };
+    let (storm_clients, storm_reqs) = if quick { (12, 6) } else { (24, 10) };
+
+    // ---- Phase 1: steady state. ----
+    let mut server = start_server(extractor(), BatchConfig::default());
+    let addr = server.local_addr();
+    let steady = hammer(addr, steady_clients, steady_reqs, Some(10_000));
+    let steady_stats = server.stats();
+    let steady_batches = steady_stats.batches.load(Ordering::Relaxed);
+    let steady_clips_total = steady_stats.batched_clips.load(Ordering::Relaxed);
+    let mean_batch =
+        if steady_batches > 0 { steady_clips_total as f64 / steady_batches as f64 } else { 0.0 };
+    let steady_p50 = quantile_ms(&steady.latencies_us, 0.50);
+    let steady_p99 = quantile_ms(&steady.latencies_us, 0.99);
+    server.shutdown();
+    assert_eq!(
+        steady.ok,
+        steady_clients * steady_reqs,
+        "steady-state requests must all succeed ({} of {} did)",
+        steady.ok,
+        steady_clients * steady_reqs
+    );
+
+    // ---- Phase 2: overload a deliberately tiny queue. ----
+    let overload_deadline_ms = 2_000u64;
+    let mut server = start_server(
+        extractor(),
+        BatchConfig { queue_capacity: 4, max_batch: 2, degrade_depth: None, precision: None },
+    );
+    let addr = server.local_addr();
+    let storm = hammer(addr, storm_clients, storm_reqs, Some(overload_deadline_ms));
+    let stats = server.stats();
+    let storm_accepted = stats.accepted.load(Ordering::Relaxed);
+    let storm_completed = stats.completed.load(Ordering::Relaxed);
+    let storm_shed_deadline = stats.shed_deadline.load(Ordering::Relaxed);
+    let storm_p99 = quantile_ms(&storm.latencies_us, 0.99);
+    server.shutdown();
+    let storm_total = storm_clients * storm_reqs;
+    assert_eq!(storm.other, 0, "overload must produce only 200/429/503 outcomes");
+    assert!(
+        storm.shed_429 + storm.shed_503 > 0,
+        "an overloaded 4-slot queue must shed typed 429/503s"
+    );
+    assert_eq!(
+        storm.ok + storm.shed_429 + storm.shed_503,
+        storm_total,
+        "every overload request must get a typed answer"
+    );
+    // Sheds answered 503 before the forward count as answered, not dropped.
+    assert_eq!(
+        storm_accepted,
+        storm_completed + storm_shed_deadline,
+        "admitted requests must be answered, never dropped \
+         (accepted={storm_accepted} completed={storm_completed} shed={storm_shed_deadline})"
+    );
+    assert!(
+        storm_p99 <= overload_deadline_ms as f64 * 1.5,
+        "p99 of accepted requests ({storm_p99:.1} ms) must stay near the \
+         {overload_deadline_ms} ms deadline — load must shed, not queue"
+    );
+
+    // ---- Phase 3: pressure past the degrade threshold. ----
+    let mut server = start_server(
+        extractor(),
+        BatchConfig { queue_capacity: 64, max_batch: 4, degrade_depth: Some(3), precision: None },
+    );
+    let addr = server.local_addr();
+    let degrade = hammer(addr, storm_clients, storm_reqs.min(6), Some(10_000));
+    let stats = server.stats();
+    let degraded_batches = stats.batches_degraded.load(Ordering::Relaxed);
+    let total_batches = stats.batches.load(Ordering::Relaxed);
+    server.shutdown();
+
+    // ---- Phase 4: fault-injected clients. ----
+    let mut server = start_server(extractor(), BatchConfig::default());
+    let addr = server.local_addr();
+    let n_faulty = if quick { 4 } else { 8 };
+    let fault_threads: Vec<_> = (0..n_faulty)
+        .map(|i| {
+            std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    // Slow writer: half a request, then a stall the server's
+                    // 500 ms read timeout must bound.
+                    let stream = TcpStream::connect(addr)?;
+                    let mut w = stream.try_clone()?;
+                    w.write_all(b"POST /v1/extract HTTP/1.1\r\nhost: s")?;
+                    w.flush()?;
+                    std::thread::sleep(Duration::from_millis(800));
+                    // Server answered 408 and closed, or just closed.
+                    let mut buf = Vec::new();
+                    let mut r = stream;
+                    r.set_read_timeout(Some(Duration::from_secs(5)))?;
+                    let _ = r.read_to_end(&mut buf);
+                    Ok::<_, std::io::Error>(())
+                } else {
+                    // Aborter: declares a body, sends a fragment, vanishes.
+                    let stream = TcpStream::connect(addr)?;
+                    let mut w = stream.try_clone()?;
+                    w.write_all(
+                        b"POST /v1/extract HTTP/1.1\r\nhost: a\r\n\
+                          content-type: application/octet-stream\r\n\
+                          x-video-shape: 4x16x16\r\ncontent-length: 4096\r\n\r\nfragment",
+                    )?;
+                    w.flush()?;
+                    stream.shutdown(Shutdown::Both)?;
+                    Ok(())
+                }
+            })
+        })
+        .collect();
+    // Honest traffic interleaved with the faulty clients must still land.
+    let during = hammer(addr, 3, 4, Some(10_000));
+    for t in fault_threads {
+        t.join().expect("fault client thread").expect("fault client io");
+    }
+    let healthz_after = get_status(addr, "/healthz").expect("listener must survive faults");
+    server.shutdown();
+    assert_eq!(healthz_after, 200, "listener must answer health checks after faulty clients");
+    assert_eq!(during.ok, 3 * 4, "honest requests must complete while faulty clients misbehave");
+
+    // ---- Phase 5: graceful drain under fire. ----
+    let mut server = start_server(extractor(), BatchConfig::default());
+    let addr = server.local_addr();
+    let burst: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                post_clip(addr, &clip_bytes(i), Some(10_000)).map(|(s, _)| s)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(15));
+    server.shutdown();
+    let drain_statuses: Vec<u16> =
+        burst.into_iter().map(|t| t.join().unwrap().expect("drain client io")).collect();
+    let stats = server.stats();
+    let drain_accepted = stats.accepted.load(Ordering::Relaxed);
+    let drain_completed = stats.completed.load(Ordering::Relaxed);
+    for s in &drain_statuses {
+        assert!(*s == 200 || *s == 503, "drain outcome must be 200 or 503, got {s}");
+    }
+    assert_eq!(
+        drain_accepted, drain_completed,
+        "graceful shutdown must answer every admitted request"
+    );
+    let drained_ok = drain_statuses.iter().filter(|&&s| s == 200).count();
+
+    // ---- Report. ----
+    print_table(
+        &format!(
+            "servebench ({}x{} steady, {}x{} storm{})",
+            steady_clients,
+            steady_reqs,
+            storm_clients,
+            storm_reqs,
+            if quick { ", quick" } else { "" }
+        ),
+        &["phase", "ok", "429", "503", "p50 ms", "p99 ms"],
+        &[
+            vec![
+                "steady".into(),
+                steady.ok.to_string(),
+                steady.shed_429.to_string(),
+                steady.shed_503.to_string(),
+                format!("{steady_p50:.1}"),
+                format!("{steady_p99:.1}"),
+            ],
+            vec![
+                "overload".into(),
+                storm.ok.to_string(),
+                storm.shed_429.to_string(),
+                storm.shed_503.to_string(),
+                format!("{:.1}", quantile_ms(&storm.latencies_us, 0.5)),
+                format!("{storm_p99:.1}"),
+            ],
+            vec![
+                "degrade".into(),
+                degrade.ok.to_string(),
+                degrade.shed_429.to_string(),
+                degrade.shed_503.to_string(),
+                format!("{:.1}", quantile_ms(&degrade.latencies_us, 0.5)),
+                format!("{:.1}", quantile_ms(&degrade.latencies_us, 0.99)),
+            ],
+        ],
+    );
+
+    println!();
+    println!("{{");
+    println!("  \"quick\": {quick},");
+    println!("  \"steady_ok\": {},", steady.ok);
+    println!("  \"steady_p50_ms\": {steady_p50:.2},");
+    println!("  \"steady_p99_ms\": {steady_p99:.2},");
+    println!("  \"steady_mean_batch\": {mean_batch:.2},");
+    println!("  \"overload_total\": {storm_total},");
+    println!("  \"overload_ok\": {},", storm.ok);
+    println!("  \"overload_shed_429\": {},", storm.shed_429);
+    println!("  \"overload_shed_503\": {},", storm.shed_503);
+    println!("  \"overload_p99_ms\": {storm_p99:.2},");
+    println!("  \"overload_deadline_ms\": {overload_deadline_ms},");
+    println!("  \"overload_accepted\": {storm_accepted},");
+    println!("  \"overload_completed\": {storm_completed},");
+    println!("  \"overload_shed_deadline\": {storm_shed_deadline},");
+    println!("  \"degrade_batches_total\": {total_batches},");
+    println!("  \"degrade_batches_int8\": {degraded_batches},");
+    println!("  \"fault_clients\": {n_faulty},");
+    println!("  \"fault_honest_ok\": {},", during.ok);
+    println!("  \"fault_healthz_after\": {healthz_after},");
+    println!("  \"drain_ok\": {drained_ok},");
+    println!("  \"drain_accepted\": {drain_accepted},");
+    println!("  \"drain_completed\": {drain_completed}");
+    println!("}}");
+}

@@ -34,6 +34,22 @@ fn stage_checkpoints_are_namespaced_per_binary() {
     assert!(!stage_namespace().is_empty());
 }
 
+#[test]
+fn servebench_stage_cannot_cross_restore_other_binaries() {
+    // The PR 8 load-test binary trains its service model under the
+    // `serve_fit` tag; its checkpoint must live in its own namespace, apart
+    // from every training experiment — even one reusing the same tag.
+    let serve = stage_checkpoint_path_in("servebench", "serve_fit");
+    assert_eq!(serve, checkpoint_dir().join("servebench").join("serve_fit.ckpt"));
+    for other in ["table2_extraction", "table3_ablations", "fig3_datasize", "streambench"] {
+        assert_ne!(serve, stage_checkpoint_path_in(other, "serve_fit"));
+        assert_ne!(serve, stage_checkpoint_path_in(other, "fit"));
+        // Distinct namespaces means distinct *directories*, so no future
+        // tag collision inside one directory can alias across binaries.
+        assert_ne!(serve.parent(), stage_checkpoint_path_in(other, "serve_fit").parent());
+    }
+}
+
 fn tiny_model(seed: u64) -> VideoScenarioTransformer {
     VideoScenarioTransformer::new(
         ModelConfig {

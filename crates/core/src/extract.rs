@@ -196,6 +196,26 @@ impl ScenarioExtractor {
     /// any pixel is NaN or infinite — never a panic, so a malformed request
     /// cannot take down a serving process.
     pub fn extract_checked(&self, video: &Tensor) -> Result<Scenario, ExtractError> {
+        self.validate_window(video)?;
+        let mut session = self.open_stream();
+        session.push_frames(video)?;
+        session.describe()
+    }
+
+    /// Checks that `video` is exactly one well-formed `[T, H, W]` window for
+    /// this model, without running any inference.
+    ///
+    /// This is the admission-time half of [`extract_checked`]
+    /// (`ScenarioExtractor::extract_checked`), split out so a serving layer
+    /// can reject malformed requests *before* they occupy a batch slot.
+    /// Non-finite pixels are reported here too — a batched forward must
+    /// never see NaN from a neighboring request.
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`ExtractError`]s as [`extract_checked`]
+    /// (`ScenarioExtractor::extract_checked`).
+    pub fn validate_window(&self, video: &Tensor) -> Result<(), ExtractError> {
         let sh = video.shape();
         if sh.len() != 3 {
             return Err(ExtractError::BadRank { found: sh.len() });
@@ -214,9 +234,53 @@ impl ScenarioExtractor {
         if sh[0] > cfg.frames {
             return Err(ExtractError::BadShape { expected, found: sh.to_vec() });
         }
-        let mut session = self.open_stream();
-        session.push_frames(video)?;
-        session.describe()
+        if let Some(index) = video.to_vec().iter().position(|v| !v.is_finite()) {
+            return Err(ExtractError::NonFinite { index });
+        }
+        Ok(())
+    }
+
+    /// Extracts descriptions for many independent `[T, H, W]` windows in
+    /// **one batched forward pass** — the entry point for a serving layer
+    /// that coalesces concurrent requests.
+    ///
+    /// Each window is validated independently ([`validate_window`]
+    /// (`ScenarioExtractor::validate_window`)); the well-formed ones are
+    /// stacked into a single `[B, T, H, W]` batch and pushed through the
+    /// encoder once, so the per-clip cost amortizes the packed-GEMM and
+    /// fused-attention work across the batch. Malformed windows get their
+    /// own typed error and never contaminate the batch. The output is
+    /// positionally aligned with `videos`.
+    ///
+    /// The forward runs under the active [`crate::precision::Precision`],
+    /// so a server can flip a whole batch to the int8 plane under load.
+    pub fn extract_window_batch(&self, videos: &[&Tensor]) -> Vec<Result<Scenario, ExtractError>> {
+        let mut out: Vec<Option<Result<Scenario, ExtractError>>> = Vec::with_capacity(videos.len());
+        let mut valid: Vec<usize> = Vec::with_capacity(videos.len());
+        for (i, v) in videos.iter().enumerate() {
+            match self.validate_window(v) {
+                Ok(()) => {
+                    valid.push(i);
+                    out.push(None);
+                }
+                Err(e) => out.push(Some(Err(e))),
+            }
+        }
+        if !valid.is_empty() {
+            let cfg = self.model.config();
+            let per = cfg.frames * cfg.height * cfg.width;
+            let mut stacked = Vec::with_capacity(valid.len() * per);
+            for &i in &valid {
+                stacked.extend_from_slice(&videos[i].to_vec());
+            }
+            let batch =
+                Tensor::from_vec(stacked, &[valid.len(), cfg.frames, cfg.height, cfg.width]);
+            let labels = self.model.predict(&batch);
+            for (&i, l) in valid.iter().zip(&labels) {
+                out[i] = Some(Ok(l.to_scenario()));
+            }
+        }
+        out.into_iter().map(|r| r.expect("every slot filled")).collect()
     }
 
     /// Opens a streaming session over this extractor's model: push frames

@@ -42,6 +42,21 @@ impl std::fmt::Display for Precision {
     }
 }
 
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    /// Parses the dial spelling (`"f32"` / `"int8"`), as accepted by
+    /// `TSDX_PRECISION` — used by servers and CLIs that take the plane as
+    /// configuration instead of (or overriding) the environment.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!("precision must be \"f32\" or \"int8\", got {other:?}")),
+        }
+    }
+}
+
 fn from_env() -> Precision {
     static ENV: OnceLock<Precision> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("TSDX_PRECISION") {
@@ -95,5 +110,13 @@ mod tests {
             assert_eq!(active(), Precision::Int8);
         });
         assert_eq!(Precision::Int8.label(), "int8");
+    }
+
+    #[test]
+    fn parses_dial_spellings() {
+        assert_eq!("f32".parse::<Precision>(), Ok(Precision::F32));
+        assert_eq!("int8".parse::<Precision>(), Ok(Precision::Int8));
+        assert!("fp16".parse::<Precision>().is_err());
+        assert!("".parse::<Precision>().is_err());
     }
 }

@@ -1,0 +1,477 @@
+//! The dynamic micro-batching queue between connection handlers and the
+//! model.
+//!
+//! Concurrent requests land in one bounded queue; a single worker thread
+//! drains up to `max_batch` of them at a time and runs **one** batched
+//! encoder forward ([`ScenarioExtractor::extract_window_batch`]), so the
+//! packed-GEMM / fused-attention / int8 wins amortize across requests that
+//! arrived independently. The robustness rules live here:
+//!
+//! * **Bounded admission.** [`Batcher::submit`] sheds with a typed
+//!   [`ServeError::QueueFull`] the moment the queue is at capacity — the
+//!   server never accepts work it has no room for.
+//! * **Deadline budget propagation.** Each entry carries its deadline into
+//!   the worker; before a forward, entries that cannot finish within an
+//!   EWMA-estimated batch latency are answered
+//!   [`ServeError::DeadlineExceeded`] instead of wasting model time.
+//! * **Degrade under pressure.** When the queue depth at drain time crosses
+//!   `degrade_depth`, the whole batch runs on the int8 plane
+//!   ([`Precision::Int8`]) — trading a bounded accuracy epsilon (PR 7) for
+//!   roughly 1.4× forward throughput exactly when it is needed.
+//! * **Panic containment.** The forward runs under `catch_unwind`; a panic
+//!   (including worker-pool panics re-raised on this thread by the PR 3
+//!   capture) answers every batch member with a typed 500 and the worker
+//!   keeps serving.
+//! * **Drain, never drop.** [`Batcher::drain`] stops admission, then the
+//!   worker answers everything still queued before exiting — an admitted
+//!   request always gets a response.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tsdx_core::precision::{self, Precision};
+use tsdx_core::ScenarioExtractor;
+use tsdx_sdl::Scenario;
+use tsdx_tensor::{metrics, Tensor};
+
+use crate::error::ServeError;
+use crate::stats::ServeStats;
+
+/// Tuning for the batching queue.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Most requests that may wait in the admission queue; one more is a
+    /// 429.
+    pub queue_capacity: usize,
+    /// Most clips coalesced into one forward.
+    pub max_batch: usize,
+    /// Queue depth (measured when the worker starts a drain) at or above
+    /// which batches run int8. `None` disables pressure degradation.
+    pub degrade_depth: Option<usize>,
+    /// Numeric plane for unpressured batches; `None` follows the process
+    /// `TSDX_PRECISION` dial.
+    pub precision: Option<Precision>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { queue_capacity: 64, max_batch: 8, degrade_depth: Some(32), precision: None }
+    }
+}
+
+/// A successful extraction, annotated with how it was served.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// The decoded scenario.
+    pub scenario: Scenario,
+    /// Numeric plane the batch ran on.
+    pub plane: Precision,
+    /// Time spent waiting in the queue, µs.
+    pub queued_us: u64,
+    /// How many clips shared the forward.
+    pub batch_size: usize,
+}
+
+/// What a handler gets back for one submitted request.
+pub type BatchResult = Result<Extraction, ServeError>;
+
+struct Pending {
+    video: Tensor,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    budget_ms: u64,
+    reply: Sender<BatchResult>,
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    draining: bool,
+}
+
+struct Shared {
+    q: Mutex<Queue>,
+    cv: Condvar,
+    cfg: BatchConfig,
+    stats: Arc<ServeStats>,
+    /// EWMA of per-clip forward cost in µs (0 = no estimate yet).
+    est_clip_us: AtomicU64,
+}
+
+/// The batching queue plus its worker thread. Dropping the batcher drains
+/// it.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts the worker thread over `extractor`.
+    ///
+    /// When the int8 plane is reachable (configured, dialed in, or armed as
+    /// the pressure fallback), the weights are prepacked up front so the
+    /// first degraded batch does not pay quantization cost mid-overload.
+    pub fn start(
+        extractor: Arc<ScenarioExtractor>,
+        cfg: BatchConfig,
+        stats: Arc<ServeStats>,
+    ) -> Batcher {
+        let int8_reachable = cfg.degrade_depth.is_some()
+            || cfg.precision == Some(Precision::Int8)
+            || (cfg.precision.is_none() && precision::active() == Precision::Int8);
+        if int8_reachable {
+            extractor.quantize();
+        }
+        let shared = Arc::new(Shared {
+            q: Mutex::new(Queue { items: VecDeque::new(), draining: false }),
+            cv: Condvar::new(),
+            cfg,
+            stats,
+            est_clip_us: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("tsdx-serve-batcher".into())
+            .spawn(move || worker_loop(&worker_shared, &extractor))
+            .expect("spawn batch worker");
+        Batcher { shared, worker: Mutex::new(Some(worker)) }
+    }
+
+    /// Admits one validated window into the queue.
+    ///
+    /// `deadline` is absolute; `budget_ms` is the client-visible budget it
+    /// was derived from (echoed in shed responses).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`drain`](Batcher::drain) and
+    /// [`ServeError::QueueFull`] at capacity — both *before* the request
+    /// occupies a slot.
+    pub fn submit(
+        &self,
+        video: Tensor,
+        deadline: Option<Instant>,
+        budget_ms: u64,
+    ) -> Result<Receiver<BatchResult>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = lock(&self.shared.q);
+            if q.draining {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.items.len() >= self.shared.cfg.queue_capacity {
+                ServeStats::inc(&self.shared.stats.shed_queue_full);
+                return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_capacity });
+            }
+            q.items.push_back(Pending {
+                video,
+                enqueued: Instant::now(),
+                deadline,
+                budget_ms,
+                reply: tx,
+            });
+            self.shared.stats.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
+        }
+        ServeStats::inc(&self.shared.stats.accepted);
+        self.shared.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Current queue depth (for readiness probes and tests).
+    pub fn depth(&self) -> usize {
+        lock(&self.shared.q).items.len()
+    }
+
+    /// The per-clip forward estimate the deadline gate uses, µs (0 before
+    /// the first batch).
+    pub fn estimated_clip_us(&self) -> u64 {
+        self.shared.est_clip_us.load(Ordering::Relaxed)
+    }
+
+    /// Stops admission, answers everything already queued, and joins the
+    /// worker. Idempotent; callable from any thread holding the batcher.
+    pub fn drain(&self) {
+        {
+            let mut q = lock(&self.shared.q);
+            q.draining = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(worker) = lock(&self.worker).take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // The queue holds no invariants across a panic (entries are
+    // self-contained), so recover the data instead of poisoning the server.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &Shared, extractor: &ScenarioExtractor) {
+    // All model stages of every batch record into this scope; snapshots are
+    // published after each batch for /stats.
+    let scope = metrics::scope();
+    loop {
+        let (batch, depth_at_drain) = {
+            let mut q = lock(&shared.q);
+            while q.items.is_empty() && !q.draining {
+                q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.items.is_empty() {
+                break; // draining and nothing left
+            }
+            let depth = q.items.len();
+            let take = depth.min(shared.cfg.max_batch);
+            let batch: Vec<Pending> = q.items.drain(..take).collect();
+            shared.stats.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
+            (batch, depth)
+        };
+        run_batch(shared, extractor, batch, depth_at_drain);
+        shared.stats.publish_worker_metrics(scope.snapshot());
+    }
+    shared.stats.publish_worker_metrics(scope.snapshot());
+}
+
+fn run_batch(shared: &Shared, extractor: &ScenarioExtractor, batch: Vec<Pending>, depth: usize) {
+    // Deadline gate: answer entries that cannot make it instead of
+    // spending a forward on them. With no estimate yet (cold start) only
+    // already-expired deadlines are shed.
+    let est_clip = shared.est_clip_us.load(Ordering::Relaxed);
+    let est_batch = Duration::from_micros(est_clip.saturating_mul(batch.len() as u64));
+    let now = Instant::now();
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let unmakeable = p.deadline.is_some_and(|d| now + est_batch > d);
+        if unmakeable {
+            ServeStats::inc(&shared.stats.shed_deadline);
+            let _ = p.reply.send(Err(ServeError::DeadlineExceeded { budget_ms: p.budget_ms }));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let degraded = shared.cfg.degrade_depth.is_some_and(|t| depth >= t);
+    let plane = if degraded {
+        Precision::Int8
+    } else {
+        shared.cfg.precision.unwrap_or_else(precision::active)
+    };
+
+    let videos: Vec<&Tensor> = live.iter().map(|p| &p.video).collect();
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        precision::with_forced(plane, || {
+            metrics::stage("stage/serve_batch", || extractor.extract_window_batch(&videos))
+        })
+    }));
+    let elapsed = t0.elapsed();
+
+    ServeStats::inc(&shared.stats.batches);
+    shared.stats.batched_clips.fetch_add(live.len() as u64, Ordering::Relaxed);
+    if plane == Precision::Int8 {
+        ServeStats::inc(&shared.stats.batches_int8);
+    }
+    if degraded {
+        ServeStats::inc(&shared.stats.batches_degraded);
+    }
+
+    match outcome {
+        Ok(results) => {
+            // EWMA (3:1 old:new) of per-clip latency feeds the next gate.
+            let per_clip = (elapsed.as_micros() as u64) / live.len() as u64;
+            let old = shared.est_clip_us.load(Ordering::Relaxed);
+            let next = if old == 0 { per_clip } else { (3 * old + per_clip) / 4 };
+            shared.est_clip_us.store(next.max(1), Ordering::Relaxed);
+
+            let size = live.len();
+            for (p, r) in live.into_iter().zip(results) {
+                let reply = match r {
+                    Ok(scenario) => {
+                        ServeStats::inc(&shared.stats.completed);
+                        Ok(Extraction {
+                            scenario,
+                            plane,
+                            queued_us: p.enqueued.elapsed().as_micros() as u64,
+                            batch_size: size,
+                        })
+                    }
+                    // Validation normally happens at admission; this arm
+                    // only fires if a caller submitted unvalidated input.
+                    Err(e) => Err(ServeError::InvalidInput(e)),
+                };
+                let _ = p.reply.send(reply);
+            }
+        }
+        Err(payload) => {
+            // A panic anywhere in the forward answers the whole batch with
+            // a typed 500 and leaves the worker serving.
+            ServeStats::inc(&shared.stats.panics_caught);
+            let detail = panic_text(payload.as_ref());
+            for p in live {
+                let _ = p.reply.send(Err(ServeError::Internal { detail: detail.clone() }));
+            }
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdx_core::ModelConfig;
+
+    fn tiny_extractor() -> Arc<ScenarioExtractor> {
+        Arc::new(ScenarioExtractor::untrained(
+            ModelConfig {
+                frames: 4,
+                height: 16,
+                width: 16,
+                tubelet_t: 2,
+                patch: 8,
+                dim: 16,
+                spatial_depth: 1,
+                temporal_depth: 1,
+                heads: 2,
+                dropout: 0.0,
+                ..ModelConfig::default()
+            },
+            0,
+        ))
+    }
+
+    fn video(seed: f32) -> Tensor {
+        Tensor::from_fn(&[4, 16, 16], |i| ((i as f32 + seed) * 0.01).sin())
+    }
+
+    #[test]
+    fn coalesces_concurrent_submissions_into_one_forward() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        let b = Batcher::start(
+            Arc::clone(&ex),
+            BatchConfig { max_batch: 8, degrade_depth: None, ..BatchConfig::default() },
+            Arc::clone(&stats),
+        );
+        let rxs: Vec<_> = (0..6).map(|i| b.submit(video(i as f32), None, 0).unwrap()).collect();
+        let mut sizes = Vec::new();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let out = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+            assert_eq!(out.scenario, ex.extract_checked(&video(i as f32)).unwrap());
+            sizes.push(out.batch_size);
+        }
+        // At least one batch carried more than one clip (the first may run
+        // alone if the worker won the race to the queue).
+        assert!(
+            ServeStats::get(&stats.batches) < 6 || sizes.iter().any(|&s| s > 1),
+            "batches={} sizes={sizes:?}",
+            ServeStats::get(&stats.batches)
+        );
+        assert_eq!(ServeStats::get(&stats.completed), 6);
+        b.drain();
+    }
+
+    #[test]
+    fn queue_capacity_sheds_typed_429() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        // Stall the worker with a first entry whose forward takes real time,
+        // then fill the queue behind it.
+        let b = Batcher::start(
+            Arc::clone(&ex),
+            BatchConfig { queue_capacity: 2, max_batch: 1, ..BatchConfig::default() },
+            Arc::clone(&stats),
+        );
+        let mut kept = Vec::new();
+        let mut shed = 0;
+        for i in 0..50 {
+            match b.submit(video(i as f32), None, 0) {
+                Ok(rx) => kept.push(rx),
+                Err(e) => {
+                    assert!(matches!(e, ServeError::QueueFull { capacity: 2 }), "{e:?}");
+                    shed += 1;
+                }
+            }
+        }
+        assert!(shed > 0, "50 rapid submits into a 2-slot queue must shed");
+        // Every accepted request still gets answered.
+        for rx in kept {
+            assert!(rx.recv_timeout(Duration::from_secs(30)).unwrap().is_ok());
+        }
+        assert_eq!(ServeStats::get(&stats.shed_queue_full), shed);
+        b.drain();
+    }
+
+    #[test]
+    fn drain_answers_everything_and_rejects_new_work() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        let b = Batcher::start(Arc::clone(&ex), BatchConfig::default(), Arc::clone(&stats));
+        let rxs: Vec<_> = (0..5).map(|i| b.submit(video(i as f32), None, 0).unwrap()).collect();
+        b.drain();
+        for rx in rxs {
+            assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        }
+        assert!(matches!(b.submit(video(0.0), None, 0), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_before_the_forward() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        let b = Batcher::start(Arc::clone(&ex), BatchConfig::default(), Arc::clone(&stats));
+        // A deadline already in the past is unmakeable even with no cost
+        // estimate.
+        let past = Instant::now() - Duration::from_millis(5);
+        let rx = b.submit(video(1.0), Some(past), 5).unwrap();
+        let out = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(matches!(out, Err(ServeError::DeadlineExceeded { budget_ms: 5 })), "{out:?}");
+        assert_eq!(ServeStats::get(&stats.shed_deadline), 1);
+        // A generous deadline passes.
+        let rx = b.submit(video(2.0), Some(Instant::now() + Duration::from_secs(60)), 60_000);
+        assert!(rx.unwrap().recv_timeout(Duration::from_secs(30)).unwrap().is_ok());
+        b.drain();
+    }
+
+    #[test]
+    fn degrade_threshold_flips_batches_to_int8() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        // Threshold 1: every batch sees depth >= 1 at drain time.
+        let b = Batcher::start(
+            Arc::clone(&ex),
+            BatchConfig { degrade_depth: Some(1), ..BatchConfig::default() },
+            Arc::clone(&stats),
+        );
+        let rx = b.submit(video(3.0), None, 0).unwrap();
+        let out = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+        assert_eq!(out.plane, Precision::Int8);
+        assert!(ServeStats::get(&stats.batches_degraded) >= 1);
+        // The degraded answer matches the int8 plane run directly.
+        let reference =
+            precision::with_forced(Precision::Int8, || ex.extract_checked(&video(3.0)).unwrap());
+        assert_eq!(out.scenario, reference);
+        b.drain();
+    }
+}

@@ -1,0 +1,54 @@
+//! Extraction-as-a-service: a fault-hardened, batched HTTP front for
+//! [`tsdx_core::ScenarioExtractor`].
+//!
+//! The build is offline, so the server is hand-rolled over [`std::net`] —
+//! no async runtime, no HTTP crate. The design keeps the hot path simple
+//! and pushes all cleverness into *robustness*:
+//!
+//! * **Micro-batching** ([`batcher`]): concurrent `POST /v1/extract`
+//!   requests coalesce into one batched encoder forward through
+//!   [`ScenarioExtractor::extract_window_batch`], amortizing weight-packing
+//!   across clips.
+//! * **Bounded admission**: the batch queue has a hard capacity; past it
+//!   requests shed with a typed, retryable `429` *before* any model work.
+//!   A connection cap sheds with `503` before reading a byte.
+//! * **Deadlines**: `X-Deadline-Ms` propagates into the batcher, which
+//!   drops entries whose budget an EWMA forward estimate says cannot be
+//!   met — shedding beats accepting-then-missing.
+//! * **Degrade under pressure**: when queue depth crosses a threshold,
+//!   batches flip to the int8 plane (PR 7) — latency is bought with
+//!   precision, visibly (the response names the plane that served it).
+//! * **Fault containment** ([`error`], [`http`]): every malformed request,
+//!   slow client, disconnect, or handler panic maps to a typed
+//!   [`ServeError`] and at worst closes *that* connection. The listener
+//!   never dies; `tests/fault_injection.rs` proves it with injected accept
+//!   stalls, mid-body disconnects, and handler panics.
+//! * **Graceful shutdown**: `POST /admin/shutdown` (or [`Server::shutdown`])
+//!   stops admission, answers every queued request, drains in-flight
+//!   batches, then joins all threads.
+//!
+//! ```no_run
+//! use tsdx_core::{ModelConfig, ScenarioExtractor, VideoScenarioTransformer};
+//! use tsdx_serve::{Server, ServerConfig};
+//!
+//! let cfg = ModelConfig { frames: 4, height: 16, width: 16, ..ModelConfig::default() };
+//! let extractor = ScenarioExtractor::new(VideoScenarioTransformer::new(cfg, 0));
+//! let mut server = Server::start(extractor, ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", server.local_addr());
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod stats;
+
+pub use batcher::{BatchConfig, Batcher, Extraction};
+pub use error::ServeError;
+pub use server::{Server, ServerConfig};
+pub use stats::ServeStats;

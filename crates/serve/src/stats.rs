@@ -1,0 +1,139 @@
+//! Server-lifetime counters and the `/stats` SLO snapshot.
+//!
+//! Two sources feed the endpoint. Cheap process-wide **counters** (atomics
+//! here) record every admission decision — accepted, shed, rejected,
+//! panicking — from whichever thread made it. **Latency distributions**
+//! come from the PR 4 metrics layer: the batch worker runs under a
+//! [`tsdx_tensor::metrics::scope`], so the per-stage histograms
+//! (`stage/tubelet_embed` → `stage/decode`, plus `stage/serve_batch`)
+//! accumulate there and are published after every batch for `/stats` to
+//! read without cross-thread metric plumbing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tsdx_tensor::metrics::Snapshot;
+
+/// Monotonic counters over the server's lifetime. All relaxed: they are
+/// observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the batch queue.
+    pub accepted: AtomicU64,
+    /// Admitted requests answered with a scenario (200).
+    pub completed: AtomicU64,
+    /// Requests shed at admission with 429 (queue full).
+    pub shed_queue_full: AtomicU64,
+    /// Requests shed with 503 before their forward (deadline unmakeable).
+    pub shed_deadline: AtomicU64,
+    /// Connections turned away at the connection cap (503).
+    pub shed_busy: AtomicU64,
+    /// Requests rejected 4xx (malformed HTTP, bad JSON, invalid video).
+    pub rejected: AtomicU64,
+    /// Handler or batch-forward panics captured (500s served instead of a
+    /// crash).
+    pub panics_caught: AtomicU64,
+    /// Batched forwards executed.
+    pub batches: AtomicU64,
+    /// Batched forwards that ran on the int8 plane.
+    pub batches_int8: AtomicU64,
+    /// Batched forwards the pressure valve degraded to int8.
+    pub batches_degraded: AtomicU64,
+    /// Clips summed over all executed batches (mean batch size =
+    /// `batched_clips / batches`).
+    pub batched_clips: AtomicU64,
+    /// Current admission-queue depth (gauge, updated on enqueue/drain).
+    pub queue_depth: AtomicU64,
+    /// Latest published worker-side metrics snapshot.
+    worker_metrics: Mutex<Snapshot>,
+}
+
+impl ServeStats {
+    /// Bumps `c` by one.
+    pub fn inc(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads `c`.
+    pub fn get(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the batch worker's accumulated metrics for `/stats`.
+    pub fn publish_worker_metrics(&self, snap: Snapshot) {
+        *self.worker_metrics.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+    }
+
+    /// The latest published worker metrics.
+    pub fn worker_metrics(&self) -> Snapshot {
+        self.worker_metrics.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The `/stats` JSON document: admission counters plus p50/p99 (µs) of
+    /// every worker-side stage histogram.
+    pub fn to_json(&self, active_plane: &str, ready: bool) -> String {
+        let snap = self.worker_metrics();
+        let mut stages = String::new();
+        for (key, h) in &snap.hists {
+            if !stages.is_empty() {
+                stages.push(',');
+            }
+            stages.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                crate::json::escape(key),
+                h.count,
+                h.mean_ns() / 1_000,
+                h.quantile_ns(0.5) / 1_000,
+                h.quantile_ns(0.99) / 1_000,
+            ));
+        }
+        format!(
+            concat!(
+                "{{\"ready\":{ready},\"plane\":\"{plane}\",",
+                "\"accepted\":{accepted},\"completed\":{completed},",
+                "\"shed_queue_full\":{sqf},\"shed_deadline\":{sd},\"shed_busy\":{sb},",
+                "\"rejected\":{rej},\"panics_caught\":{pan},",
+                "\"batches\":{batches},\"batches_int8\":{b8},\"batches_degraded\":{bd},",
+                "\"batched_clips\":{clips},\"queue_depth\":{depth},",
+                "\"stages\":{{{stages}}}}}"
+            ),
+            ready = ready,
+            plane = active_plane,
+            accepted = Self::get(&self.accepted),
+            completed = Self::get(&self.completed),
+            sqf = Self::get(&self.shed_queue_full),
+            sd = Self::get(&self.shed_deadline),
+            sb = Self::get(&self.shed_busy),
+            rej = Self::get(&self.rejected),
+            pan = Self::get(&self.panics_caught),
+            batches = Self::get(&self.batches),
+            b8 = Self::get(&self.batches_int8),
+            bd = Self::get(&self.batches_degraded),
+            clips = Self::get(&self.batched_clips),
+            depth = Self::get(&self.queue_depth),
+            stages = stages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshot_carries_counters_and_stages() {
+        let stats = ServeStats::default();
+        ServeStats::inc(&stats.accepted);
+        ServeStats::inc(&stats.shed_queue_full);
+        let scope = tsdx_tensor::metrics::scope();
+        tsdx_tensor::metrics::stage("stage/serve_batch", || std::hint::black_box(1 + 1));
+        stats.publish_worker_metrics(scope.snapshot());
+        drop(scope);
+        let j = stats.to_json("f32", true);
+        assert!(j.contains("\"accepted\":1"), "{j}");
+        assert!(j.contains("\"shed_queue_full\":1"), "{j}");
+        assert!(j.contains("\"stage/serve_batch\""), "{j}");
+        assert!(j.contains("\"ready\":true"), "{j}");
+        assert!(crate::json::parse(j.as_bytes()).is_ok(), "stats must be valid JSON: {j}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Injected serve-side faults — an accept-loop stall, a client dying
+//! mid-body, a handler panicking — and the invariant they all share: the
+//! listener survives and keeps answering.
+//!
+//! Gated on `--features fault-inject`; `scripts/check.sh` runs it.
+
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use common::{get, post_clip, tiny_extractor, valid_pixels};
+use tsdx_serve::{Server, ServerConfig};
+
+/// The fault registry is process-global; serialize the tests that arm it.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    tsdx_tensor::faults::clear_all();
+    guard
+}
+
+#[test]
+fn accept_stall_delays_but_never_drops_requests() {
+    let _guard = locked();
+    let mut server = Server::start(tiny_extractor(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    tsdx_tensor::faults::arm_accept_stall(300);
+    let t0 = Instant::now();
+    // The first connection eats the stall; the one behind it queues in the
+    // OS backlog and still completes.
+    let first = std::thread::spawn(move || get(addr, "/healthz").status);
+    let second = std::thread::spawn(move || get(addr, "/healthz").status);
+    assert_eq!(first.join().unwrap(), 200);
+    assert_eq!(second.join().unwrap(), 200);
+    assert!(t0.elapsed() >= Duration::from_millis(300), "the stall must actually bite");
+
+    let resp = post_clip(addr, "4x16x16", &valid_pixels(), &[]).unwrap();
+    assert_eq!(resp.status, 200, "listener must keep extracting after the stall");
+    server.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_is_typed_and_contained() {
+    let _guard = locked();
+    let mut server = Server::start(tiny_extractor(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // The injected fault truncates the body read partway through, exactly
+    // what a client dying mid-upload produces.
+    tsdx_tensor::faults::arm_body_disconnect(64);
+    let resp = post_clip(addr, "4x16x16", &valid_pixels(), &[]).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("mid-body"), "{}", resp.body);
+
+    // Fresh connection, fresh request: full service.
+    let resp = post_clip(addr, "4x16x16", &valid_pixels(), &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn handler_panic_answers_500_and_spares_the_listener() {
+    let _guard = locked();
+    let mut server = Server::start(tiny_extractor(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Request indices are assigned in arrival order; the first request on a
+    // fresh server is index 0.
+    tsdx_tensor::faults::arm_handler_panic(0);
+    let resp = get(addr, "/healthz");
+    assert_eq!(resp.status, 500, "{}", resp.body);
+    assert!(resp.body.contains("\"kind\":\"internal\""), "{}", resp.body);
+    assert!(resp.body.contains("injected fault"), "{}", resp.body);
+
+    // The panic was contained to that connection: the very next request —
+    // including real model work — succeeds.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let resp = post_clip(addr, "4x16x16", &valid_pixels(), &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(server.stats().panics_caught.load(std::sync::atomic::Ordering::Relaxed), 1);
+    server.shutdown();
+}

@@ -1,0 +1,157 @@
+//! End-to-end smoke: boot a real server on a real socket, health-check it,
+//! run extraction round-trips in both encodings, and prove graceful
+//! shutdown answers everything already admitted.
+//!
+//! `scripts/check.sh` runs this file as its serve smoke stage under
+//! `TSDX_NUM_THREADS=2`.
+
+mod common;
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use common::{get, post_clip, tiny_extractor, valid_pixels, Client};
+use tsdx_serve::{BatchConfig, Server, ServerConfig};
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn health_ready_stats_round_trip() {
+    let mut server = Server::start(tiny_extractor(), test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200, "{}", health.body);
+    assert!(health.body.contains("\"ok\""));
+
+    let ready = get(addr, "/readyz");
+    assert_eq!(ready.status, 200, "{}", ready.body);
+    assert!(ready.body.contains("\"ready\":true"));
+
+    let stats = get(addr, "/stats");
+    assert_eq!(stats.status, 200);
+    assert!(
+        tsdx_serve::json::parse(stats.body.as_bytes()).is_ok(),
+        "stats must be valid JSON: {}",
+        stats.body
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn extraction_round_trips_in_both_encodings() {
+    let mut server = Server::start(tiny_extractor(), test_config()).unwrap();
+    let addr = server.local_addr();
+    let pixels = valid_pixels();
+
+    // Fast path: raw f32 little-endian body + shape header.
+    let resp = post_clip(addr, "4x16x16", &pixels, &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = tsdx_serve::json::parse(resp.body.as_bytes()).unwrap();
+    let scenario = parsed.get("scenario").expect("response carries a scenario");
+    assert!(matches!(scenario, tsdx_serve::json::Json::Str(s) if s.contains("ego ")));
+    assert!(resp.body.contains("\"plane\":\"f32\""), "{}", resp.body);
+
+    // JSON path answers the same scenario for the same pixels.
+    let pixel_list = pixels.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(",");
+    let body = format!("{{\"shape\":[4,16,16],\"pixels\":[{pixel_list}]}}");
+    let mut c = Client::connect(addr);
+    let json_resp = c.request("POST", "/v1/extract", &[], body.as_bytes()).unwrap();
+    assert_eq!(json_resp.status, 200, "{}", json_resp.body);
+    let json_parsed = tsdx_serve::json::parse(json_resp.body.as_bytes()).unwrap();
+    assert_eq!(json_parsed.get("scenario"), parsed.get("scenario"));
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let mut server = Server::start(tiny_extractor(), test_config()).unwrap();
+    let mut c = Client::connect(server.local_addr());
+    for _ in 0..3 {
+        let r = c.request("GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(r.status, 200);
+    }
+    // An explicit Connection: close is honored.
+    let r = c.request("GET", "/healthz", &[("connection", "close")], b"").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("connection"), Some("close"));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_everything_admitted() {
+    let cfg = ServerConfig {
+        batch: BatchConfig { max_batch: 4, ..BatchConfig::default() },
+        ..test_config()
+    };
+    let mut server = Server::start(tiny_extractor(), cfg).unwrap();
+    let addr = server.local_addr();
+    let pixels = valid_pixels();
+
+    // A burst of concurrent extractions...
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let pixels = pixels.clone();
+            std::thread::spawn(move || post_clip(addr, "4x16x16", &pixels, &[]).unwrap().status)
+        })
+        .collect();
+    // ...and a graceful shutdown racing them.
+    std::thread::sleep(Duration::from_millis(20));
+    server.shutdown();
+
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    // Every request got a typed answer: 200 if admitted, 503 if it arrived
+    // after draining began. Nothing was accepted-then-dropped.
+    for s in &statuses {
+        assert!(*s == 200 || *s == 503, "unexpected status {s} in {statuses:?}");
+    }
+    let stats = server.stats();
+    let accepted = stats.accepted.load(Ordering::Relaxed);
+    let completed = stats.completed.load(Ordering::Relaxed);
+    assert_eq!(
+        accepted, completed,
+        "drain must answer every admitted request (accepted={accepted} completed={completed})"
+    );
+    assert_eq!(statuses.iter().filter(|&&s| s == 200).count() as u64, completed);
+
+    // The listener is gone: readiness probes now fail to connect.
+    assert!(
+        std::net::TcpStream::connect(addr).is_err() || {
+            // Accept loop may have exited with the socket still in TIME_WAIT on
+            // some kernels; a connect that succeeds must at least get no answer.
+            let mut c = Client::connect(addr);
+            c.request("GET", "/readyz", &[], b"").map(|r| r.status == 503).unwrap_or(true)
+        }
+    );
+}
+
+#[test]
+fn admin_shutdown_endpoint_drains_remotely() {
+    let mut server = Server::start(tiny_extractor(), test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let resp = Client::connect(addr).request("POST", "/admin/shutdown", &[], b"").unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    assert!(resp.body.contains("draining"));
+
+    // The server refuses new work while draining and is fully down soon.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Err(_) => break, // listener closed: drained
+            Ok(_) => {
+                assert!(std::time::Instant::now() < deadline, "drain never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    server.shutdown(); // idempotent
+}

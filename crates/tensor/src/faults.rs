@@ -13,7 +13,15 @@
 //! * [`arm_checkpoint_bit_flip`] — the next checkpoint save flips bit `k`
 //!   of the encoded file, simulating silent storage corruption;
 //! * [`arm_nan_grad`] — the training loop poisons the collected gradients
-//!   with a NaN at the given optimizer step (exercises the bad-batch guard).
+//!   with a NaN at the given optimizer step (exercises the bad-batch guard);
+//! * [`arm_accept_stall`] — the serve layer's accept loop stalls for the
+//!   given duration before handling the next connection, simulating a
+//!   listener hiccup (liveness probes must keep answering afterwards);
+//! * [`arm_body_disconnect`] — the serve layer's request-body reader sees
+//!   the client vanish after `n` bytes (unexpected EOF mid-body);
+//! * [`arm_handler_panic`] — the serve layer's request handler panics while
+//!   processing accepted request number `i` (0-indexed, counted across the
+//!   process), exercising the connection-boundary panic capture.
 //!
 //! Every fault fires **at most once** and is disarmed when it fires, so a
 //! test arms exactly the failure it wants and the rest of the run proceeds
@@ -27,6 +35,9 @@ struct Armed {
     checkpoint_tear_after: Option<u64>,
     checkpoint_flip_bit: Option<u64>,
     nan_grad_step: Option<u32>,
+    accept_stall_ms: Option<u64>,
+    body_disconnect_after: Option<usize>,
+    handler_panic_request: Option<u64>,
 }
 
 static ARMED: Mutex<Armed> = Mutex::new(Armed {
@@ -34,6 +45,9 @@ static ARMED: Mutex<Armed> = Mutex::new(Armed {
     checkpoint_tear_after: None,
     checkpoint_flip_bit: None,
     nan_grad_step: None,
+    accept_stall_ms: None,
+    body_disconnect_after: None,
+    handler_panic_request: None,
 });
 
 fn armed() -> std::sync::MutexGuard<'static, Armed> {
@@ -66,6 +80,25 @@ pub fn arm_nan_grad(step: u32) {
     armed().nan_grad_step = Some(step);
 }
 
+/// Arms an accept-loop stall: the next connection the serve layer accepts
+/// is only handled after `ms` milliseconds.
+pub fn arm_accept_stall(ms: u64) {
+    armed().accept_stall_ms = Some(ms);
+}
+
+/// Arms a mid-body client disconnect: the next request body the serve
+/// layer reads hits EOF after `bytes` bytes, regardless of the declared
+/// `Content-Length`.
+pub fn arm_body_disconnect(bytes: usize) {
+    armed().body_disconnect_after = Some(bytes);
+}
+
+/// Arms a panic inside the serve layer's handler for accepted request
+/// number `request` (0-indexed, counted process-wide).
+pub fn arm_handler_panic(request: u64) {
+    armed().handler_panic_request = Some(request);
+}
+
 /// Disarms every pending fault.
 pub fn clear_all() {
     let mut a = armed();
@@ -73,6 +106,9 @@ pub fn clear_all() {
     a.checkpoint_tear_after = None;
     a.checkpoint_flip_bit = None;
     a.nan_grad_step = None;
+    a.accept_stall_ms = None;
+    a.body_disconnect_after = None;
+    a.handler_panic_request = None;
 }
 
 /// Polled by the pool: panics (once) when chunk `chunk` is armed.
@@ -117,6 +153,31 @@ pub fn nan_grad_at(step: u32) -> bool {
     }
 }
 
+/// Polled by the serve accept loop: takes a pending stall in milliseconds.
+pub fn take_accept_stall() -> Option<u64> {
+    armed().accept_stall_ms.take()
+}
+
+/// Polled by the serve body reader: takes a pending mid-body disconnect
+/// byte count.
+pub fn take_body_disconnect() -> Option<usize> {
+    armed().body_disconnect_after.take()
+}
+
+/// Polled by the serve request handler: true (once) when accepted request
+/// number `request` is armed.
+///
+/// The caller panics when this fires — the registry only decides *when*.
+pub fn handler_panic_at(request: u64) -> bool {
+    let mut a = armed();
+    if a.handler_panic_request == Some(request) {
+        a.handler_panic_request = None;
+        true
+    } else {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +197,19 @@ mod tests {
         arm_checkpoint_bit_flip(9);
         assert_eq!(take_checkpoint_bit_flip(), Some(9));
         assert_eq!(take_checkpoint_bit_flip(), None);
+
+        arm_accept_stall(25);
+        assert_eq!(take_accept_stall(), Some(25));
+        assert_eq!(take_accept_stall(), None);
+
+        arm_body_disconnect(64);
+        assert_eq!(take_body_disconnect(), Some(64));
+        assert_eq!(take_body_disconnect(), None);
+
+        arm_handler_panic(5);
+        assert!(!handler_panic_at(4));
+        assert!(handler_panic_at(5));
+        assert!(!handler_panic_at(5), "fault must disarm after firing");
         clear_all();
     }
 }

@@ -54,6 +54,18 @@ cargo run -q -p tsdx-bench --release --bin streambench -- --quick > /dev/null
 echo "==> fault-injection suite (worker panics, torn/corrupt checkpoints, NaN grads)"
 cargo test -q --features fault-inject
 
+echo "==> serve suite (HTTP hardening, batcher, error mapping, proptest fuzz)"
+TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve
+
+echo "==> serve fault-injection suite (accept stall, mid-body disconnect, handler panic)"
+TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve --features fault-inject --test fault_injection
+
+echo "==> serve smoke (boot server, health check, extraction round-trip, drain assert)"
+TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve --test smoke
+
+echo "==> servebench smoke (overload sheds typed, p99 within deadline, drain completeness)"
+TSDX_NUM_THREADS=2 cargo run -q -p tsdx-bench --release --bin servebench -- --quick > /dev/null
+
 echo "==> kill-and-resume determinism under a 2-worker pool"
 TSDX_NUM_THREADS=2 cargo test -q --test resume_training
 

@@ -18,6 +18,7 @@
 //! | [`core`] | `tsdx-core` | the video scenario transformer |
 //! | [`baselines`] | `tsdx-baselines` | heuristic, frame-MLP, CNN+GRU |
 //! | [`metrics`] | `tsdx-metrics` | evaluation arithmetic |
+//! | [`serve`] | `tsdx-serve` | batched, fault-hardened HTTP serving |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use tsdx_metrics as metrics;
 pub use tsdx_nn as nn;
 pub use tsdx_render as render;
 pub use tsdx_sdl as sdl;
+pub use tsdx_serve as serve;
 pub use tsdx_sim as sim;
 pub use tsdx_tensor as tensor;
 
