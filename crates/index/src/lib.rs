@@ -1,0 +1,44 @@
+//! # tsdx-index
+//!
+//! A sharded vector index over SDL scenario embeddings, built for the
+//! retrieval experiments (Table 3) at ROADMAP scale: millions of extracted
+//! descriptions, exact brute-force search, and crash-safe persistence.
+//!
+//! * **Embeddings** come from [`tsdx_sdl::embed`] — L2-normalized, so
+//!   similarity is a plain dot product ([`tsdx_sdl::dot`]).
+//! * **Shards** are fixed-stride binary files in the checkpoint-v2
+//!   integrity envelope (magic, declared length, CRC32 over rows and over
+//!   the file, atomic temp+fsync+rename writes). Torn or bit-flipped
+//!   shards load as typed [`IndexError`]s — never a panic, never silently
+//!   wrong data.
+//! * **Queries** fan one chunk per shard onto the worker pool and rank
+//!   with the total [`tsdx_sdl::top_k`] order, so top-k answers are
+//!   bit-identical across pool sizes and shard capacities, with an
+//!   ascending-id tie-break.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsdx_index::{IndexConfig, VectorIndex};
+//! use tsdx_sdl::parse_scenario;
+//!
+//! let mut index = VectorIndex::default();
+//! let a = parse_scenario("ego cruise; vehicle leading ahead; road straight")?;
+//! let b = parse_scenario("ego decelerate-to-stop; pedestrian crossing; road intersection")?;
+//! index.push_scenario(&a).expect("default index uses EMBED_DIM");
+//! index.push_scenario(&b).expect("default index uses EMBED_DIM");
+//!
+//! let hits = index.query_scenario(&a, 1).expect("query dim matches");
+//! assert_eq!(hits[0].0, 0); // the query itself
+//! assert!((hits[0].1 - 1.0).abs() < 1e-5);
+//! # Ok::<(), tsdx_sdl::ParseScenarioError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod shard;
+mod vector_index;
+
+pub use shard::IndexError;
+pub use vector_index::{IndexConfig, VectorIndex, DEFAULT_SHARD_CAPACITY};

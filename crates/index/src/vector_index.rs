@@ -1,0 +1,349 @@
+//! The in-memory sharded index and its parallel brute-force scan.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use tsdx_sdl::{dot, embed, is_unit_norm, top_k, Scenario, EMBED_DIM};
+use tsdx_tensor::pool;
+
+use crate::shard::{load_shard, save_shard, IndexError};
+
+/// Default rows per shard: large enough that scan setup amortizes, small
+/// enough that a shard re-write after an append stays cheap.
+pub const DEFAULT_SHARD_CAPACITY: usize = 65_536;
+
+/// Construction parameters for a [`VectorIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Embedding dimensionality (stride of every stored row).
+    pub dim: usize,
+    /// Rows per shard; the last shard may be partially filled.
+    pub shard_capacity: usize,
+}
+
+impl Default for IndexConfig {
+    /// SDL defaults: [`EMBED_DIM`]-wide rows, [`DEFAULT_SHARD_CAPACITY`]
+    /// rows per shard.
+    fn default() -> Self {
+        IndexConfig { dim: EMBED_DIM, shard_capacity: DEFAULT_SHARD_CAPACITY }
+    }
+}
+
+/// A sharded vector index over L2-normalized embeddings.
+///
+/// Rows live in fixed-stride shards (flat `f32` blocks behind [`Arc`]s so
+/// the scan can fan out on the worker pool without copying). Ids are dense
+/// `u64`s in insertion order. Queries are exact brute-force scans: one pool
+/// chunk per shard, each chunk ranking its rows with the total
+/// [`top_k`] order, then a final merge — the answer is bit-identical across
+/// pool sizes (results are gathered by chunk index) and across shard
+/// capacities (each row's dot product never depends on where a shard
+/// boundary falls).
+#[derive(Debug, Clone)]
+pub struct VectorIndex {
+    dim: usize,
+    shard_capacity: usize,
+    /// `(base_id, rows)` per shard; every shard except the last is full.
+    shards: Vec<(u64, Arc<Vec<f32>>)>,
+}
+
+impl Default for VectorIndex {
+    fn default() -> Self {
+        VectorIndex::new(IndexConfig::default())
+    }
+}
+
+impl VectorIndex {
+    /// An empty index with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` or `shard_capacity` is zero — both are
+    /// construction-time constants, not runtime inputs.
+    pub fn new(cfg: IndexConfig) -> Self {
+        assert!(cfg.dim > 0, "index dim must be positive");
+        assert!(cfg.shard_capacity > 0, "shard capacity must be positive");
+        VectorIndex { dim: cfg.dim, shard_capacity: cfg.shard_capacity, shards: Vec::new() }
+    }
+
+    /// Embedding dimensionality (stride of every stored row).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> u64 {
+        match self.shards.last() {
+            Some((base, rows)) => base + (rows.len() / self.dim) as u64,
+            None => 0,
+        }
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Number of shards currently held.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Appends one raw row, returning its id.
+    ///
+    /// The caller owns the unit-norm invariant for raw rows; vectors that
+    /// arrive through [`Self::push_scenario`] carry it by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::DimMismatch`] when `v` is not `dim` wide.
+    pub fn push(&mut self, v: &[f32]) -> Result<u64, IndexError> {
+        if v.len() != self.dim {
+            return Err(IndexError::DimMismatch { expected: self.dim, found: v.len() });
+        }
+        let id = self.len();
+        let capacity_elems = self.shard_capacity * self.dim;
+        let needs_new_shard = match self.shards.last() {
+            Some((_, rows)) => rows.len() >= capacity_elems,
+            None => true,
+        };
+        if needs_new_shard {
+            self.shards.push((id, Arc::new(Vec::with_capacity(capacity_elems.min(1 << 20)))));
+        }
+        let rows = &mut self.shards.last_mut().expect("shard just ensured").1;
+        Arc::make_mut(rows).extend_from_slice(v);
+        Ok(id)
+    }
+
+    /// Embeds and appends one scenario, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::DimMismatch`] when the index was not built with
+    /// `dim == EMBED_DIM`.
+    pub fn push_scenario(&mut self, s: &Scenario) -> Result<u64, IndexError> {
+        let e = embed(s);
+        debug_assert!(is_unit_norm(&e), "sdl::embed must produce unit-norm vectors");
+        self.push(&e)
+    }
+
+    /// The stored row with id `id`, if any.
+    pub fn row(&self, id: u64) -> Option<&[f32]> {
+        let shard = self.shards.partition_point(|(base, _)| *base <= id).checked_sub(1)?;
+        let (base, rows) = &self.shards[shard];
+        let off = (id - base) as usize * self.dim;
+        rows.get(off..off + self.dim)
+    }
+
+    /// The `k` most similar rows to `q`, best first, as `(id, similarity)`.
+    ///
+    /// Similarity is the plain dot product — exact cosine for the
+    /// unit-norm rows [`Self::push_scenario`] stores. One pool chunk scans
+    /// each shard; the per-shard winners merge under the same total order,
+    /// so the result is deterministic for any input and identical across
+    /// pool sizes and shard capacities.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::DimMismatch`] when `q` is not `dim` wide.
+    pub fn query(&self, q: &[f32], k: usize) -> Result<Vec<(u64, f32)>, IndexError> {
+        if q.len() != self.dim {
+            return Err(IndexError::DimMismatch { expected: self.dim, found: q.len() });
+        }
+        if k == 0 || self.shards.is_empty() {
+            return Ok(Vec::new());
+        }
+        let dim = self.dim;
+        let shards: Arc<Vec<(u64, Arc<Vec<f32>>)>> = Arc::new(self.shards.clone());
+        let q: Arc<Vec<f32>> = Arc::new(q.to_vec());
+        let per_shard = pool::map_chunks_named("index/scan", shards.len(), move |c| {
+            let (base, rows) = &shards[c];
+            scan_shard(&q, rows, dim, *base, k)
+        });
+        let mut candidates = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+        for hits in per_shard {
+            candidates.extend(hits);
+        }
+        Ok(top_k(candidates, k))
+    }
+
+    /// Embeds `s` and runs [`Self::query`].
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::DimMismatch`] when the index was not built with
+    /// `dim == EMBED_DIM`.
+    pub fn query_scenario(&self, s: &Scenario, k: usize) -> Result<Vec<(u64, f32)>, IndexError> {
+        self.query(&embed(s), k)
+    }
+
+    /// Writes every shard to `dir` as `shard-NNNNN.idx`, crash-safely.
+    ///
+    /// Stale shard files from a previous, larger save are removed first so
+    /// `dir` always round-trips to exactly this index.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the directory, removing stale shards,
+    /// or staging and renaming shard files.
+    pub fn save_to(&self, dir: &Path) -> Result<(), IndexError> {
+        std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if is_shard_file_name(&entry.file_name().to_string_lossy()) {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        for (i, (base, rows)) in self.shards.iter().enumerate() {
+            let path = dir.join(format!("shard-{i:05}.idx"));
+            save_shard(&path, self.dim, *base, rows)?;
+        }
+        Ok(())
+    }
+
+    /// Loads an index previously written by [`Self::save_to`].
+    ///
+    /// Every shard is fully verified (magic, declared length, both CRCs,
+    /// geometry) and the set as a whole must be consistent: one dim
+    /// everywhere and dense, contiguous ids starting at 0. The shard
+    /// capacity is inferred from the largest shard on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Io`] on read failures, and the full typed taxonomy
+    /// ([`IndexError::Truncated`], [`IndexError::Checksum`],
+    /// [`IndexError::Format`]) for torn, bit-flipped, or inconsistent
+    /// shards — corruption is never a panic.
+    pub fn load(dir: &Path) -> Result<Self, IndexError> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| is_shard_file_name(n))
+            .collect();
+        names.sort();
+        let mut shards: Vec<(u64, Arc<Vec<f32>>)> = Vec::with_capacity(names.len());
+        let mut dim = 0usize;
+        let mut next_id = 0u64;
+        let mut capacity = 0usize;
+        for name in &names {
+            let rec = load_shard(&dir.join(name))?;
+            if shards.is_empty() {
+                dim = rec.dim;
+            } else if rec.dim != dim {
+                return Err(IndexError::Format(format!(
+                    "inconsistent shard dims: {name} has {}, earlier shards have {dim}",
+                    rec.dim
+                )));
+            }
+            if rec.base_id != next_id {
+                return Err(IndexError::Format(format!(
+                    "non-contiguous shard ids: {name} starts at {}, expected {next_id}",
+                    rec.base_id
+                )));
+            }
+            let count = rec.rows.len() / rec.dim;
+            next_id += count as u64;
+            capacity = capacity.max(count);
+            shards.push((rec.base_id, Arc::new(rec.rows)));
+        }
+        Ok(VectorIndex {
+            dim: if dim == 0 { IndexConfig::default().dim } else { dim },
+            shard_capacity: if capacity == 0 { DEFAULT_SHARD_CAPACITY } else { capacity },
+            shards,
+        })
+    }
+}
+
+/// Ranks one shard's rows against `q`: stride-aware scan, global ids.
+fn scan_shard(q: &[f32], rows: &[f32], dim: usize, base: u64, k: usize) -> Vec<(u64, f32)> {
+    let scored: Vec<(u64, f32)> =
+        rows.chunks_exact(dim).enumerate().map(|(i, row)| (base + i as u64, dot(q, row))).collect();
+    top_k(scored, k)
+}
+
+fn is_shard_file_name(name: &str) -> bool {
+    name.starts_with("shard-") && name.ends_with(".idx")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    fn tiny() -> VectorIndex {
+        let mut ix = VectorIndex::new(IndexConfig { dim: 4, shard_capacity: 3 });
+        for i in 0..10 {
+            ix.push(&unit(4, i % 4)).expect("dim matches");
+        }
+        ix
+    }
+
+    #[test]
+    fn ids_are_dense_and_rows_recoverable() {
+        let ix = tiny();
+        assert_eq!(ix.len(), 10);
+        assert_eq!(ix.shard_count(), 4); // 3+3+3+1
+        for i in 0..10u64 {
+            assert_eq!(ix.row(i).expect("present"), &unit(4, i as usize % 4)[..]);
+        }
+        assert!(ix.row(10).is_none());
+    }
+
+    #[test]
+    fn query_finds_exact_match_first_with_id_tie_break() {
+        let ix = tiny();
+        let hits = ix.query(&unit(4, 2), 3).expect("dim matches");
+        // Rows 2, 6 score 1.0; tie-break keeps ascending ids.
+        assert_eq!(hits[0], (2, 1.0));
+        assert_eq!(hits[1], (6, 1.0));
+    }
+
+    #[test]
+    fn dim_mismatch_is_typed_on_push_and_query() {
+        let mut ix = tiny();
+        assert!(matches!(
+            ix.push(&[1.0; 3]),
+            Err(IndexError::DimMismatch { expected: 4, found: 3 })
+        ));
+        assert!(matches!(ix.query(&[1.0; 5], 1), Err(IndexError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_index_and_k_zero_answer_empty() {
+        let ix = VectorIndex::new(IndexConfig { dim: 4, shard_capacity: 3 });
+        assert!(ix.query(&unit(4, 0), 5).expect("dim matches").is_empty());
+        assert!(tiny().query(&unit(4, 0), 0).expect("dim matches").is_empty());
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = std::env::temp_dir().join(format!("tsdx-index-rt-{}", std::process::id()));
+        let ix = tiny();
+        ix.save_to(&dir).expect("save");
+        let back = VectorIndex::load(&dir).expect("load");
+        assert_eq!(back.len(), ix.len());
+        assert_eq!(back.dim(), ix.dim());
+        for i in 0..ix.len() {
+            assert_eq!(back.row(i), ix.row(i));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_removes_stale_shards() {
+        let dir = std::env::temp_dir().join(format!("tsdx-index-stale-{}", std::process::id()));
+        tiny().save_to(&dir).expect("save big");
+        let mut small = VectorIndex::new(IndexConfig { dim: 4, shard_capacity: 3 });
+        small.push(&unit(4, 0)).expect("dim matches");
+        small.save_to(&dir).expect("save small");
+        let back = VectorIndex::load(&dir).expect("load");
+        assert_eq!(back.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,143 @@
+//! Determinism and exactness contract of [`VectorIndex::query`].
+//!
+//! The bar, per the index's documentation: answers are bit-identical
+//! across worker-pool sizes and shard capacities, equal to an exact
+//! full-sort reference scan, immune to adversarial rows (NaN, zero
+//! vectors), and stable across a save/load round trip.
+
+use proptest::prelude::*;
+use tsdx_index::{IndexConfig, VectorIndex};
+use tsdx_sdl::{dot, rank_order, vocab, ActorClause, EgoManeuver, Position, RoadKind, Scenario};
+use tsdx_tensor::pool;
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let actor = ((0..vocab::EVENT_CLASSES.len()), 0..=Position::COUNT).prop_map(|(e, p)| {
+        let (kind, action) = vocab::EVENT_CLASSES[e];
+        let position = if p == Position::COUNT { None } else { Some(Position::from_index(p)) };
+        ActorClause { kind, action, position }
+    });
+    (
+        (0..EgoManeuver::COUNT).prop_map(EgoManeuver::from_index),
+        (0..RoadKind::COUNT).prop_map(RoadKind::from_index),
+        prop::collection::vec(actor, 0..=4),
+    )
+        .prop_map(|(ego, road, actors)| Scenario { ego, actors, road })
+}
+
+/// Rows that a well-behaved caller would never push: NaN-poisoned, zero,
+/// and denormal-ish vectors alongside ordinary ones.
+fn arb_adversarial_row(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            -1.0f32..=1.0,
+            Just(0.0f32),
+            Just(f32::NAN),
+            Just(f32::INFINITY),
+            Just(f32::MIN_POSITIVE),
+        ],
+        dim..=dim,
+    )
+}
+
+fn build(capacity: usize, rows: &[Vec<f32>]) -> VectorIndex {
+    let dim = rows[0].len();
+    let mut ix = VectorIndex::new(IndexConfig { dim, shard_capacity: capacity });
+    for r in rows {
+        ix.push(r).expect("fixed dim");
+    }
+    ix
+}
+
+/// Exact reference: score every row serially, full-sort with the same
+/// total order, truncate.
+fn reference_scan(q: &[f32], rows: &[Vec<f32>], k: usize) -> Vec<(u64, f32)> {
+    let mut scored: Vec<(u64, f32)> =
+        rows.iter().enumerate().map(|(i, r)| (i as u64, dot(q, r))).collect();
+    scored.sort_by(rank_order::<u64>);
+    scored.truncate(k);
+    scored
+}
+
+fn bits(hits: &[(u64, f32)]) -> Vec<(u64, u32)> {
+    hits.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+proptest! {
+    #[test]
+    fn query_matches_exact_reference_even_on_adversarial_rows(
+        rows in prop::collection::vec(arb_adversarial_row(6), 1..40),
+        q in arb_adversarial_row(6),
+        k in 1usize..12,
+        capacity in 1usize..9,
+    ) {
+        let ix = build(capacity, &rows);
+        let got = ix.query(&q, k).expect("dim matches");
+        let want = reference_scan(&q, &rows, k);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn query_is_bit_identical_across_pool_sizes(
+        rows in prop::collection::vec(arb_adversarial_row(6), 1..40),
+        q in arb_adversarial_row(6),
+        k in 1usize..8,
+    ) {
+        let ix = build(5, &rows);
+        let answers: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                pool::with_forced_threads(threads, || ix.query(&q, k).expect("dim matches"))
+            })
+            .collect();
+        prop_assert_eq!(bits(&answers[0]), bits(&answers[1]));
+        prop_assert_eq!(bits(&answers[0]), bits(&answers[2]));
+    }
+
+    #[test]
+    fn query_is_bit_identical_across_shard_capacities(
+        rows in prop::collection::vec(arb_adversarial_row(6), 1..40),
+        q in arb_adversarial_row(6),
+        k in 1usize..8,
+        cap_a in 1usize..9,
+        cap_b in 9usize..64,
+    ) {
+        let a = build(cap_a, &rows).query(&q, k).expect("dim matches");
+        let b = build(cap_b, &rows).query(&q, k).expect("dim matches");
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn scenario_queries_round_trip_through_disk(
+        entries in prop::collection::vec(arb_scenario(), 1..20),
+        k in 1usize..6,
+        capacity in 1usize..7,
+    ) {
+        let mut ix = VectorIndex::new(IndexConfig {
+            shard_capacity: capacity,
+            ..IndexConfig::default()
+        });
+        for s in &entries {
+            ix.push_scenario(s).expect("EMBED_DIM index");
+        }
+        let dir = std::env::temp_dir()
+            .join(format!("tsdx-index-parity-{}-{}", std::process::id(), entries.len()));
+        ix.save_to(&dir).expect("save");
+        let back = VectorIndex::load(&dir).expect("load");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let query = &entries[0];
+        let a = ix.query_scenario(query, k).expect("dim matches");
+        let b = back.query_scenario(query, k).expect("dim matches");
+        prop_assert_eq!(bits(&a), bits(&b));
+        // The query itself is indexed, so the best hit is exact.
+        prop_assert!((a[0].1 - 1.0).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn duplicate_rows_tie_break_on_ascending_id() {
+    let row = vec![0.5f32, 0.5, 0.5, 0.5];
+    let ix = build(2, &[row.clone(), row.clone(), row.clone(), row.clone(), row.clone()]);
+    let hits = ix.query(&row, 3).expect("dim matches");
+    assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+}

@@ -63,7 +63,7 @@ pub use optim::{clip_global_norm, AdamW, AdamWState, LrSchedule, Optimizer, Sgd}
 pub use params::{Binding, ParamId, ParamStore, QuantizedWeights, ShapeMismatch};
 pub use rnn::Gru;
 pub use serialize::{
-    load_checkpoint, read_checkpoint, read_train_checkpoint, save_checkpoint,
-    save_train_checkpoint, CheckpointError, TrainCheckpoint, TrainState,
+    crc32, load_checkpoint, read_checkpoint, read_train_checkpoint, save_checkpoint,
+    save_train_checkpoint, write_atomic, CheckpointError, TrainCheckpoint, TrainState,
 };
 pub use transformer::{EncoderKvCache, Mlp, TransformerBlock, TransformerEncoder};

@@ -199,7 +199,12 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-fn crc32(bytes: &[u8]) -> u32 {
+/// CRC32 (IEEE 802.3 / zlib polynomial) of `bytes`.
+///
+/// The same checksum guards every on-disk artifact in the workspace —
+/// checkpoint-v2 sections here and vector-index shards in `tsdx-index` —
+/// so corruption tooling and fault-injection tests share one definition.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -443,13 +448,23 @@ fn sync_dir(path: &Path) {
 }
 
 /// Writes `bytes` to `path` via temp file + fsync + atomic rename.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| CheckpointError::Format("checkpoint path has no file name".into()))?;
+///
+/// The destination only ever holds either its previous contents or the
+/// complete new bytes — never a torn prefix. Used by checkpoint saves here
+/// and by `tsdx-index` shard writes; callers with typed error enums map the
+/// `io::Error` into their own `Io` variant.
+///
+/// # Errors
+///
+/// `InvalidInput` when `path` has no file name, plus any I/O error from
+/// staging, syncing, or renaming (the temp file is removed on failure).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "destination path has no file name")
+    })?;
     let tmp =
         path.with_file_name(format!("{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
-    let result: Result<(), CheckpointError> = (|| {
+    let result: io::Result<()> = (|| {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
@@ -497,7 +512,8 @@ pub fn save_train_checkpoint(
             bytes[byte] ^= 1 << (bit % 8) as u8;
         }
     }
-    write_atomic(path, &bytes)
+    write_atomic(path, &bytes)?;
+    Ok(())
 }
 
 /// Writes every parameter of `store` to `path` (no optimizer/loop state).

@@ -10,7 +10,8 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::ast::{ActorAction, ActorKind, EgoManeuver, Position, RoadKind, Scenario};
-use crate::embed::{cosine, embed};
+use crate::embed::{dot, embed, is_unit_norm};
+use crate::rank::top_k;
 
 /// An attribute filter over scenarios (conjunctive; `None` = wildcard).
 ///
@@ -234,27 +235,37 @@ impl ScenarioCorpus {
 
     /// The `k` nearest scenarios to `query` by embedding cosine similarity,
     /// most similar first. Returns `(id, similarity)` pairs.
+    ///
+    /// Stored embeddings are unit-norm ([`embed`] guarantees it), so the
+    /// similarity is a plain dot product, and ranking uses the total
+    /// [`top_k`] order (score descending by `f32::total_cmp`, ascending-id
+    /// tie-break): O(n + k log k), never a panic, deterministic for any
+    /// input — including adversarial non-finite scores.
     pub fn query_similar(&self, query: &Scenario, k: usize) -> Vec<(usize, f32)> {
         let qe = embed(query);
-        let mut scored: Vec<(usize, f32)> =
-            self.embeddings.iter().enumerate().map(|(i, e)| (i, cosine(&qe, e))).collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
-        scored.truncate(k);
-        scored
+        let scored: Vec<(usize, f32)> =
+            self.embeddings.iter().enumerate().map(|(i, e)| (i, self.score(&qe, e))).collect();
+        top_k(scored, k)
     }
 
     /// Combined query: filter first, then rank the survivors by similarity
-    /// to `query`.
+    /// to `query`. Same ordering contract as [`Self::query_similar`].
     pub fn search(&self, filter: &ScenarioFilter, query: &Scenario, k: usize) -> Vec<(usize, f32)> {
         let qe = embed(query);
-        let mut scored: Vec<(usize, f32)> = self
+        let scored: Vec<(usize, f32)> = self
             .filter(filter)
             .into_iter()
-            .map(|i| (i, cosine(&qe, &self.embeddings[i])))
+            .map(|i| (i, self.score(&qe, &self.embeddings[i])))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
-        scored.truncate(k);
-        scored
+        top_k(scored, k)
+    }
+
+    /// Similarity of a query embedding against one stored entry: the
+    /// unit-norm dot-product fast path, with the invariant checked in
+    /// debug builds.
+    fn score(&self, query: &[f32], stored: &[f32]) -> f32 {
+        debug_assert!(is_unit_norm(stored), "corpus embeddings must be unit-norm");
+        dot(query, stored)
     }
 }
 

@@ -38,7 +38,12 @@ pub fn embed(s: &Scenario) -> Vec<f32> {
 
 /// Cosine similarity between two equally-sized vectors.
 ///
-/// Returns 0 when either vector is all-zero.
+/// Returns 0 when either vector is all-zero. This is the general-input
+/// entry point: it recomputes both norms, so it is correct for arbitrary
+/// vectors. Hot scan loops over embeddings that [`embed`] produced should
+/// use [`dot`] instead — those vectors are unit-norm by construction, so
+/// the dot product *is* the cosine and both `sqrt`s plus the division are
+/// pure waste per corpus entry.
 ///
 /// # Panics
 ///
@@ -53,6 +58,45 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     } else {
         dot / (na * nb)
     }
+}
+
+/// Dot product of two equally-sized vectors — the unit-norm fast path for
+/// similarity scans.
+///
+/// For vectors produced by [`embed`] (L2-normalized, see
+/// [`is_unit_norm`]) the dot product equals the cosine similarity, without
+/// recomputing two norms per corpus entry. Four independent accumulator
+/// lanes keep the loop free of a serial dependency chain so it
+/// autovectorizes; the lane split is a pure function of the slice length,
+/// so the result is bit-identical no matter how the surrounding scan is
+/// sharded or threaded.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut lanes = [0.0f32; 4];
+    let (a4, a_tail) = a.split_at(a.len() & !3);
+    let (b4, b_tail) = b.split_at(b.len() & !3);
+    for (x, y) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        for l in 0..4 {
+            lanes[l] += x[l] * y[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        tail += x * y;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// True when `v` is L2-normalized to within `1e-4` — the invariant every
+/// stored [`embed`] vector satisfies. Scan fast paths assert it in debug
+/// builds before trusting [`dot`] as a cosine.
+pub fn is_unit_norm(v: &[f32]) -> bool {
+    let n2: f32 = v.iter().map(|&x| x * x).sum();
+    (n2 - 1.0).abs() <= 1e-4
 }
 
 /// Cosine similarity of two scenarios' embeddings.
@@ -118,6 +162,33 @@ mod tests {
     #[test]
     fn cosine_handles_zero_vectors() {
         assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_equals_cosine_on_unit_vectors() {
+        let a = embed(&s1());
+        let b = embed(&Scenario::new(EgoManeuver::Accelerate, RoadKind::Intersection));
+        assert!(is_unit_norm(&a) && is_unit_norm(&b));
+        assert!((dot(&a, &b) - cosine(&a, &b)).abs() < 1e-6);
+        assert!((dot(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_handles_every_tail_length() {
+        for n in 0..9 {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 + 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|i| 1.0 - i as f32 * 0.25).collect();
+            let reference: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert!((dot(&a, &b) - reference).abs() < 1e-4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unit_norm_check_rejects_unnormalized_and_poisoned_vectors() {
+        assert!(is_unit_norm(&[1.0, 0.0, 0.0]));
+        assert!(!is_unit_norm(&[1.0, 1.0]));
+        assert!(!is_unit_norm(&[0.0; 4]));
+        assert!(!is_unit_norm(&[f32::NAN, 0.0]));
     }
 
     #[test]

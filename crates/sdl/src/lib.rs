@@ -25,6 +25,7 @@ mod corpus;
 pub mod embed;
 mod grammar;
 mod nl;
+pub mod rank;
 mod similarity;
 pub mod vocab;
 
@@ -33,7 +34,8 @@ pub use ast::{
     Scenario, ValidateScenarioError, MAX_ACTORS,
 };
 pub use corpus::{ParseFilterError, ScenarioCorpus, ScenarioFilter};
-pub use embed::{cosine, embed, embedding_similarity, EMBED_DIM};
+pub use embed::{cosine, dot, embed, embedding_similarity, is_unit_norm, EMBED_DIM};
 pub use grammar::{parse_scenario, ParseScenarioError};
 pub use nl::to_sentence;
+pub use rank::{rank_order, top_k};
 pub use similarity::{distance, similarity, slot_similarity, SimilarityWeights};

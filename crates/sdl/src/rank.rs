@@ -1,0 +1,106 @@
+//! Total, deterministic top-k selection over `(id, score)` pairs.
+//!
+//! Similarity search must never panic on an adversarial score (`NaN` from a
+//! poisoned embedding) and must return the same answer regardless of how
+//! the scoring work was partitioned — across worker-pool sizes, shard
+//! counts, or incremental inserts. Both properties come from ranking with a
+//! *total* order: [`f32::total_cmp`] descending on the score, then the id
+//! ascending as the tie-break. Under `total_cmp`, `+NaN` sorts above `+inf`
+//! and `-NaN` below `-inf`, so poisoned entries surface deterministically
+//! at the top instead of crashing the query (callers that embed through
+//! [`crate::embed::embed`] never produce them; the order is a containment
+//! guarantee, not an endorsement).
+//!
+//! Selection is O(n + k log k): [`slice::select_nth_unstable_by`] partitions
+//! the k survivors in linear time and only they are sorted — the previous
+//! full `sort_by` was O(n log n) for a k-sized answer and panicked on the
+//! first non-finite comparison.
+
+use std::cmp::Ordering;
+
+/// The total order used by every similarity ranking in this crate: score
+/// descending via [`f32::total_cmp`], ties broken by ascending id.
+pub fn rank_order<I: Ord>(a: &(I, f32), b: &(I, f32)) -> Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// The `k` best-scored entries of `scored`, best first.
+///
+/// Total and deterministic for *any* input: non-finite scores are ordered
+/// by [`f32::total_cmp`] (never a panic), and equal scores tie-break on the
+/// ascending id, so the result is independent of the input permutation.
+/// Returns all entries (sorted) when `k >= scored.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use tsdx_sdl::top_k;
+///
+/// let hits = top_k(vec![(0usize, 0.2), (1, 0.9), (2, 0.9), (3, f32::NAN)], 3);
+/// // NaN sorts first (total order), then the tied 0.9s by ascending id.
+/// assert_eq!(hits.len(), 3);
+/// assert!(hits[0].1.is_nan());
+/// assert_eq!((hits[1].0, hits[2].0), (1, 2));
+/// ```
+pub fn top_k<I: Ord + Copy>(mut scored: Vec<(I, f32)>, k: usize) -> Vec<(I, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k - 1, rank_order::<I>);
+        scored.truncate(k);
+    }
+    scored.sort_unstable_by(rank_order::<I>);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_and_orders_the_best_k() {
+        let scored = vec![(0u64, 0.1), (1, 0.7), (2, 0.4), (3, 0.9), (4, 0.2)];
+        assert_eq!(top_k(scored, 3), vec![(3, 0.9), (1, 0.7), (2, 0.4)]);
+    }
+
+    #[test]
+    fn k_zero_and_k_past_len_are_total() {
+        assert_eq!(top_k(vec![(1u32, 0.5)], 0), vec![]);
+        assert_eq!(top_k(Vec::<(u32, f32)>::new(), 5), vec![]);
+        assert_eq!(top_k(vec![(2u32, 0.1), (1, 0.3)], 5), vec![(1, 0.3), (2, 0.1)]);
+    }
+
+    #[test]
+    fn ties_break_on_ascending_id_regardless_of_input_order() {
+        let a = top_k(vec![(5usize, 1.0), (2, 1.0), (9, 1.0)], 2);
+        let b = top_k(vec![(9usize, 1.0), (5, 1.0), (2, 1.0)], 2);
+        assert_eq!(a, vec![(2, 1.0), (5, 1.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_finite_scores_never_panic_and_order_totally() {
+        let scored = vec![
+            (0u64, f32::NAN),
+            (1, f32::INFINITY),
+            (2, 0.5),
+            (3, f32::NEG_INFINITY),
+            (4, -f32::NAN),
+        ];
+        let hits = top_k(scored, 5);
+        assert!(hits[0].1.is_nan()); // +NaN above +inf under total_cmp
+        assert_eq!(hits[1], (1, f32::INFINITY));
+        assert_eq!(hits[2], (2, 0.5));
+        assert_eq!(hits[3], (3, f32::NEG_INFINITY));
+        assert!(hits[4].1.is_nan()); // -NaN below -inf
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_order_deterministically() {
+        // total_cmp: -0.0 < +0.0, so +0.0 ranks first in descending order.
+        let hits = top_k(vec![(0u32, -0.0), (1, 0.0)], 2);
+        assert_eq!(hits[0].0, 1);
+        assert_eq!(hits[1].0, 0);
+    }
+}

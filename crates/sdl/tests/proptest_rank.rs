@@ -1,0 +1,140 @@
+//! Property-based tests of [`tsdx_sdl::top_k`] and the corpus search paths.
+//!
+//! The bar: ranking never panics for any score pattern (including NaN and
+//! zero vectors), the O(n + k log k) selection path returns exactly what a
+//! full sort returns, and on finite inputs it is byte-for-byte the answer
+//! the old stable full-sort implementation produced.
+
+use proptest::prelude::*;
+use tsdx_sdl::{
+    parse_scenario, rank_order, top_k, vocab, ActorClause, EgoManeuver, Position, RoadKind,
+    Scenario, ScenarioCorpus, ScenarioFilter,
+};
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let actor = ((0..vocab::EVENT_CLASSES.len()), 0..=Position::COUNT).prop_map(|(e, p)| {
+        let (kind, action) = vocab::EVENT_CLASSES[e];
+        let position = if p == Position::COUNT { None } else { Some(Position::from_index(p)) };
+        ActorClause { kind, action, position }
+    });
+    (
+        (0..EgoManeuver::COUNT).prop_map(EgoManeuver::from_index),
+        (0..RoadKind::COUNT).prop_map(RoadKind::from_index),
+        prop::collection::vec(actor, 0..=4),
+    )
+        .prop_map(|(ego, road, actors)| Scenario { ego, actors, road })
+}
+
+/// Any f32 bit pattern: finite, infinite, NaN, both zeros.
+fn arb_score() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1.0f32..=1.0,
+        Just(f32::NAN),
+        Just(-f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+/// Reference answer: sort *everything* with the total order, take `k`.
+fn full_sort_reference(mut scored: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+    scored.sort_by(rank_order::<usize>);
+    scored.truncate(k);
+    scored
+}
+
+/// The pre-fix ranking: stable full sort, descending `partial_cmp` on the
+/// score. Only callable on finite scores — exactly the domain the old
+/// `.expect("finite similarity")` path handled without panicking.
+fn old_stable_sort(mut scored: Vec<(usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+    scored.truncate(k);
+    scored
+}
+
+fn bits(hits: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    hits.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+proptest! {
+    #[test]
+    fn top_k_never_panics_and_matches_full_sort(
+        scores in prop::collection::vec(arb_score(), 0..64),
+        k in 0usize..70,
+    ) {
+        let scored: Vec<(usize, f32)> = scores.into_iter().enumerate().collect();
+        let got = top_k(scored.clone(), k);
+        let want = full_sort_reference(scored, k);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn top_k_matches_old_path_on_finite_inputs(
+        scores in prop::collection::vec(-1.0f32..=1.0, 1..64),
+        k in 1usize..16,
+    ) {
+        // The old stable sort kept ascending insertion order on ties; the
+        // new explicit ascending-id tie-break reproduces it bit-for-bit.
+        let scored: Vec<(usize, f32)> = scores.into_iter().enumerate().collect();
+        let got = top_k(scored.clone(), k);
+        let want = old_stable_sort(scored, k);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn top_k_is_permutation_invariant(
+        scores in prop::collection::vec(arb_score(), 1..48),
+        k in 1usize..8,
+        rot in 0usize..48,
+    ) {
+        let scored: Vec<(usize, f32)> = scores.into_iter().enumerate().collect();
+        let mut rotated = scored.clone();
+        let n = rotated.len();
+        rotated.rotate_left(rot % n);
+        prop_assert_eq!(bits(&top_k(scored, k)), bits(&top_k(rotated, k)));
+    }
+
+    #[test]
+    fn corpus_query_never_panics_and_ranks_self_first(
+        entries in prop::collection::vec(arb_scenario(), 1..24),
+        k in 1usize..8,
+    ) {
+        let query = entries[0].clone();
+        let corpus: ScenarioCorpus = entries.into_iter().collect();
+        let hits = corpus.query_similar(&query, k);
+        prop_assert_eq!(hits.len(), k.min(corpus.len()));
+        // The query itself is in the corpus, so the best hit is exact.
+        prop_assert!((hits[0].1 - 1.0).abs() < 1e-5);
+        // Scores are non-increasing under the total order.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1.total_cmp(&w[1].1).is_ge());
+        }
+    }
+
+    #[test]
+    fn corpus_filtered_search_agrees_with_manual_ranking(
+        entries in prop::collection::vec(arb_scenario(), 1..24),
+        k in 1usize..8,
+    ) {
+        let query = entries[0].clone();
+        let corpus: ScenarioCorpus = entries.into_iter().collect();
+        let filter: ScenarioFilter = "road=intersection".parse().expect("valid filter");
+        let hits = corpus.search(&filter, &query, k);
+        let matching = corpus.filter(&filter);
+        prop_assert_eq!(hits.len(), k.min(matching.len()));
+        for &(id, _) in &hits {
+            prop_assert!(matching.contains(&id));
+        }
+    }
+}
+
+#[test]
+fn corpus_query_handles_duplicate_entries_deterministically() {
+    let s = parse_scenario("ego cruise; road straight").expect("parse");
+    let corpus: ScenarioCorpus = vec![s.clone(), s.clone(), s.clone()].into_iter().collect();
+    let hits = corpus.query_similar(&s, 2);
+    // All three score 1.0; the tie-break picks the lowest ids.
+    assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![0, 1]);
+}

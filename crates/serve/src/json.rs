@@ -55,6 +55,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The string, when this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Why a body failed to parse. One variant per grammar rule violated keeps

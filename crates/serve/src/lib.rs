@@ -45,10 +45,12 @@ pub mod batcher;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod search;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{BatchConfig, Batcher, Extraction};
 pub use error::ServeError;
+pub use search::{Hit, SearchService, MAX_SEARCH_K};
 pub use server::{Server, ServerConfig};
 pub use stats::ServeStats;

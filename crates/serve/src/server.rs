@@ -24,6 +24,7 @@ use crate::batcher::{BatchConfig, Batcher};
 use crate::error::ServeError;
 use crate::http::{self, Head, Response};
 use crate::json::{self, Json};
+use crate::search::{hits_to_json, SearchService, MAX_SEARCH_K};
 use crate::stats::ServeStats;
 
 /// Longest a handler will wait on the batcher for an answer beyond the
@@ -69,10 +70,16 @@ impl Default for ServerConfig {
     }
 }
 
+/// Hits served to requests that do not pick a `k` themselves.
+const DEFAULT_SEARCH_K: usize = 5;
+
 struct Inner {
     cfg: ServerConfig,
     extractor: Arc<ScenarioExtractor>,
     batcher: Batcher,
+    /// Scenario corpus behind `POST /search`; servers started without one
+    /// answer `404` there.
+    search: Option<Arc<SearchService>>,
     stats: Arc<ServeStats>,
     shutting_down: AtomicBool,
     /// Accepted-request counter; also the index the handler-panic fault
@@ -103,6 +110,19 @@ impl Server {
     ///
     /// Propagates bind failures.
     pub fn start(extractor: ScenarioExtractor, cfg: ServerConfig) -> std::io::Result<Server> {
+        Server::start_with_search(extractor, None, cfg)
+    }
+
+    /// [`Server::start`] plus a scenario corpus served at `POST /search`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start_with_search(
+        extractor: ScenarioExtractor,
+        search: Option<Arc<SearchService>>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let extractor = Arc::new(extractor);
@@ -112,6 +132,7 @@ impl Server {
             cfg,
             extractor,
             batcher,
+            search,
             stats,
             shutting_down: AtomicBool::new(false),
             next_request: AtomicU64::new(0),
@@ -322,6 +343,7 @@ fn route(
             ))
         }
         ("POST", "/v1/extract") => extract_endpoint(inner, head, reader, writer, request_index),
+        ("POST", "/search") => search_endpoint(inner, head, reader, writer, request_index),
         ("POST", "/admin/shutdown") => {
             // Drain on a helper thread: this handler's own connection must
             // close for the connection count to reach zero.
@@ -334,12 +356,14 @@ fn route(
             r.close = true;
             Ok(r)
         }
-        (_, "/healthz" | "/readyz" | "/stats" | "/metrics" | "/v1/extract" | "/admin/shutdown") => {
-            Err(ServeError::MethodNotAllowed {
-                method: head.method.clone(),
-                path: head.path.clone(),
-            })
-        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/stats" | "/metrics" | "/v1/extract" | "/search"
+            | "/admin/shutdown",
+        ) => Err(ServeError::MethodNotAllowed {
+            method: head.method.clone(),
+            path: head.path.clone(),
+        }),
         (_, path) => Err(ServeError::NotFound { path: path.to_string() }),
     }
 }
@@ -392,6 +416,112 @@ fn extract_endpoint(
         queued = answer.queued_us,
         index = request_index,
     )))
+}
+
+/// `POST /search`: the `k` most similar indexed scenarios — to an SDL
+/// query string (`{"sdl":"...","k":3}`, no model work), or to a clip
+/// (extract → embed → query; same body encodings, admission control, and
+/// deadline handling as `/v1/extract`, with `k` from the `X-Search-K`
+/// header or a `"k"` body field).
+fn search_endpoint(
+    inner: &Arc<Inner>,
+    head: &Head,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_index: u64,
+) -> Result<Response, ServeError> {
+    // A server started without an index has no search surface at all.
+    let Some(search) = inner.search.as_ref() else {
+        return Err(ServeError::NotFound { path: head.path.clone() });
+    };
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let budget_ms = match head.header("x-deadline-ms") {
+        None => inner.cfg.default_deadline_ms,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| ServeError::BadRequest {
+            detail: "X-Deadline-Ms must be an integer millisecond budget".into(),
+        })?),
+    };
+    if head.expects_continue() {
+        http::write_continue(writer)
+            .map_err(|_| ServeError::BadRequest { detail: "client went away".into() })?;
+    }
+    let body = http::read_body(reader, head, inner.cfg.max_body_bytes)?;
+
+    let content_type = head.header("content-type").unwrap_or("application/json");
+    let k;
+    if content_type.starts_with("application/octet-stream") {
+        k = match head.header("x-search-k") {
+            None => DEFAULT_SEARCH_K,
+            Some(v) => validate_k(v.parse::<f64>().ok())?,
+        };
+    } else {
+        let parsed = json::parse(&body)
+            .map_err(|e| ServeError::BadRequest { detail: format!("bad JSON body: {e}") })?;
+        k = match parsed.get("k") {
+            None => DEFAULT_SEARCH_K,
+            Some(j) => validate_k(j.as_num())?,
+        };
+        // Query-by-SDL: rank against a parsed description, no model work.
+        if let Some(sdl) = parsed.get("sdl") {
+            let text = sdl.as_str().ok_or_else(|| ServeError::BadRequest {
+                detail: "\"sdl\" must be a string of SDL text".into(),
+            })?;
+            let query = tsdx_sdl::parse_scenario(text)
+                .map_err(|e| ServeError::BadRequest { detail: format!("bad SDL query: {e}") })?;
+            let hits = search.query(&query, k).map_err(index_internal)?;
+            return Ok(Response::ok(format!(
+                "{{\"hits\":{hits},\"k\":{k},\"indexed\":{len},\"request\":{request_index}}}",
+                hits = hits_to_json(&hits),
+                len = search.len(),
+            )));
+        }
+    }
+
+    // Query-by-clip: extract through the batcher (full admission control,
+    // deadline gating, and degrade-under-pressure reuse), then rank.
+    let video = decode_video(head, &body)?;
+    inner.extractor.validate_window(&video)?;
+    let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let rx = inner.batcher.submit(video, deadline, budget_ms.unwrap_or(0))?;
+    let wait = deadline
+        .map(|d| d.saturating_duration_since(Instant::now()) + REPLY_SLACK)
+        .unwrap_or(REPLY_SLACK);
+    let answer = rx.recv_timeout(wait).map_err(|_| ServeError::Internal {
+        detail: "batch worker did not answer within the reply bound".into(),
+    })??;
+    let hits = search.query(&answer.scenario, k).map_err(index_internal)?;
+    Ok(Response::ok(format!(
+        concat!(
+            "{{\"hits\":{hits},\"k\":{k},\"indexed\":{len},\"scenario\":\"{scenario}\",",
+            "\"plane\":\"{plane}\",\"batch_size\":{batch},\"queued_us\":{queued},",
+            "\"request\":{index}}}"
+        ),
+        hits = hits_to_json(&hits),
+        k = k,
+        len = search.len(),
+        scenario = json::escape(&answer.scenario.to_string()),
+        plane = answer.plane.label(),
+        batch = answer.batch_size,
+        queued = answer.queued_us,
+        index = request_index,
+    )))
+}
+
+/// Bounds a requested hit count: an integer in `1..=MAX_SEARCH_K`.
+fn validate_k(k: Option<f64>) -> Result<usize, ServeError> {
+    k.filter(|n| n.fract() == 0.0 && (1.0..=MAX_SEARCH_K as f64).contains(n))
+        .map(|n| n as usize)
+        .ok_or_else(|| ServeError::BadRequest {
+            detail: format!("k must be an integer in 1..={MAX_SEARCH_K}"),
+        })
+}
+
+/// The index is constructed server-side, so a scan error is our bug, not
+/// the client's: surface it as a 500 with the typed detail.
+fn index_internal(e: tsdx_index::IndexError) -> ServeError {
+    ServeError::Internal { detail: format!("index scan failed: {e}") }
 }
 
 /// Decodes a request body into a `[T, H, W]` video tensor.

@@ -8,10 +8,12 @@
 mod common;
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 use common::{get, post_clip, tiny_extractor, valid_pixels, Client};
-use tsdx_serve::{BatchConfig, Server, ServerConfig};
+use tsdx_sdl::parse_scenario;
+use tsdx_serve::{BatchConfig, SearchService, Server, ServerConfig};
 
 fn test_config() -> ServerConfig {
     ServerConfig {
@@ -68,6 +70,104 @@ fn extraction_round_trips_in_both_encodings() {
     let json_parsed = tsdx_serve::json::parse(json_resp.body.as_bytes()).unwrap();
     assert_eq!(json_parsed.get("scenario"), parsed.get("scenario"));
 
+    server.shutdown();
+}
+
+fn tiny_corpus() -> Arc<SearchService> {
+    Arc::new(SearchService::build(
+        [
+            "ego cruise; vehicle leading ahead; road straight",
+            "ego decelerate-to-stop; pedestrian crossing; road intersection",
+            "ego turn-left; road intersection",
+            "ego accelerate; cyclist crossing left; road straight",
+        ]
+        .iter()
+        .map(|t| parse_scenario(t).expect("valid SDL")),
+    ))
+}
+
+#[test]
+fn search_by_sdl_round_trips_with_typed_rejections() {
+    let mut server =
+        Server::start_with_search(tiny_extractor(), Some(tiny_corpus()), test_config()).unwrap();
+    let addr = server.local_addr();
+
+    let body = br#"{"sdl":"ego turn-left; road intersection","k":2}"#;
+    let resp = Client::connect(addr).request("POST", "/search", &[], body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = tsdx_serve::json::parse(resp.body.as_bytes()).unwrap();
+    let hits = parsed.get("hits").and_then(|h| h.as_arr()).expect("hits array");
+    assert_eq!(hits.len(), 2);
+    // The query is itself indexed (id 2): exact match first.
+    assert_eq!(hits[0].get("id").and_then(|j| j.as_num()), Some(2.0));
+    let sim = hits[0].get("similarity").and_then(|j| j.as_num()).expect("similarity");
+    assert!((sim - 1.0).abs() < 1e-4, "{sim}");
+    assert!(matches!(
+        hits[0].get("sdl"),
+        Some(tsdx_serve::json::Json::Str(s)) if s == "ego turn-left; road intersection"
+    ));
+    assert_eq!(parsed.get("indexed").and_then(|j| j.as_num()), Some(4.0));
+
+    // Malformed queries are typed 400s, wrong method a 405.
+    for bad in [
+        &br#"{"sdl":"ego warp-drive; road moon"}"#[..],
+        br#"{"sdl":42}"#,
+        br#"{"sdl":"ego cruise; road straight","k":0}"#,
+        br#"{"sdl":"ego cruise; road straight","k":1e9}"#,
+    ] {
+        let r = Client::connect(addr).request("POST", "/search", &[], bad).unwrap();
+        assert_eq!(r.status, 400, "{bad:?} gave {}", r.body);
+    }
+    let r = Client::connect(addr).request("GET", "/search", &[], b"").unwrap();
+    assert_eq!(r.status, 405, "{}", r.body);
+
+    server.shutdown();
+}
+
+#[test]
+fn search_by_clip_round_trips_in_both_encodings() {
+    let mut server =
+        Server::start_with_search(tiny_extractor(), Some(tiny_corpus()), test_config()).unwrap();
+    let addr = server.local_addr();
+    let pixels = valid_pixels();
+
+    // Fast path: raw pixels + shape header, k from X-Search-K.
+    let body: Vec<u8> = pixels.iter().flat_map(|f| f.to_le_bytes()).collect();
+    let headers = [
+        ("content-type", "application/octet-stream"),
+        ("x-video-shape", "4x16x16"),
+        ("x-search-k", "3"),
+    ];
+    let resp = Client::connect(addr).request("POST", "/search", &headers, &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = tsdx_serve::json::parse(resp.body.as_bytes()).unwrap();
+    let hits = parsed.get("hits").and_then(|h| h.as_arr()).expect("hits array");
+    assert_eq!(hits.len(), 3);
+    assert!(matches!(
+        parsed.get("scenario"),
+        Some(tsdx_serve::json::Json::Str(s)) if s.contains("ego ")
+    ));
+    assert!(resp.body.contains("\"plane\":\"f32\""), "{}", resp.body);
+
+    // JSON clip variant: same pixels, k in the body, identical extraction.
+    let pixel_list = pixels.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(",");
+    let json_body = format!("{{\"shape\":[4,16,16],\"pixels\":[{pixel_list}],\"k\":3}}");
+    let json_resp =
+        Client::connect(addr).request("POST", "/search", &[], json_body.as_bytes()).unwrap();
+    assert_eq!(json_resp.status, 200, "{}", json_resp.body);
+    let json_parsed = tsdx_serve::json::parse(json_resp.body.as_bytes()).unwrap();
+    assert_eq!(json_parsed.get("scenario"), parsed.get("scenario"));
+    assert_eq!(json_parsed.get("hits"), parsed.get("hits"));
+
+    server.shutdown();
+}
+
+#[test]
+fn search_without_an_index_is_not_found() {
+    let mut server = Server::start(tiny_extractor(), test_config()).unwrap();
+    let body = br#"{"sdl":"ego cruise; road straight"}"#;
+    let resp = Client::connect(server.local_addr()).request("POST", "/search", &[], body).unwrap();
+    assert_eq!(resp.status, 404, "{}", resp.body);
     server.shutdown();
 }
 

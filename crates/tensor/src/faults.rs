@@ -21,7 +21,11 @@
 //!   the client vanish after `n` bytes (unexpected EOF mid-body);
 //! * [`arm_handler_panic`] — the serve layer's request handler panics while
 //!   processing accepted request number `i` (0-indexed, counted across the
-//!   process), exercising the connection-boundary panic capture.
+//!   process), exercising the connection-boundary panic capture;
+//! * [`arm_shard_tear`] — the next vector-index shard save writes only the
+//!   first `n` bytes, simulating a crash mid-write of a non-atomic writer;
+//! * [`arm_shard_bit_flip`] — the next vector-index shard save flips bit
+//!   `k` of the encoded shard, simulating silent at-rest corruption.
 //!
 //! Every fault fires **at most once** and is disarmed when it fires, so a
 //! test arms exactly the failure it wants and the rest of the run proceeds
@@ -38,6 +42,8 @@ struct Armed {
     accept_stall_ms: Option<u64>,
     body_disconnect_after: Option<usize>,
     handler_panic_request: Option<u64>,
+    shard_tear_after: Option<u64>,
+    shard_flip_bit: Option<u64>,
 }
 
 static ARMED: Mutex<Armed> = Mutex::new(Armed {
@@ -48,6 +54,8 @@ static ARMED: Mutex<Armed> = Mutex::new(Armed {
     accept_stall_ms: None,
     body_disconnect_after: None,
     handler_panic_request: None,
+    shard_tear_after: None,
+    shard_flip_bit: None,
 });
 
 fn armed() -> std::sync::MutexGuard<'static, Armed> {
@@ -99,6 +107,18 @@ pub fn arm_handler_panic(request: u64) {
     armed().handler_panic_request = Some(request);
 }
 
+/// Arms a torn shard write: the next vector-index shard save leaves only
+/// the first `bytes` bytes at the destination path.
+pub fn arm_shard_tear(bytes: u64) {
+    armed().shard_tear_after = Some(bytes);
+}
+
+/// Arms a single-bit flip at bit index `bit` of the next encoded
+/// vector-index shard (bit `bit % 8` of byte `bit / 8`, modulo length).
+pub fn arm_shard_bit_flip(bit: u64) {
+    armed().shard_flip_bit = Some(bit);
+}
+
 /// Disarms every pending fault.
 pub fn clear_all() {
     let mut a = armed();
@@ -109,6 +129,8 @@ pub fn clear_all() {
     a.accept_stall_ms = None;
     a.body_disconnect_after = None;
     a.handler_panic_request = None;
+    a.shard_tear_after = None;
+    a.shard_flip_bit = None;
 }
 
 /// Polled by the pool: panics (once) when chunk `chunk` is armed.
@@ -151,6 +173,16 @@ pub fn nan_grad_at(step: u32) -> bool {
     } else {
         false
     }
+}
+
+/// Polled by the shard writer: takes a pending tear length.
+pub fn take_shard_tear() -> Option<u64> {
+    armed().shard_tear_after.take()
+}
+
+/// Polled by the shard writer: takes a pending bit-flip index.
+pub fn take_shard_bit_flip() -> Option<u64> {
+    armed().shard_flip_bit.take()
 }
 
 /// Polled by the serve accept loop: takes a pending stall in milliseconds.
@@ -210,6 +242,14 @@ mod tests {
         assert!(!handler_panic_at(4));
         assert!(handler_panic_at(5));
         assert!(!handler_panic_at(5), "fault must disarm after firing");
+
+        arm_shard_tear(33);
+        assert_eq!(take_shard_tear(), Some(33));
+        assert_eq!(take_shard_tear(), None);
+
+        arm_shard_bit_flip(12);
+        assert_eq!(take_shard_bit_flip(), Some(12));
+        assert_eq!(take_shard_bit_flip(), None);
         clear_all();
     }
 }

@@ -66,6 +66,15 @@ TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve --test smoke
 echo "==> servebench smoke (overload sheds typed, p99 within deadline, drain completeness)"
 TSDX_NUM_THREADS=2 cargo run -q -p tsdx-bench --release --bin servebench -- --quick > /dev/null
 
+echo "==> index suite (shard format, search parity across pool sizes and shard counts)"
+TSDX_NUM_THREADS=2 cargo test -q -p tsdx-index
+
+echo "==> index fault-injection suite (torn and bit-flipped shards load as typed errors)"
+TSDX_NUM_THREADS=2 cargo test -q -p tsdx-index --features fault-inject
+
+echo "==> indexbench smoke (build/QPS/recall asserts, pool and shard parity)"
+TSDX_NUM_THREADS=2 cargo run -q -p tsdx-bench --release --bin indexbench -- --quick > /dev/null
+
 echo "==> kill-and-resume determinism under a 2-worker pool"
 TSDX_NUM_THREADS=2 cargo test -q --test resume_training
 

@@ -19,6 +19,7 @@
 //! | [`baselines`] | `tsdx-baselines` | heuristic, frame-MLP, CNN+GRU |
 //! | [`metrics`] | `tsdx-metrics` | evaluation arithmetic |
 //! | [`serve`] | `tsdx-serve` | batched, fault-hardened HTTP serving |
+//! | [`index`] | `tsdx-index` | sharded SDL vector index + exact search |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use tsdx_baselines as baselines;
 pub use tsdx_core as core;
 pub use tsdx_data as data;
+pub use tsdx_index as index;
 pub use tsdx_metrics as metrics;
 pub use tsdx_nn as nn;
 pub use tsdx_render as render;
