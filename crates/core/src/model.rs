@@ -198,6 +198,78 @@ impl VideoScenarioTransformer {
         &self.heads
     }
 
+    /// Encodes a batch of complete time groups — each `tubelet_t * H * W`
+    /// pixels — through the cacheable stage in **one forward** along the
+    /// batch dimension, returning one stage output per group (factorized:
+    /// the frame summary `[D]`; joint: projected tokens `[n_space, D]`).
+    ///
+    /// The tubelet embedding and the spatial encoder are free of temporal
+    /// position and row-independent across the batch dimension (the PR 6
+    /// invariant behind group caching), so stacking groups gathered from
+    /// *different streams* is sound: row `i` of the batched forward is
+    /// bit-identical to encoding group `i` alone. This is the amortization
+    /// primitive behind cross-stream multiplexing — N streams completing a
+    /// group in the same tick pay one forward at batch N instead of N
+    /// forwards at batch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group has the wrong pixel count.
+    pub fn encode_group_batch(&self, groups: &[&[f32]]) -> Vec<Tensor> {
+        let cfg = &self.cfg;
+        let n = groups.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let group_len = cfg.tubelet_t * cfg.height * cfg.width;
+        let mut pixels = Vec::with_capacity(n * group_len);
+        for (i, group) in groups.iter().enumerate() {
+            assert_eq!(group.len(), group_len, "group {i} has the wrong pixel count");
+            pixels.extend_from_slice(group);
+        }
+        metrics::stage("stage/mux_encode", || {
+            // One batch row per group: [N, tubelet_t, H, W].
+            let batch = Tensor::from_vec(pixels, &[n, cfg.tubelet_t, cfg.height, cfg.width]);
+            let tubs = extract_tubelets(cfg, &batch); // [N, ns, vol]
+            let mut g = Graph::new();
+            let p = self.bind_eval_active(&mut g);
+            let mut rng = StdRng::seed_from_u64(0);
+            let t = g.constant(tubs);
+            let tokens = self.embed.forward(&mut g, &p, t); // [N, ns, D]
+            match cfg.attention {
+                crate::config::AttentionKind::Factorized => {
+                    let summaries =
+                        self.encoder.spatial_summaries(&mut g, &p, tokens, &mut rng, false);
+                    let v = g.value(summaries); // [N, D]
+                    let data = v.contiguous();
+                    let data = data.data();
+                    (0..n)
+                        .map(|i| {
+                            Tensor::from_vec(
+                                data[i * cfg.dim..(i + 1) * cfg.dim].to_vec(),
+                                &[cfg.dim],
+                            )
+                        })
+                        .collect()
+                }
+                crate::config::AttentionKind::Joint => {
+                    let v = g.value(tokens); // [N, ns, D]
+                    let data = v.contiguous();
+                    let data = data.data();
+                    let stride = cfg.n_space() * cfg.dim;
+                    (0..n)
+                        .map(|i| {
+                            Tensor::from_vec(
+                                data[i * stride..(i + 1) * stride].to_vec(),
+                                &[cfg.n_space(), cfg.dim],
+                            )
+                        })
+                        .collect()
+                }
+            }
+        })
+    }
+
     /// Runs inference on a video batch, returning decoded labels.
     ///
     /// When metrics are enabled, each pipeline stage records a latency

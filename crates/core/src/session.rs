@@ -23,11 +23,26 @@
 //! * **Whole-window logits cache.** Asking twice about the same window
 //!   costs one lookup.
 //!
+//! # Stage / consume split for cross-stream batching
+//!
+//! The per-stream bookkeeping lives in a model-free [`StreamState`]: chunks
+//! are **staged** ([`StreamState::stage_frames`] validates and buffers
+//! pixels, queueing completed groups without any forward pass), and staged
+//! groups are later **consumed** by whoever owns the forward —
+//! [`encode_staged`] gathers the staged groups of *many* states and encodes
+//! them in one [`VideoScenarioTransformer::encode_group_batch`] call along
+//! the batch dimension. The stage is row-independent, so the batched
+//! forward is bit-identical per group to encoding each alone; a serving
+//! scheduler multiplexing N streams pays one forward per tick instead of N.
+//! [`StreamSession`] keeps the original single-stream API by staging and
+//! immediately self-consuming on every push.
+//!
 //! Parity is the contract: a session's head logits are **bit-identical** to
-//! a full recompute of the same window (all readouts, pool sizes, and
-//! workspace modes) — pinned by `tests/streaming_parity.rs`. Cache
-//! effectiveness is observable through the `stage/cache_hit`,
-//! `stage/cache_miss`, and `stage/window_hit` metric counters.
+//! a full recompute of the same window (all readouts, pool sizes,
+//! workspace modes, and batched-vs-solo group encodes) — pinned by
+//! `tests/streaming_parity.rs`. Cache effectiveness is observable through
+//! the `stage/cache_hit`, `stage/cache_miss`, and `stage/window_hit`
+//! metric counters.
 
 use std::collections::VecDeque;
 
@@ -40,7 +55,7 @@ use tsdx_tensor::{metrics, Graph, Tensor};
 use crate::config::{AttentionKind, ModelConfig};
 use crate::extract::ExtractError;
 use crate::model::{decode_logits, VideoScenarioTransformer};
-use crate::tubelet::extract_tubelets;
+use crate::precision::{self, Precision};
 
 /// One cached time group: the stage outputs that depend only on the
 /// group's own pixels.
@@ -52,6 +67,15 @@ struct GroupCache {
     /// Joint: projected, spatially positioned tokens `[ns, D]` (joint
     /// attention offers no deeper position-free boundary).
     data: Tensor,
+}
+
+/// A completed time group whose pixels are buffered but not yet encoded —
+/// the unit of work a cross-stream scheduler batches.
+struct StagedGroup {
+    /// Absolute group index (assigned at staging time).
+    index: u64,
+    /// The group's raw pixels, `tubelet_t * H * W` values.
+    pixels: Vec<f32>,
 }
 
 /// Head-logit values for one window (batch dimension 1), exposed so parity
@@ -74,15 +98,347 @@ pub struct WindowLogits {
 struct WindowCache {
     /// Exclusive end group index of the window the result belongs to.
     end: u64,
+    /// The precision plane the result was computed under — a degrade dial
+    /// flip mid-stream must not serve the other plane's memo.
+    plane: Precision,
     logits: WindowLogits,
     scenario: Scenario,
+}
+
+/// What one [`encode_staged`] call did — occupancy numbers for the
+/// scheduler's observability plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MuxEncodeReport {
+    /// States that contributed at least one staged group.
+    pub streams: usize,
+    /// Total groups encoded in the single batched forward.
+    pub groups: usize,
+}
+
+/// Encodes every staged group across `states` in **one** batched forward
+/// and distributes the outputs back into each state's group-cache ring.
+///
+/// This is the cross-stream amortization point: N streams that each
+/// completed a group pay one `encode_group_batch` at batch N instead of N
+/// single-group forwards. Row independence of the spatial stage makes the
+/// result bit-identical to each state encoding its own groups (pinned by
+/// `tests/streaming_parity.rs`). States with nothing staged are skipped;
+/// passing an empty slice (or all-idle states) performs no forward at all.
+///
+/// # Panics
+///
+/// Panics if any state was created for a different model configuration.
+pub fn encode_staged(
+    model: &VideoScenarioTransformer,
+    states: &mut [&mut StreamState],
+) -> MuxEncodeReport {
+    let mut owners: Vec<usize> = Vec::new();
+    let mut streams = 0usize;
+    for (i, s) in states.iter().enumerate() {
+        assert_eq!(&s.cfg, model.config(), "stream state configuration does not match the model");
+        if !s.staged.is_empty() {
+            streams += 1;
+            owners.extend(std::iter::repeat_n(i, s.staged.len()));
+        }
+    }
+    if owners.is_empty() {
+        return MuxEncodeReport::default();
+    }
+    let groups: Vec<&[f32]> =
+        states.iter().flat_map(|s| s.staged.iter().map(|g| g.pixels.as_slice())).collect();
+    let encoded = model.encode_group_batch(&groups);
+    let report = MuxEncodeReport { streams, groups: encoded.len() };
+    let mut outputs = encoded.into_iter();
+    for (i, data) in owners.into_iter().zip(&mut outputs) {
+        states[i].consume_encoded(data);
+    }
+    report
+}
+
+/// Per-stream extraction state with no model reference — safe to park in a
+/// session table while a scheduler owns the batched forward.
+///
+/// Methods that need compute take the model explicitly; the configuration
+/// is captured at construction and checked against the model on use.
+/// [`StreamSession`] wraps one of these with a borrowed model for the
+/// simple single-stream API.
+pub struct StreamState {
+    cfg: ModelConfig,
+    /// Frames that do not yet fill a tubelet group, flattened pixel rows;
+    /// always shorter than one group. Reused across pushes.
+    pending: Vec<f32>,
+    /// Completed groups awaiting their spatial encode, oldest first.
+    staged: VecDeque<StagedGroup>,
+    /// The newest `nt` group caches, oldest first.
+    ring: VecDeque<GroupCache>,
+    /// Total frames accepted so far.
+    frames_seen: u64,
+    /// Index the next completed group will receive.
+    next_group: u64,
+    /// Groups computed since the last inference — the work the cache could
+    /// not save for the next window.
+    fresh_groups: usize,
+    /// Temporal-encoder key/value rows from the previous window.
+    temporal_kv: Option<EncoderKvCache>,
+    /// The precision plane `temporal_kv` was computed under. A mid-stream
+    /// plane flip (e.g. the serve layer degrading to int8 under pressure)
+    /// drops the cache instead of mixing planes inside one forward.
+    kv_plane: Option<Precision>,
+    window: Option<WindowCache>,
+}
+
+impl StreamState {
+    /// Creates an empty stream state for models of `cfg`.
+    pub fn new(cfg: ModelConfig) -> Self {
+        StreamState {
+            cfg,
+            pending: Vec::new(),
+            staged: VecDeque::new(),
+            ring: VecDeque::with_capacity(cfg.n_time()),
+            frames_seen: 0,
+            next_group: 0,
+            fresh_groups: 0,
+            temporal_kv: None,
+            kv_plane: None,
+            window: None,
+        }
+    }
+
+    /// The configuration this state was created for.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Total frames accepted so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Completed groups staged but not yet encoded.
+    pub fn staged_groups(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether a full window of frames has arrived (staged groups count —
+    /// they are encoded on demand), i.e. whether describe will succeed.
+    pub fn ready(&self) -> bool {
+        self.next_group >= self.cfg.n_time() as u64
+    }
+
+    /// Absolute group index range `[start, end)` of the current window, or
+    /// `None` before the first full window.
+    pub fn window_groups(&self) -> Option<(u64, u64)> {
+        if !self.ready() {
+            return None;
+        }
+        Some((self.next_group - self.cfg.n_time() as u64, self.next_group))
+    }
+
+    /// Validates and buffers a chunk of frames `[n, H, W]`, queueing every
+    /// newly completed time group for a later encode — **no forward pass
+    /// happens here**. Returns the number of groups staged. Chunk sizes
+    /// are arbitrary; `n == 0` is a no-op.
+    ///
+    /// The caller (a batching scheduler, or [`StreamSession::push_frames`])
+    /// consumes the staged groups via [`encode_staged`]; reads like
+    /// [`describe`](Self::describe) self-serve any still-staged groups, so
+    /// staging never changes observable results — only who pays for the
+    /// forward and at what batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::BadRank`] unless the chunk is rank 3,
+    /// [`ExtractError::BadFrameShape`] unless its spatial dimensions match
+    /// the model, and [`ExtractError::NonFinite`] when any pixel is NaN or
+    /// infinite (reported with its flat index within the chunk, and the
+    /// chunk is rejected whole — session state is unchanged).
+    pub fn stage_frames(&mut self, frames: &Tensor) -> Result<usize, ExtractError> {
+        let sh = frames.shape().to_vec();
+        if sh.len() != 3 {
+            return Err(ExtractError::BadRank { found: sh.len() });
+        }
+        if sh[1] != self.cfg.height || sh[2] != self.cfg.width {
+            return Err(ExtractError::BadFrameShape {
+                expected: [self.cfg.height, self.cfg.width],
+                found: [sh[1], sh[2]],
+            });
+        }
+        if sh[0] == 0 {
+            return Ok(0);
+        }
+        let frames = frames.contiguous();
+        let data = frames.data();
+        if let Some(index) = data.iter().position(|v| !v.is_finite()) {
+            return Err(ExtractError::NonFinite { index });
+        }
+
+        let group_len = self.cfg.tubelet_t * self.cfg.height * self.cfg.width;
+        self.pending.extend_from_slice(data);
+        self.frames_seen += sh[0] as u64;
+        let mut completed = 0;
+        while self.pending.len() >= group_len {
+            let pixels: Vec<f32> = self.pending.drain(..group_len).collect();
+            self.staged.push_back(StagedGroup { index: self.next_group, pixels });
+            self.next_group += 1;
+            completed += 1;
+        }
+        Ok(completed)
+    }
+
+    /// Encodes this state's own staged groups in one batched forward (the
+    /// single-stream special case of [`encode_staged`]).
+    pub fn encode_staged_groups(&mut self, model: &VideoScenarioTransformer) {
+        if !self.staged.is_empty() {
+            encode_staged(model, &mut [self]);
+        }
+    }
+
+    /// Installs one encoded stage output into the ring, in staging order.
+    fn consume_encoded(&mut self, data: Tensor) {
+        let group = self.staged.pop_front().expect("consume without a staged group");
+        debug_assert!(
+            self.ring.back().is_none_or(|c| c.index + 1 == group.index),
+            "group cache ring must stay contiguous"
+        );
+        metrics::counter_add("stage/cache_miss", 1);
+        if self.ring.len() == self.cfg.n_time() {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(GroupCache { index: group.index, data });
+        self.fresh_groups += 1;
+    }
+
+    /// Head logits for the window ending at the newest staged group,
+    /// bit-identical to a full recompute of that window. Encodes any
+    /// still-staged groups first.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::TooShort`] before the first full window of frames
+    /// has arrived.
+    pub fn logits(
+        &mut self,
+        model: &VideoScenarioTransformer,
+    ) -> Result<WindowLogits, ExtractError> {
+        self.infer(model).map(|w| w.logits.clone())
+    }
+
+    /// The scenario description of the current window (see
+    /// [`logits`](Self::logits) for windowing and errors). The returned
+    /// scenario always satisfies [`Scenario::validate`].
+    pub fn describe(&mut self, model: &VideoScenarioTransformer) -> Result<Scenario, ExtractError> {
+        self.infer(model).map(|w| w.scenario.clone())
+    }
+
+    /// Ensures `self.window` holds the result for the current window.
+    fn infer(&mut self, model: &VideoScenarioTransformer) -> Result<&WindowCache, ExtractError> {
+        let cfg = self.cfg;
+        let nt = cfg.n_time();
+        if !self.ready() {
+            return Err(ExtractError::TooShort {
+                frames: usize::try_from(self.frames_seen).unwrap_or(usize::MAX),
+                min: cfg.frames,
+            });
+        }
+        self.encode_staged_groups(model);
+        let end = self.next_group;
+        let plane = precision::active();
+        if self.window.as_ref().is_some_and(|w| w.end == end && w.plane == plane) {
+            // Unchanged window: every group reused, no forward pass at all.
+            metrics::counter_add("stage/cache_hit", nt as u64);
+            metrics::counter_add("stage/window_hit", 1);
+            return Ok(self.window.as_ref().expect("just checked"));
+        }
+        metrics::counter_add("stage/cache_hit", nt.saturating_sub(self.fresh_groups) as u64);
+        self.fresh_groups = 0;
+        if self.kv_plane != Some(plane) {
+            // Plane flipped since the cached K/V rows were computed: drop
+            // them rather than mix planes inside one temporal forward.
+            self.temporal_kv = None;
+            self.kv_plane = Some(plane);
+        }
+        let logits = metrics::stage("stage/stream_infer", || self.infer_window(model, &cfg));
+        let labels = decode_logits(
+            &logits.ego,
+            &logits.road,
+            &logits.event,
+            &logits.position,
+            &logits.presence,
+        );
+        let scenario = labels[0].to_scenario();
+        self.window = Some(WindowCache { end, plane, logits, scenario });
+        Ok(self.window.as_ref().expect("just set"))
+    }
+
+    /// Runs the window-level forward pass over the cached stage outputs.
+    fn infer_window(
+        &mut self,
+        model: &VideoScenarioTransformer,
+        cfg: &ModelConfig,
+    ) -> WindowLogits {
+        let nt = cfg.n_time();
+        let mut g = Graph::new();
+        let p = model.bind_eval_active(&mut g);
+        let emb = match cfg.attention {
+            AttentionKind::Factorized => {
+                // Assemble the cached frame summaries into [1, nt, D].
+                let mut buf = Vec::with_capacity(nt * cfg.dim);
+                for c in &self.ring {
+                    buf.extend_from_slice(c.data.data());
+                }
+                let frames = g.constant(Tensor::from_vec(buf, &[1, nt, cfg.dim]));
+                let (emb, kv) = model.encoder_ref().temporal_readout_streaming(
+                    &mut g,
+                    &p,
+                    frames,
+                    self.temporal_kv.as_ref(),
+                );
+                self.temporal_kv = Some(kv);
+                emb
+            }
+            AttentionKind::Joint => {
+                // Joint attention reruns the whole encoder; only the
+                // projection work was cached.
+                let ns = cfg.n_space();
+                let mut buf = Vec::with_capacity(nt * ns * cfg.dim);
+                for c in &self.ring {
+                    buf.extend_from_slice(c.data.data());
+                }
+                let tokens = g.constant(Tensor::from_vec(buf, &[1, nt * ns, cfg.dim]));
+                let mut rng = StdRng::seed_from_u64(0);
+                model.encoder_ref().forward(&mut g, &p, tokens, &mut rng, false)
+            }
+        };
+        let logits = model.heads_ref().forward(&mut g, &p, emb);
+        WindowLogits {
+            ego: g.value(logits.ego).clone(),
+            road: g.value(logits.road).clone(),
+            event: g.value(logits.event).clone(),
+            position: g.value(logits.position).clone(),
+            presence: g.value(logits.presence).clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamState")
+            .field("frames_seen", &self.frames_seen)
+            .field("cached_groups", &self.ring.len())
+            .field("staged_groups", &self.staged.len())
+            .field("ready", &self.ready())
+            .finish_non_exhaustive()
+    }
 }
 
 /// An incremental extraction session over one video stream.
 ///
 /// Created by [`ScenarioExtractor::open_stream`](crate::ScenarioExtractor::open_stream);
 /// borrows the model immutably, so weights cannot change under a live
-/// session (which would invalidate every cache here).
+/// session (which would invalidate every cache here). A thin wrapper over
+/// [`StreamState`] that stages and immediately encodes on every push; a
+/// serving scheduler that wants to batch encodes across streams holds bare
+/// `StreamState`s instead and drives [`encode_staged`] itself.
 ///
 /// # Examples
 ///
@@ -106,35 +462,12 @@ struct WindowCache {
 /// ```
 pub struct StreamSession<'m> {
     model: &'m VideoScenarioTransformer,
-    /// Frames that do not yet fill a tubelet group, flattened pixel rows;
-    /// always shorter than one group. Reused across pushes.
-    pending: Vec<f32>,
-    /// The newest `nt` group caches, oldest first.
-    ring: VecDeque<GroupCache>,
-    /// Total frames accepted so far.
-    frames_seen: u64,
-    /// Index the next completed group will receive.
-    next_group: u64,
-    /// Groups computed since the last inference — the work the cache could
-    /// not save for the next window.
-    fresh_groups: usize,
-    /// Temporal-encoder key/value rows from the previous window.
-    temporal_kv: Option<EncoderKvCache>,
-    window: Option<WindowCache>,
+    state: StreamState,
 }
 
 impl<'m> StreamSession<'m> {
     pub(crate) fn new(model: &'m VideoScenarioTransformer) -> Self {
-        StreamSession {
-            model,
-            pending: Vec::new(),
-            ring: VecDeque::with_capacity(model.config().n_time()),
-            frames_seen: 0,
-            next_group: 0,
-            fresh_groups: 0,
-            temporal_kv: None,
-            window: None,
-        }
+        StreamSession { model, state: StreamState::new(*model.config()) }
     }
 
     /// The configuration of the underlying model.
@@ -144,23 +477,19 @@ impl<'m> StreamSession<'m> {
 
     /// Total frames accepted so far.
     pub fn frames_seen(&self) -> u64 {
-        self.frames_seen
+        self.state.frames_seen()
     }
 
     /// Whether a full window of frames has arrived, i.e. whether
     /// [`describe`](Self::describe) will succeed.
     pub fn ready(&self) -> bool {
-        self.ring.len() == self.model.config().n_time()
+        self.state.ready()
     }
 
     /// Absolute group index range `[start, end)` of the current window, or
     /// `None` before the first full window.
     pub fn window_groups(&self) -> Option<(u64, u64)> {
-        if !self.ready() {
-            return None;
-        }
-        let end = self.ring.back().expect("ready implies a full ring").index + 1;
-        Some((end - self.model.config().n_time() as u64, end))
+        self.state.window_groups()
     }
 
     /// Feeds a chunk of frames `[n, H, W]` into the stream and returns the
@@ -168,74 +497,22 @@ impl<'m> StreamSession<'m> {
     /// groups. Chunk sizes are arbitrary; `n == 0` is a no-op.
     ///
     /// Only new groups are encoded — steady-state cost is proportional to
-    /// the frames pushed, not to the window length.
+    /// the frames pushed, not to the window length. All groups completed
+    /// by one push share a single batched forward
+    /// ([`VideoScenarioTransformer::encode_group_batch`]).
     ///
     /// # Errors
     ///
-    /// [`ExtractError::BadRank`] unless the chunk is rank 3,
-    /// [`ExtractError::BadFrameShape`] unless its spatial dimensions match
-    /// the model, and [`ExtractError::NonFinite`] when any pixel is NaN or
-    /// infinite (reported with its flat index within the chunk, and the
-    /// chunk is rejected whole — session state is unchanged).
+    /// See [`StreamState::stage_frames`]; a rejected chunk leaves session
+    /// state unchanged.
     pub fn push_frames(&mut self, frames: &Tensor) -> Result<usize, ExtractError> {
-        let sh = frames.shape().to_vec();
-        if sh.len() != 3 {
-            return Err(ExtractError::BadRank { found: sh.len() });
-        }
-        let cfg = *self.model.config();
-        if sh[1] != cfg.height || sh[2] != cfg.width {
-            return Err(ExtractError::BadFrameShape {
-                expected: [cfg.height, cfg.width],
-                found: [sh[1], sh[2]],
-            });
-        }
-        if sh[0] == 0 {
-            return Ok(0);
-        }
-        let frames = frames.contiguous();
-        let data = frames.data();
-        if let Some(index) = data.iter().position(|v| !v.is_finite()) {
-            return Err(ExtractError::NonFinite { index });
-        }
-
-        let group_len = cfg.tubelet_t * cfg.height * cfg.width;
-        self.pending.extend_from_slice(data);
-        self.frames_seen += sh[0] as u64;
-        let mut completed = 0;
-        while self.pending.len() >= group_len {
+        let completed = self.state.stage_frames(frames)?;
+        if completed > 0 {
             metrics::stage("stage/stream_push", || {
-                let group: Vec<f32> = self.pending.drain(..group_len).collect();
-                self.encode_group(&cfg, group);
+                self.state.encode_staged_groups(self.model);
             });
-            completed += 1;
         }
         Ok(completed)
-    }
-
-    /// Encodes one complete time group and caches its stage output.
-    fn encode_group(&mut self, cfg: &ModelConfig, pixels: Vec<f32>) {
-        let group = Tensor::from_vec(pixels, &[1, cfg.tubelet_t, cfg.height, cfg.width]);
-        let tubs = extract_tubelets(cfg, &group); // [1, ns, vol]
-        let mut g = Graph::new();
-        let p = self.model.bind_eval_active(&mut g);
-        let mut rng = StdRng::seed_from_u64(0);
-        let t = g.constant(tubs);
-        let tokens = self.model.embed_ref().forward(&mut g, &p, t); // [1, ns, D]
-        let data = match cfg.attention {
-            AttentionKind::Factorized => {
-                let summary =
-                    self.model.encoder_ref().spatial_summaries(&mut g, &p, tokens, &mut rng, false);
-                g.value(summary).reshape(&[cfg.dim])
-            }
-            AttentionKind::Joint => g.value(tokens).reshape(&[cfg.n_space(), cfg.dim]),
-        };
-        metrics::counter_add("stage/cache_miss", 1);
-        if self.ring.len() == cfg.n_time() {
-            self.ring.pop_front();
-        }
-        self.ring.push_back(GroupCache { index: self.next_group, data });
-        self.next_group += 1;
-        self.fresh_groups += 1;
     }
 
     /// Head logits for the window ending at the newest pushed group,
@@ -246,101 +523,20 @@ impl<'m> StreamSession<'m> {
     /// [`ExtractError::TooShort`] before the first full window of frames
     /// has arrived.
     pub fn logits(&mut self) -> Result<WindowLogits, ExtractError> {
-        self.infer().map(|w| w.logits.clone())
+        self.state.logits(self.model)
     }
 
     /// The scenario description of the current window (see
     /// [`logits`](Self::logits) for windowing and errors). The returned
     /// scenario always satisfies [`Scenario::validate`].
     pub fn describe(&mut self) -> Result<Scenario, ExtractError> {
-        self.infer().map(|w| w.scenario.clone())
-    }
-
-    /// Ensures `self.window` holds the result for the current window.
-    fn infer(&mut self) -> Result<&WindowCache, ExtractError> {
-        let cfg = *self.model.config();
-        let nt = cfg.n_time();
-        if self.ring.len() < nt {
-            return Err(ExtractError::TooShort {
-                frames: usize::try_from(self.frames_seen).unwrap_or(usize::MAX),
-                min: cfg.frames,
-            });
-        }
-        let end = self.ring.back().expect("ring is full").index + 1;
-        if self.window.as_ref().is_some_and(|w| w.end == end) {
-            // Unchanged window: every group reused, no forward pass at all.
-            metrics::counter_add("stage/cache_hit", nt as u64);
-            metrics::counter_add("stage/window_hit", 1);
-            return Ok(self.window.as_ref().expect("just checked"));
-        }
-        metrics::counter_add("stage/cache_hit", nt.saturating_sub(self.fresh_groups) as u64);
-        self.fresh_groups = 0;
-        let logits = metrics::stage("stage/stream_infer", || self.infer_window(&cfg));
-        let labels = decode_logits(
-            &logits.ego,
-            &logits.road,
-            &logits.event,
-            &logits.position,
-            &logits.presence,
-        );
-        let scenario = labels[0].to_scenario();
-        self.window = Some(WindowCache { end, logits, scenario });
-        Ok(self.window.as_ref().expect("just set"))
-    }
-
-    /// Runs the window-level forward pass over the cached stage outputs.
-    fn infer_window(&mut self, cfg: &ModelConfig) -> WindowLogits {
-        let nt = cfg.n_time();
-        let mut g = Graph::new();
-        let p = self.model.bind_eval_active(&mut g);
-        let emb = match cfg.attention {
-            AttentionKind::Factorized => {
-                // Assemble the cached frame summaries into [1, nt, D].
-                let mut buf = Vec::with_capacity(nt * cfg.dim);
-                for c in &self.ring {
-                    buf.extend_from_slice(c.data.data());
-                }
-                let frames = g.constant(Tensor::from_vec(buf, &[1, nt, cfg.dim]));
-                let (emb, kv) = self.model.encoder_ref().temporal_readout_streaming(
-                    &mut g,
-                    &p,
-                    frames,
-                    self.temporal_kv.as_ref(),
-                );
-                self.temporal_kv = Some(kv);
-                emb
-            }
-            AttentionKind::Joint => {
-                // Joint attention reruns the whole encoder; only the
-                // projection work was cached.
-                let ns = cfg.n_space();
-                let mut buf = Vec::with_capacity(nt * ns * cfg.dim);
-                for c in &self.ring {
-                    buf.extend_from_slice(c.data.data());
-                }
-                let tokens = g.constant(Tensor::from_vec(buf, &[1, nt * ns, cfg.dim]));
-                let mut rng = StdRng::seed_from_u64(0);
-                self.model.encoder_ref().forward(&mut g, &p, tokens, &mut rng, false)
-            }
-        };
-        let logits = self.model.heads_ref().forward(&mut g, &p, emb);
-        WindowLogits {
-            ego: g.value(logits.ego).clone(),
-            road: g.value(logits.road).clone(),
-            event: g.value(logits.event).clone(),
-            position: g.value(logits.position).clone(),
-            presence: g.value(logits.presence).clone(),
-        }
+        self.state.describe(self.model)
     }
 }
 
 impl std::fmt::Debug for StreamSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StreamSession")
-            .field("frames_seen", &self.frames_seen)
-            .field("cached_groups", &self.ring.len())
-            .field("ready", &self.ready())
-            .finish_non_exhaustive()
+        f.debug_struct("StreamSession").field("state", &self.state).finish_non_exhaustive()
     }
 }
 
@@ -462,5 +658,53 @@ mod tests {
         assert_eq!(snap.counter("stage/window_hit"), 1);
         // First describe: 2 fresh groups, 0 hits; second: 2 hits.
         assert_eq!(snap.counter("stage/cache_hit"), 2);
+    }
+
+    #[test]
+    fn staged_state_defers_the_forward_until_consumed() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 4);
+        let mut st = StreamState::new(*ex.model().config());
+        let v = video(4, 11.0);
+        let scope = metrics::scope();
+        assert_eq!(st.stage_frames(&v).unwrap(), 2);
+        assert_eq!(st.staged_groups(), 2);
+        assert!(st.ready(), "staged groups count toward readiness");
+        let snap = scope.snapshot();
+        drop(scope);
+        assert_eq!(snap.counter("stage/cache_miss"), 0, "staging must not encode");
+        // Describe self-serves the staged groups and matches one-shot.
+        assert_eq!(st.describe(ex.model()).unwrap(), ex.extract(&v));
+        assert_eq!(st.staged_groups(), 0);
+    }
+
+    #[test]
+    fn cross_stream_batched_encode_is_bit_identical_to_solo() {
+        let ex = ScenarioExtractor::untrained(tiny_cfg(AttentionKind::Factorized, Readout::Cls), 6);
+        let vids: Vec<Tensor> = (0..3).map(|i| video(4, 20.0 + i as f32)).collect();
+        // Independent sessions, each encoding its own groups.
+        let solo: Vec<WindowLogits> = vids
+            .iter()
+            .map(|v| {
+                let mut s = ex.open_stream();
+                s.push_frames(v).unwrap();
+                s.logits().unwrap()
+            })
+            .collect();
+        // One mux round encodes all staged groups in a single forward.
+        let mut states: Vec<StreamState> = vids
+            .iter()
+            .map(|v| {
+                let mut st = StreamState::new(*ex.model().config());
+                st.stage_frames(v).unwrap();
+                st
+            })
+            .collect();
+        let mut refs: Vec<&mut StreamState> = states.iter_mut().collect();
+        let report = encode_staged(ex.model(), &mut refs);
+        assert_eq!(report, MuxEncodeReport { streams: 3, groups: 6 });
+        for (st, want) in states.iter_mut().zip(&solo) {
+            let got = st.logits(ex.model()).unwrap();
+            assert_eq!(&got, want, "batched encode must be bit-identical");
+        }
     }
 }

@@ -15,7 +15,11 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use tsdx_core::{AttentionKind, ModelConfig, Readout, ScenarioExtractor, WindowLogits};
+use tsdx_core::precision::{self, Precision};
+use tsdx_core::{
+    encode_staged, AttentionKind, ModelConfig, Readout, ScenarioExtractor, StreamState,
+    WindowLogits,
+};
 use tsdx_tensor::{pool, workspace, Tensor};
 
 fn tiny_cfg(attention: AttentionKind, readout: Readout) -> ModelConfig {
@@ -128,6 +132,77 @@ fn sliding_sessions_match_full_recompute_across_threads_and_workspace_modes() {
                     }
                 })
             });
+        }
+    }
+}
+
+#[test]
+fn multiplexed_batched_encodes_match_independent_sessions_across_dials() {
+    // N interleaved streams whose group encodes go through the cross-stream
+    // batched scheduler path (`stage_frames` + one `encode_staged` per
+    // tick) must be bit-identical to N independent self-encoding sessions —
+    // under every pool size, workspace mode, and precision plane. This is
+    // the invariant the serving layer's mixed batch queue rests on.
+    let n = 3usize;
+    let chunks = [2usize, 3, 1, 2, 2, 2]; // group-aligned and straddling pushes
+    for threads in [1usize, 2] {
+        for ws in [false, true] {
+            for plane in [Precision::F32, Precision::Int8] {
+                pool::with_forced_threads(threads, || {
+                    workspace::with_mode(ws, || {
+                        precision::with_forced(plane, || {
+                            for attention in [AttentionKind::Factorized, AttentionKind::Joint] {
+                                let ctx = format!(
+                                    "threads={threads}, workspace={ws}, plane={plane:?}, \
+                                     {attention:?}"
+                                );
+                                let ex = ScenarioExtractor::untrained(
+                                    tiny_cfg(attention, Readout::Cls),
+                                    47,
+                                );
+                                let model = ex.model();
+                                let videos: Vec<Tensor> =
+                                    (0..n).map(|s| long_video(12, s as f32 * 0.9 + 0.1)).collect();
+                                let mut muxed: Vec<StreamState> =
+                                    (0..n).map(|_| StreamState::new(*model.config())).collect();
+                                let mut solo: Vec<_> = (0..n).map(|_| ex.open_stream()).collect();
+                                let mut fed = 0usize;
+                                for &len in &chunks {
+                                    for s in 0..n {
+                                        let chunk = slice_frames(&videos[s], fed, len);
+                                        muxed[s].stage_frames(&chunk).unwrap();
+                                        solo[s].push_frames(&chunk).unwrap();
+                                    }
+                                    fed += len;
+                                    let mut refs: Vec<&mut StreamState> =
+                                        muxed.iter_mut().collect();
+                                    let report = encode_staged(model, &mut refs);
+                                    assert!(
+                                        report.streams == n || report.groups == 0,
+                                        "all streams push in lockstep ({ctx}): {report:?}"
+                                    );
+                                    for s in 0..n {
+                                        assert_eq!(
+                                            muxed[s].ready(),
+                                            solo[s].ready(),
+                                            "readiness diverged ({ctx}, stream {s})"
+                                        );
+                                        if muxed[s].ready() {
+                                            let a = muxed[s].logits(model).unwrap();
+                                            let b = solo[s].logits().unwrap();
+                                            assert_bit_identical(
+                                                &a,
+                                                &b,
+                                                &format!("{ctx}, stream {s}, fed {fed}"),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        })
+                    })
+                });
+            }
         }
     }
 }

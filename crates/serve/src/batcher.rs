@@ -1,32 +1,47 @@
 //! The dynamic micro-batching queue between connection handlers and the
 //! model.
 //!
-//! Concurrent requests land in one bounded queue; a single worker thread
-//! drains up to `max_batch` of them at a time and runs **one** batched
-//! encoder forward ([`ScenarioExtractor::extract_window_batch`]), so the
-//! packed-GEMM / fused-attention / int8 wins amortize across requests that
-//! arrived independently. The robustness rules live here:
+//! Concurrent requests land in one bounded **mixed** queue; a single worker
+//! thread drains up to `max_batch` of them at a time. Two job kinds share
+//! the queue and its admission/deadline/degrade machinery:
 //!
-//! * **Bounded admission.** [`Batcher::submit`] sheds with a typed
-//!   [`ServeError::QueueFull`] the moment the queue is at capacity — the
-//!   server never accepts work it has no room for.
+//! * **One-shot clips** (`POST /v1/extract`): coalesced into one batched
+//!   encoder forward ([`ScenarioExtractor::extract_window_batch`]).
+//! * **Stream chunk pushes** (`POST /sessions/<id>/frames`): each chunk is
+//!   staged into its session's [`StreamState`], then every newly completed
+//!   time group across *all* streams in the round is encoded in **one**
+//!   cross-stream [`tsdx_core::encode_staged`] forward — N concurrent
+//!   streams completing a group pay one spatial forward at batch N instead
+//!   of N forwards at batch 1 (bit-identical per group, by the stage's row
+//!   independence).
+//!
+//! The robustness rules:
+//!
+//! * **Bounded admission.** [`Batcher::submit`] / [`Batcher::submit_stream`]
+//!   shed with a typed [`ServeError::QueueFull`] the moment the queue is at
+//!   capacity — the server never accepts work it has no room for.
 //! * **Deadline budget propagation.** Each entry carries its deadline into
 //!   the worker; before a forward, entries that cannot finish within an
-//!   EWMA-estimated batch latency are answered
-//!   [`ServeError::DeadlineExceeded`] instead of wasting model time.
+//!   EWMA-estimated cost (per clip for one-shots, per group for streams)
+//!   are answered [`ServeError::DeadlineExceeded`] instead of wasting model
+//!   time.
 //! * **Degrade under pressure.** When the queue depth at drain time crosses
-//!   `degrade_depth`, the whole batch runs on the int8 plane
-//!   ([`Precision::Int8`]) — trading a bounded accuracy epsilon (PR 7) for
-//!   roughly 1.4× forward throughput exactly when it is needed.
-//! * **Panic containment.** The forward runs under `catch_unwind`; a panic
-//!   (including worker-pool panics re-raised on this thread by the PR 3
-//!   capture) answers every batch member with a typed 500 and the worker
-//!   keeps serving.
+//!   `degrade_depth`, the whole round — clip forward and group encodes —
+//!   runs on the int8 plane ([`Precision::Int8`]). A session whose window
+//!   readout flips plane drops its temporal K/V cache instead of mixing
+//!   planes (see [`tsdx_core::StreamState`]).
+//! * **Panic containment.** Both forwards run under `catch_unwind`; a panic
+//!   answers the affected jobs with a typed 500 and the worker keeps
+//!   serving. A panic inside the group encode leaves staged groups staged —
+//!   the next push simply re-encodes them.
 //! * **Drain, never drop.** [`Batcher::drain`] stops admission, then the
-//!   worker answers everything still queued before exiting — an admitted
-//!   request always gets a response.
+//!   worker answers everything still queued — clip or stream — before
+//!   exiting.
+//! * **FIFO per session.** At most one push per session joins a round, and
+//!   queue order is preserved, so replies report exactly the groups that
+//!   push completed.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -38,6 +53,7 @@ use tsdx_sdl::Scenario;
 use tsdx_tensor::{metrics, Tensor};
 
 use crate::error::ServeError;
+use crate::sessions::SessionEntry;
 use crate::stats::ServeStats;
 
 /// Tuning for the batching queue.
@@ -46,7 +62,7 @@ pub struct BatchConfig {
     /// Most requests that may wait in the admission queue; one more is a
     /// 429.
     pub queue_capacity: usize,
-    /// Most clips coalesced into one forward.
+    /// Most jobs (clips + stream pushes) coalesced into one drain round.
     pub max_batch: usize,
     /// Queue depth (measured when the worker starts a drain) at or above
     /// which batches run int8. `None` disables pressure degradation.
@@ -75,8 +91,34 @@ pub struct Extraction {
     pub batch_size: usize,
 }
 
-/// What a handler gets back for one submitted request.
+/// What a handler gets back for one submitted one-shot request.
 pub type BatchResult = Result<Extraction, ServeError>;
+
+/// A successful stream chunk push, annotated with how it was served.
+#[derive(Debug, Clone)]
+pub struct StreamAnswer {
+    /// The session the chunk landed in.
+    pub session: u64,
+    /// Time groups this push completed (and the round encoded).
+    pub groups_new: usize,
+    /// Total frames the session has accepted.
+    pub frames_seen: u64,
+    /// Whether a full window has arrived.
+    pub ready: bool,
+    /// The current window's scenario; `None` before the first full window.
+    pub scenario: Option<Scenario>,
+    /// Numeric plane the round ran on.
+    pub plane: Precision,
+    /// Time spent waiting in the queue, µs.
+    pub queued_us: u64,
+    /// Streams whose groups shared this round's batched spatial forward.
+    pub mux_streams: usize,
+    /// Total groups that forward encoded.
+    pub mux_groups: usize,
+}
+
+/// What a handler gets back for one submitted stream push.
+pub type StreamResult = Result<StreamAnswer, ServeError>;
 
 struct Pending {
     video: Tensor,
@@ -86,8 +128,22 @@ struct Pending {
     reply: Sender<BatchResult>,
 }
 
+struct StreamJob {
+    entry: Arc<SessionEntry>,
+    chunk: Tensor,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    budget_ms: u64,
+    reply: Sender<StreamResult>,
+}
+
+enum Job {
+    Clip(Pending),
+    Stream(StreamJob),
+}
+
 struct Queue {
-    items: VecDeque<Pending>,
+    items: VecDeque<Job>,
     draining: bool,
 }
 
@@ -98,6 +154,8 @@ struct Shared {
     stats: Arc<ServeStats>,
     /// EWMA of per-clip forward cost in µs (0 = no estimate yet).
     est_clip_us: AtomicU64,
+    /// EWMA of per-group stream-encode cost in µs (0 = no estimate yet).
+    est_group_us: AtomicU64,
 }
 
 /// The batching queue plus its worker thread. Dropping the batcher drains
@@ -130,6 +188,7 @@ impl Batcher {
             cfg,
             stats,
             est_clip_us: AtomicU64::new(0),
+            est_group_us: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -156,6 +215,45 @@ impl Batcher {
         budget_ms: u64,
     ) -> Result<Receiver<BatchResult>, ServeError> {
         let (tx, rx) = mpsc::channel();
+        self.admit(Job::Clip(Pending {
+            video,
+            enqueued: Instant::now(),
+            deadline,
+            budget_ms,
+            reply: tx,
+        }))?;
+        Ok(rx)
+    }
+
+    /// Admits one stream chunk push for `entry` into the queue (same
+    /// admission and deadline rules as [`submit`](Batcher::submit)). The
+    /// chunk is validated and staged by the worker, so a bad chunk answers
+    /// a typed 422 with the session untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`drain`](Batcher::drain) and
+    /// [`ServeError::QueueFull`] at capacity.
+    pub fn submit_stream(
+        &self,
+        entry: Arc<SessionEntry>,
+        chunk: Tensor,
+        deadline: Option<Instant>,
+        budget_ms: u64,
+    ) -> Result<Receiver<StreamResult>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.admit(Job::Stream(StreamJob {
+            entry,
+            chunk,
+            enqueued: Instant::now(),
+            deadline,
+            budget_ms,
+            reply: tx,
+        }))?;
+        Ok(rx)
+    }
+
+    fn admit(&self, job: Job) -> Result<(), ServeError> {
         {
             let mut q = lock(&self.shared.q);
             if q.draining {
@@ -165,18 +263,12 @@ impl Batcher {
                 ServeStats::inc(&self.shared.stats.shed_queue_full);
                 return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_capacity });
             }
-            q.items.push_back(Pending {
-                video,
-                enqueued: Instant::now(),
-                deadline,
-                budget_ms,
-                reply: tx,
-            });
+            q.items.push_back(job);
             self.shared.stats.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
         }
         ServeStats::inc(&self.shared.stats.accepted);
         self.shared.cv.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Current queue depth (for readiness probes and tests).
@@ -188,6 +280,12 @@ impl Batcher {
     /// the first batch).
     pub fn estimated_clip_us(&self) -> u64 {
         self.shared.est_clip_us.load(Ordering::Relaxed)
+    }
+
+    /// The per-group stream-encode estimate the deadline gate uses, µs (0
+    /// before the first stream round).
+    pub fn estimated_group_us(&self) -> u64 {
+        self.shared.est_group_us.load(Ordering::Relaxed)
     }
 
     /// Stops admission, answers everything already queued, and joins the
@@ -230,35 +328,90 @@ fn worker_loop(shared: &Shared, extractor: &ScenarioExtractor) {
                 break; // draining and nothing left
             }
             let depth = q.items.len();
-            let take = depth.min(shared.cfg.max_batch);
-            let batch: Vec<Pending> = q.items.drain(..take).collect();
+            // Take up to max_batch jobs, but at most one push per session:
+            // a second push for a session already in the round stops the
+            // drain there (FIFO preserved), so each reply reports exactly
+            // its own push's groups.
+            let mut batch: Vec<Job> = Vec::new();
+            let mut in_round: HashSet<u64> = HashSet::new();
+            while batch.len() < shared.cfg.max_batch {
+                match q.items.front() {
+                    None => break,
+                    Some(Job::Stream(sj)) if in_round.contains(&sj.entry.id()) => break,
+                    Some(_) => {
+                        let job = q.items.pop_front().expect("front was Some");
+                        if let Job::Stream(sj) = &job {
+                            in_round.insert(sj.entry.id());
+                        }
+                        batch.push(job);
+                    }
+                }
+            }
             shared.stats.queue_depth.store(q.items.len() as u64, Ordering::Relaxed);
             (batch, depth)
         };
-        run_batch(shared, extractor, batch, depth_at_drain);
+        run_round(shared, extractor, batch, depth_at_drain);
         shared.stats.publish_worker_metrics(scope.snapshot());
     }
     shared.stats.publish_worker_metrics(scope.snapshot());
 }
 
-fn run_batch(shared: &Shared, extractor: &ScenarioExtractor, batch: Vec<Pending>, depth: usize) {
-    // Deadline gate: answer entries that cannot make it instead of
-    // spending a forward on them. With no estimate yet (cold start) only
-    // already-expired deadlines are shed.
-    let est_clip = shared.est_clip_us.load(Ordering::Relaxed);
-    let est_batch = Duration::from_micros(est_clip.saturating_mul(batch.len() as u64));
-    let now = Instant::now();
-    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-    for p in batch {
-        let unmakeable = p.deadline.is_some_and(|d| now + est_batch > d);
-        if unmakeable {
-            ServeStats::inc(&shared.stats.shed_deadline);
-            let _ = p.reply.send(Err(ServeError::DeadlineExceeded { budget_ms: p.budget_ms }));
-        } else {
-            live.push(p);
+/// One drain round: deadline-gate every job, pick the plane once, then at
+/// most two forwards — one batched clip extraction, one cross-stream group
+/// encode (plus per-stream window readouts).
+fn run_round(shared: &Shared, extractor: &ScenarioExtractor, batch: Vec<Job>, depth: usize) {
+    let mut clips: Vec<Pending> = Vec::new();
+    let mut streams: Vec<StreamJob> = Vec::new();
+    for job in batch {
+        match job {
+            Job::Clip(p) => clips.push(p),
+            Job::Stream(s) => streams.push(s),
         }
     }
-    if live.is_empty() {
+
+    // Deadline gate: answer entries that cannot make it instead of
+    // spending a forward on them. The round's cost estimate is the clip
+    // forward plus the stream groups this round will encode; with no
+    // estimate yet (cold start) only already-expired deadlines are shed.
+    let est_clip = shared.est_clip_us.load(Ordering::Relaxed);
+    let est_group = shared.est_group_us.load(Ordering::Relaxed);
+    let tubelet_t = extractor.model().config().tubelet_t.max(1);
+    let est_groups: u64 = streams
+        .iter()
+        .map(|s| {
+            let frames = s.chunk.shape().first().copied().unwrap_or(0);
+            (frames.div_ceil(tubelet_t) + 1) as u64 // +1 ≈ the window readout
+        })
+        .sum();
+    let est_round = Duration::from_micros(
+        est_clip.saturating_mul(clips.len() as u64).saturating_add(est_group * est_groups),
+    );
+    let now = Instant::now();
+    let live_clips: Vec<Pending> = clips
+        .into_iter()
+        .filter_map(|p| {
+            if p.deadline.is_some_and(|d| now + est_round > d) {
+                ServeStats::inc(&shared.stats.shed_deadline);
+                let _ = p.reply.send(Err(ServeError::DeadlineExceeded { budget_ms: p.budget_ms }));
+                None
+            } else {
+                Some(p)
+            }
+        })
+        .collect();
+    let live_streams: Vec<StreamJob> = streams
+        .into_iter()
+        .filter_map(|s| {
+            if s.deadline.is_some_and(|d| now + est_round > d) {
+                ServeStats::inc(&shared.stats.shed_deadline);
+                let _ = s.reply.send(Err(ServeError::DeadlineExceeded { budget_ms: s.budget_ms }));
+                None
+            } else {
+                Some(s)
+            }
+        })
+        .collect();
+    if live_clips.is_empty() && live_streams.is_empty() {
         return;
     }
 
@@ -268,7 +421,25 @@ fn run_batch(shared: &Shared, extractor: &ScenarioExtractor, batch: Vec<Pending>
     } else {
         shared.cfg.precision.unwrap_or_else(precision::active)
     };
+    if !live_clips.is_empty() || !live_streams.is_empty() {
+        ServeStats::inc(&shared.stats.batches);
+        if plane == Precision::Int8 {
+            ServeStats::inc(&shared.stats.batches_int8);
+        }
+        if degraded {
+            ServeStats::inc(&shared.stats.batches_degraded);
+        }
+    }
 
+    run_clips(shared, extractor, live_clips, plane);
+    run_streams(shared, extractor, live_streams, plane);
+}
+
+/// The one-shot half of a round: one batched window forward.
+fn run_clips(shared: &Shared, extractor: &ScenarioExtractor, live: Vec<Pending>, plane: Precision) {
+    if live.is_empty() {
+        return;
+    }
     let videos: Vec<&Tensor> = live.iter().map(|p| &p.video).collect();
     let t0 = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -277,15 +448,7 @@ fn run_batch(shared: &Shared, extractor: &ScenarioExtractor, batch: Vec<Pending>
         })
     }));
     let elapsed = t0.elapsed();
-
-    ServeStats::inc(&shared.stats.batches);
     shared.stats.batched_clips.fetch_add(live.len() as u64, Ordering::Relaxed);
-    if plane == Precision::Int8 {
-        ServeStats::inc(&shared.stats.batches_int8);
-    }
-    if degraded {
-        ServeStats::inc(&shared.stats.batches_degraded);
-    }
 
     match outcome {
         Ok(results) => {
@@ -326,6 +489,137 @@ fn run_batch(shared: &Shared, extractor: &ScenarioExtractor, batch: Vec<Pending>
     }
 }
 
+/// The streaming half of a round: stage every chunk, encode all completed
+/// groups across sessions in one batched forward, then read out each ready
+/// window.
+fn run_streams(
+    shared: &Shared,
+    extractor: &ScenarioExtractor,
+    jobs: Vec<StreamJob>,
+    plane: Precision,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    // Sessions closed or evicted while the push waited in the queue answer
+    // typed 404s; their chunks never touch the dead state.
+    let mut live: Vec<StreamJob> = Vec::new();
+    for j in jobs {
+        if j.entry.is_closed() {
+            let _ = j.reply.send(Err(ServeError::UnknownSession { id: j.entry.id() }));
+        } else {
+            live.push(j);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let t0 = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        precision::with_forced(plane, || stream_round(shared, extractor, &live, plane))
+    }));
+    let elapsed = t0.elapsed();
+    match outcome {
+        Ok((replies, groups)) => {
+            if groups > 0 {
+                // EWMA (3:1 old:new) of per-group cost feeds the next gate.
+                let per_group = (elapsed.as_micros() as u64) / groups as u64;
+                let old = shared.est_group_us.load(Ordering::Relaxed);
+                let next = if old == 0 { per_group } else { (3 * old + per_group) / 4 };
+                shared.est_group_us.store(next.max(1), Ordering::Relaxed);
+            }
+            for (j, r) in live.into_iter().zip(replies) {
+                if r.is_ok() {
+                    ServeStats::inc(&shared.stats.stream_pushes);
+                }
+                let _ = j.reply.send(r);
+            }
+        }
+        Err(payload) => {
+            // A panic in the group encode or a window readout answers every
+            // push in the round with a typed 500. Staged groups stay staged
+            // (the ring is only written after a completed forward), so the
+            // sessions stay consistent and the next push re-encodes them.
+            ServeStats::inc(&shared.stats.panics_caught);
+            let detail = panic_text(payload.as_ref());
+            for j in live {
+                let _ = j.reply.send(Err(ServeError::Internal { detail: detail.clone() }));
+            }
+        }
+    }
+}
+
+/// The lock-stage-encode-readout body of the streaming half. Returns one
+/// reply per job (same order) and the number of groups encoded.
+fn stream_round(
+    shared: &Shared,
+    extractor: &ScenarioExtractor,
+    jobs: &[StreamJob],
+    plane: Precision,
+) -> (Vec<StreamResult>, usize) {
+    // Hold every session's state lock for the whole round: staging, the
+    // shared batched encode, and the readouts are one atomic step per
+    // session. The worker is the only contender (session routes go through
+    // the queue), so these locks never wait.
+    let mut guards: Vec<_> = jobs.iter().map(|j| lock(&j.entry.state)).collect();
+
+    // Stage every chunk. A bad chunk gets its typed error and leaves its
+    // session untouched (the rejected-chunk contract); the rest of the
+    // round proceeds without it.
+    let mut staged: Vec<Result<usize, ServeError>> = jobs
+        .iter()
+        .zip(guards.iter_mut())
+        .map(|(j, g)| {
+            metrics::stage("stage/stream_stage", || g.stage_frames(&j.chunk))
+                .map_err(ServeError::from)
+        })
+        .collect();
+
+    // One cross-stream spatial forward over every group staged this round.
+    let report = {
+        let mut refs: Vec<&mut tsdx_core::StreamState> =
+            guards.iter_mut().map(|g| &mut **g).collect();
+        tsdx_core::encode_staged(extractor.model(), &mut refs)
+    };
+    if report.groups > 0 {
+        shared.stats.record_mux_batch(report.streams, report.groups);
+    }
+
+    // Per-session window readout (temporal stage + heads, KV-cached).
+    let replies = jobs
+        .iter()
+        .zip(guards.iter_mut())
+        .zip(staged.iter_mut())
+        .map(|((j, g), staged)| {
+            let groups_new = match staged {
+                Ok(n) => *n,
+                Err(e) => return Err(e.clone()),
+            };
+            let scenario = if g.ready() {
+                match g.describe(extractor.model()) {
+                    Ok(s) => Some(s),
+                    Err(e) => return Err(ServeError::from(e)),
+                }
+            } else {
+                None
+            };
+            Ok(StreamAnswer {
+                session: j.entry.id(),
+                groups_new,
+                frames_seen: g.frames_seen(),
+                ready: g.ready(),
+                scenario,
+                plane,
+                queued_us: j.enqueued.elapsed().as_micros() as u64,
+                mux_streams: report.streams,
+                mux_groups: report.groups,
+            })
+        })
+        .collect();
+    (replies, report.groups)
+}
+
 /// Best-effort text of a panic payload.
 pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -340,25 +634,27 @@ pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sessions::{SessionConfig, SessionManager};
     use tsdx_core::ModelConfig;
 
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            frames: 4,
+            height: 16,
+            width: 16,
+            tubelet_t: 2,
+            patch: 8,
+            dim: 16,
+            spatial_depth: 1,
+            temporal_depth: 1,
+            heads: 2,
+            dropout: 0.0,
+            ..ModelConfig::default()
+        }
+    }
+
     fn tiny_extractor() -> Arc<ScenarioExtractor> {
-        Arc::new(ScenarioExtractor::untrained(
-            ModelConfig {
-                frames: 4,
-                height: 16,
-                width: 16,
-                tubelet_t: 2,
-                patch: 8,
-                dim: 16,
-                spatial_depth: 1,
-                temporal_depth: 1,
-                heads: 2,
-                dropout: 0.0,
-                ..ModelConfig::default()
-            },
-            0,
-        ))
+        Arc::new(ScenarioExtractor::untrained(tiny_cfg(), 0))
     }
 
     fn video(seed: f32) -> Tensor {
@@ -472,6 +768,91 @@ mod tests {
         let reference =
             precision::with_forced(Precision::Int8, || ex.extract_checked(&video(3.0)).unwrap());
         assert_eq!(out.scenario, reference);
+        b.drain();
+    }
+
+    #[test]
+    fn stream_pushes_flow_through_the_mixed_queue() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        let sessions = SessionManager::new(SessionConfig::default(), Arc::clone(&stats));
+        let b = Batcher::start(Arc::clone(&ex), BatchConfig::default(), Arc::clone(&stats));
+        let entry = sessions.create(tiny_cfg()).unwrap();
+
+        // Half a window first: staged + encoded, not ready.
+        let half = Tensor::from_fn(&[2, 16, 16], |i| (i as f32 * 0.01).sin());
+        let rx = b.submit_stream(Arc::clone(&entry), half.clone(), None, 0).unwrap();
+        let a = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+        assert_eq!(a.groups_new, 1);
+        assert_eq!(a.frames_seen, 2);
+        assert!(!a.ready);
+        assert!(a.scenario.is_none());
+
+        // Second half: ready, scenario matches an independent session.
+        let rest = Tensor::from_fn(&[2, 16, 16], |i| ((i + 512) as f32 * 0.01).sin());
+        let rx = b.submit_stream(Arc::clone(&entry), rest.clone(), None, 0).unwrap();
+        let a = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+        assert!(a.ready);
+        let mut solo = ex.open_stream();
+        solo.push_frames(&half).unwrap();
+        solo.push_frames(&rest).unwrap();
+        assert_eq!(a.scenario.unwrap(), solo.describe().unwrap());
+        assert_eq!(ServeStats::get(&stats.stream_pushes), 2);
+        assert!(ServeStats::get(&stats.mux_batches) >= 2);
+
+        // A bad chunk is a typed error and leaves the session intact.
+        let rx = b.submit_stream(Arc::clone(&entry), Tensor::zeros(&[1, 8, 8]), None, 0).unwrap();
+        let e = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap_err();
+        assert!(matches!(e, ServeError::InvalidInput(_)), "{e:?}");
+        let rx = b.submit_stream(Arc::clone(&entry), Tensor::zeros(&[0, 16, 16]), None, 0).unwrap();
+        let a = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+        assert_eq!(a.frames_seen, 4, "failed pushes must not consume frames");
+
+        // Closing the session mid-queue answers 404, not a write.
+        sessions.close(entry.id()).unwrap();
+        let rx = b.submit_stream(Arc::clone(&entry), half, None, 0).unwrap();
+        let e = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap_err();
+        assert!(matches!(e, ServeError::UnknownSession { .. }), "{e:?}");
+        b.drain();
+    }
+
+    #[test]
+    fn interleaved_streams_share_one_batched_encode() {
+        let ex = tiny_extractor();
+        let stats = Arc::new(ServeStats::default());
+        let sessions = SessionManager::new(SessionConfig::default(), Arc::clone(&stats));
+        let b = Batcher::start(
+            Arc::clone(&ex),
+            BatchConfig { max_batch: 16, ..BatchConfig::default() },
+            Arc::clone(&stats),
+        );
+        let entries: Vec<_> = (0..4).map(|_| sessions.create(tiny_cfg()).unwrap()).collect();
+        let window =
+            |s: usize| Tensor::from_fn(&[4, 16, 16], |i| ((i + s * 777) as f32 * 0.013).sin());
+
+        // Submit a full window for every stream before the worker can run:
+        // the round coalesces their group encodes.
+        let rxs: Vec<_> = entries
+            .iter()
+            .enumerate()
+            .map(|(s, e)| b.submit_stream(Arc::clone(e), window(s), None, 0).unwrap())
+            .collect();
+        let mut max_mux = 0;
+        for (s, rx) in rxs.into_iter().enumerate() {
+            let a = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+            assert!(a.ready);
+            let mut solo = ex.open_stream();
+            solo.push_frames(&window(s)).unwrap();
+            assert_eq!(a.scenario.unwrap(), solo.describe().unwrap(), "mux parity for stream {s}");
+            max_mux = max_mux.max(a.mux_streams);
+        }
+        // At least one round served more than one stream (the first may run
+        // alone if the worker won the race to the queue).
+        assert!(
+            max_mux > 1 || ServeStats::get(&stats.mux_batches) >= 4,
+            "max_mux={max_mux} batches={}",
+            ServeStats::get(&stats.mux_batches)
+        );
         b.drain();
     }
 }

@@ -56,6 +56,18 @@ pub enum ServeError {
         /// The configured queue capacity.
         capacity: usize,
     },
+    /// The session table is full (429): every slot holds a live stream.
+    /// Retry after a backoff, or after closing a stream you own.
+    SessionLimit {
+        /// The configured session capacity.
+        capacity: usize,
+    },
+    /// No live session has this id (404): never created, already closed,
+    /// or evicted after its idle TTL.
+    UnknownSession {
+        /// The id that matched nothing.
+        id: u64,
+    },
     /// The connection cap is reached (503): the listener accepted, said so,
     /// and hung up without reading the request.
     Busy {
@@ -88,7 +100,8 @@ impl ServeError {
             ServeError::ReadTimeout => 408,
             ServeError::PayloadTooLarge { .. } => 413,
             ServeError::InvalidInput(_) => 422,
-            ServeError::QueueFull { .. } => 429,
+            ServeError::QueueFull { .. } | ServeError::SessionLimit { .. } => 429,
+            ServeError::UnknownSession { .. } => 404,
             ServeError::Busy { .. } | ServeError::DeadlineExceeded { .. } => 503,
             ServeError::ShuttingDown => 503,
             ServeError::Internal { .. } => 500,
@@ -107,6 +120,8 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => "payload_too_large",
             ServeError::InvalidInput(e) => extract_error_kind(e),
             ServeError::QueueFull { .. } => "queue_full",
+            ServeError::SessionLimit { .. } => "session_limit",
+            ServeError::UnknownSession { .. } => "unknown_session",
             ServeError::Busy { .. } => "busy",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::ShuttingDown => "shutting_down",
@@ -120,6 +135,7 @@ impl ServeError {
         matches!(
             self,
             ServeError::QueueFull { .. }
+                | ServeError::SessionLimit { .. }
                 | ServeError::Busy { .. }
                 | ServeError::DeadlineExceeded { .. }
                 | ServeError::ShuttingDown
@@ -173,6 +189,12 @@ impl fmt::Display for ServeError {
             ServeError::QueueFull { capacity } => {
                 write!(f, "admission queue is full ({capacity} waiting); retry with backoff")
             }
+            ServeError::SessionLimit { capacity } => {
+                write!(f, "session table is full ({capacity} live streams); retry with backoff")
+            }
+            ServeError::UnknownSession { id } => {
+                write!(f, "no live session {id} (closed, evicted, or never created)")
+            }
             ServeError::Busy { limit } => {
                 write!(f, "connection limit ({limit}) reached; retry with backoff")
             }
@@ -207,6 +229,8 @@ mod tests {
     #[test]
     fn shed_errors_are_retryable_and_validation_is_not() {
         assert!(ServeError::QueueFull { capacity: 4 }.retryable());
+        assert!(ServeError::SessionLimit { capacity: 4 }.retryable());
+        assert!(!ServeError::UnknownSession { id: 9 }.retryable());
         assert!(ServeError::ShuttingDown.retryable());
         assert!(!ServeError::InvalidInput(ExtractError::Empty).retryable());
         assert!(!ServeError::BadRequest { detail: "x".into() }.retryable());

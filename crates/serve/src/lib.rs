@@ -9,6 +9,13 @@
 //!   requests coalesce into one batched encoder forward through
 //!   [`ScenarioExtractor::extract_window_batch`], amortizing weight-packing
 //!   across clips.
+//! * **Multiplexed streaming sessions** ([`sessions`]): `POST /sessions`
+//!   opens a server-side [`tsdx_core::StreamState`]; chunk pushes to
+//!   `POST /sessions/<id>/frames` flow through the *same* batch queue, and
+//!   newly completed time groups from concurrent streams are encoded in
+//!   one cross-stream spatial forward ([`tsdx_core::encode_staged`]) —
+//!   bit-identical to serving each stream alone. The table is bounded
+//!   (typed 429) and idle sessions are evicted after a TTL.
 //! * **Bounded admission**: the batch queue has a hard capacity; past it
 //!   requests shed with a typed, retryable `429` *before* any model work.
 //!   A connection cap sheds with `503` before reading a byte.
@@ -47,10 +54,12 @@ pub mod http;
 pub mod json;
 pub mod search;
 pub mod server;
+pub mod sessions;
 pub mod stats;
 
-pub use batcher::{BatchConfig, Batcher, Extraction};
+pub use batcher::{BatchConfig, Batcher, Extraction, StreamAnswer};
 pub use error::ServeError;
 pub use search::{Hit, SearchService, MAX_SEARCH_K};
 pub use server::{Server, ServerConfig};
+pub use sessions::{SessionConfig, SessionEntry, SessionManager};
 pub use stats::ServeStats;

@@ -25,6 +25,7 @@ use crate::error::ServeError;
 use crate::http::{self, Head, Response};
 use crate::json::{self, Json};
 use crate::search::{hits_to_json, SearchService, MAX_SEARCH_K};
+use crate::sessions::{SessionConfig, SessionManager};
 use crate::stats::ServeStats;
 
 /// Longest a handler will wait on the batcher for an answer beyond the
@@ -54,6 +55,8 @@ pub struct ServerConfig {
     /// Deadline applied to requests that do not send `X-Deadline-Ms`.
     /// `None` means such requests never expire.
     pub default_deadline_ms: Option<u64>,
+    /// Streaming session table bounds (capacity and idle TTL).
+    pub sessions: SessionConfig,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +69,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_body_bytes: 16 * 1024 * 1024,
             default_deadline_ms: None,
+            sessions: SessionConfig::default(),
         }
     }
 }
@@ -80,6 +84,8 @@ struct Inner {
     /// Scenario corpus behind `POST /search`; servers started without one
     /// answer `404` there.
     search: Option<Arc<SearchService>>,
+    /// Live streaming sessions behind the `/sessions` routes.
+    sessions: SessionManager,
     stats: Arc<ServeStats>,
     shutting_down: AtomicBool,
     /// Accepted-request counter; also the index the handler-panic fault
@@ -128,11 +134,13 @@ impl Server {
         let extractor = Arc::new(extractor);
         let stats = Arc::new(ServeStats::default());
         let batcher = Batcher::start(Arc::clone(&extractor), cfg.batch.clone(), Arc::clone(&stats));
+        let sessions = SessionManager::new(cfg.sessions.clone(), Arc::clone(&stats));
         let inner = Arc::new(Inner {
             cfg,
             extractor,
             batcher,
             search,
+            sessions,
             stats,
             shutting_down: AtomicBool::new(false),
             next_request: AtomicU64::new(0),
@@ -156,6 +164,11 @@ impl Server {
     /// Lifetime counters (shared with the batcher).
     pub fn stats(&self) -> &ServeStats {
         &self.inner.stats
+    }
+
+    /// The live streaming-session table behind the `/sessions` routes.
+    pub fn sessions(&self) -> &SessionManager {
+        &self.inner.sessions
     }
 
     /// Whether the server is still admitting work.
@@ -344,6 +357,17 @@ fn route(
         }
         ("POST", "/v1/extract") => extract_endpoint(inner, head, reader, writer, request_index),
         ("POST", "/search") => search_endpoint(inner, head, reader, writer, request_index),
+        (_, p) if p == "/sessions" || p.starts_with("/sessions/") => {
+            // Fault injection: the session-route handler dies before
+            // touching any session state. The connection-boundary
+            // catch_unwind turns this into a 500; the listener and every
+            // other session must be unaffected.
+            #[cfg(feature = "fault-inject")]
+            if tsdx_tensor::faults::take_session_route_panic() {
+                panic!("injected fault: session route panic at request {request_index}");
+            }
+            session_route(inner, head, reader, writer, request_index)
+        }
         ("POST", "/admin/shutdown") => {
             // Drain on a helper thread: this handler's own connection must
             // close for the connection count to reach zero.
@@ -504,6 +528,143 @@ fn search_endpoint(
         scenario = json::escape(&answer.scenario.to_string()),
         plane = answer.plane.label(),
         batch = answer.batch_size,
+        queued = answer.queued_us,
+        index = request_index,
+    )))
+}
+
+/// Dispatches the `/sessions` route family.
+///
+/// * `POST /sessions` — open a session, answer its id;
+/// * `POST /sessions/<id>/frames` — push a chunk through the batch queue;
+/// * `DELETE /sessions/<id>` — close a session, freeing its slot.
+fn session_route(
+    inner: &Arc<Inner>,
+    head: &Head,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_index: u64,
+) -> Result<Response, ServeError> {
+    let method = head.method.as_str();
+    let path = head.path.as_str();
+    if path == "/sessions" {
+        if method != "POST" {
+            return Err(ServeError::MethodNotAllowed {
+                method: head.method.clone(),
+                path: head.path.clone(),
+            });
+        }
+        return create_session_endpoint(inner, request_index);
+    }
+    let rest = &path["/sessions/".len()..];
+    let (id_text, tail) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((id, tail)) => (id, Some(tail)),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Err(ServeError::NotFound { path: head.path.clone() });
+    };
+    match (method, tail) {
+        ("DELETE", None) => {
+            inner.sessions.close(id)?;
+            Ok(Response::ok(format!(
+                "{{\"session\":{id},\"status\":\"closed\",\"request\":{request_index}}}"
+            )))
+        }
+        (_, None) => Err(ServeError::MethodNotAllowed {
+            method: head.method.clone(),
+            path: head.path.clone(),
+        }),
+        ("POST", Some("frames")) => frames_endpoint(inner, head, reader, writer, id, request_index),
+        (_, Some("frames")) => Err(ServeError::MethodNotAllowed {
+            method: head.method.clone(),
+            path: head.path.clone(),
+        }),
+        _ => Err(ServeError::NotFound { path: head.path.clone() }),
+    }
+}
+
+/// `POST /sessions`: opens a streaming session sized to the server's model.
+fn create_session_endpoint(inner: &Arc<Inner>, request_index: u64) -> Result<Response, ServeError> {
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let entry = inner.sessions.create(*inner.extractor.model().config())?;
+    let cfg = inner.extractor.model().config();
+    Ok(Response::ok(format!(
+        concat!(
+            "{{\"session\":{id},\"window_frames\":{frames},",
+            "\"frame_shape\":[{h},{w}],\"tubelet_t\":{tt},\"request\":{index}}}"
+        ),
+        id = entry.id(),
+        frames = cfg.frames,
+        h = cfg.height,
+        w = cfg.width,
+        tt = cfg.tubelet_t,
+        index = request_index,
+    )))
+}
+
+/// `POST /sessions/<id>/frames`: read and decode a chunk (same body
+/// encodings as `/v1/extract`, any frame count), admit it into the mixed
+/// batch queue, and answer with the session's current window state. Newly
+/// completed time groups are encoded alongside every other stream in the
+/// same drain round — one cross-stream spatial forward.
+fn frames_endpoint(
+    inner: &Arc<Inner>,
+    head: &Head,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    id: u64,
+    request_index: u64,
+) -> Result<Response, ServeError> {
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let budget_ms = match head.header("x-deadline-ms") {
+        None => inner.cfg.default_deadline_ms,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| ServeError::BadRequest {
+            detail: "X-Deadline-Ms must be an integer millisecond budget".into(),
+        })?),
+    };
+    if head.expects_continue() {
+        http::write_continue(writer)
+            .map_err(|_| ServeError::BadRequest { detail: "client went away".into() })?;
+    }
+    // A torn upload (client disconnect mid-chunk) fails here, before the
+    // session is looked up or touched: the stream keeps its pre-push state
+    // and the client can resend the whole chunk.
+    let body = http::read_body(reader, head, inner.cfg.max_body_bytes)?;
+    let chunk = decode_video(head, &body)?;
+    let entry = inner.sessions.get(id)?;
+
+    let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let rx = inner.batcher.submit_stream(entry, chunk, deadline, budget_ms.unwrap_or(0))?;
+    let wait = deadline
+        .map(|d| d.saturating_duration_since(Instant::now()) + REPLY_SLACK)
+        .unwrap_or(REPLY_SLACK);
+    let answer = rx.recv_timeout(wait).map_err(|_| ServeError::Internal {
+        detail: "batch worker did not answer within the reply bound".into(),
+    })??;
+    let scenario = match &answer.scenario {
+        Some(s) => format!("\"{}\"", json::escape(&s.to_string())),
+        None => "null".into(),
+    };
+    Ok(Response::ok(format!(
+        concat!(
+            "{{\"session\":{id},\"groups_new\":{gn},\"frames_seen\":{fs},",
+            "\"ready\":{ready},\"scenario\":{scenario},\"plane\":\"{plane}\",",
+            "\"mux_streams\":{ms},\"mux_groups\":{mg},\"queued_us\":{queued},",
+            "\"request\":{index}}}"
+        ),
+        id = answer.session,
+        gn = answer.groups_new,
+        fs = answer.frames_seen,
+        ready = answer.ready,
+        scenario = scenario,
+        plane = answer.plane.label(),
+        ms = answer.mux_streams,
+        mg = answer.mux_groups,
         queued = answer.queued_us,
         index = request_index,
     )))

@@ -44,9 +44,31 @@ pub struct ServeStats {
     pub batched_clips: AtomicU64,
     /// Current admission-queue depth (gauge, updated on enqueue/drain).
     pub queue_depth: AtomicU64,
+    /// Streaming sessions opened over the server's lifetime.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed by an explicit `DELETE`.
+    pub sessions_closed: AtomicU64,
+    /// Sessions evicted after their idle TTL.
+    pub evicted_sessions: AtomicU64,
+    /// Session creates shed at the table capacity (429).
+    pub shed_sessions: AtomicU64,
+    /// Currently live sessions (gauge, updated on create/close/evict).
+    pub active_sessions: AtomicU64,
+    /// Stream chunk pushes answered successfully.
+    pub stream_pushes: AtomicU64,
+    /// Cross-stream batched group-encode forwards executed.
+    pub mux_batches: AtomicU64,
+    /// Time groups summed over all batched group encodes.
+    pub mux_groups: AtomicU64,
+    /// Cross-stream batch-occupancy histogram: how many streams shared
+    /// each group-encode forward, bucketed 1 / 2 / 3–4 / 5–8 / 9–16 / 17+.
+    pub mux_occupancy: [AtomicU64; 6],
     /// Latest published worker-side metrics snapshot.
     worker_metrics: Mutex<Snapshot>,
 }
+
+/// JSON keys for the occupancy buckets, in order.
+const OCCUPANCY_KEYS: [&str; 6] = ["1", "2", "3_4", "5_8", "9_16", "17_plus"];
 
 impl ServeStats {
     /// Bumps `c` by one.
@@ -57,6 +79,22 @@ impl ServeStats {
     /// Reads `c`.
     pub fn get(c: &AtomicU64) -> u64 {
         c.load(Ordering::Relaxed)
+    }
+
+    /// Records one cross-stream batched group encode spanning `streams`
+    /// concurrent streams and `groups` time groups.
+    pub fn record_mux_batch(&self, streams: usize, groups: usize) {
+        ServeStats::inc(&self.mux_batches);
+        self.mux_groups.fetch_add(groups as u64, Ordering::Relaxed);
+        let bucket = match streams {
+            0..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        };
+        ServeStats::inc(&self.mux_occupancy[bucket]);
     }
 
     /// Publishes the batch worker's accumulated metrics for `/stats`.
@@ -87,6 +125,13 @@ impl ServeStats {
                 h.quantile_ns(0.99) / 1_000,
             ));
         }
+        let mut occupancy = String::new();
+        for (key, bucket) in OCCUPANCY_KEYS.iter().zip(&self.mux_occupancy) {
+            if !occupancy.is_empty() {
+                occupancy.push(',');
+            }
+            occupancy.push_str(&format!("\"{key}\":{}", Self::get(bucket)));
+        }
         format!(
             concat!(
                 "{{\"ready\":{ready},\"plane\":\"{plane}\",",
@@ -95,9 +140,28 @@ impl ServeStats {
                 "\"rejected\":{rej},\"panics_caught\":{pan},",
                 "\"batches\":{batches},\"batches_int8\":{b8},\"batches_degraded\":{bd},",
                 "\"batched_clips\":{clips},\"queue_depth\":{depth},",
+                "\"active_sessions\":{active},\"sessions_opened\":{opened},",
+                "\"sessions_closed\":{closed_n},\"evicted_sessions\":{evicted},",
+                "\"shed_sessions\":{shed_s},\"stream_pushes\":{pushes},",
+                "\"mux\":{{\"batches\":{mux_b},\"groups\":{mux_g},",
+                "\"occupancy\":{{{occupancy}}}}},",
+                "\"cache\":{{\"group_hits\":{c_hit},\"group_misses\":{c_miss},",
+                "\"window_hits\":{w_hit}}},",
                 "\"stages\":{{{stages}}}}}"
             ),
             ready = ready,
+            active = Self::get(&self.active_sessions),
+            opened = Self::get(&self.sessions_opened),
+            closed_n = Self::get(&self.sessions_closed),
+            evicted = Self::get(&self.evicted_sessions),
+            shed_s = Self::get(&self.shed_sessions),
+            pushes = Self::get(&self.stream_pushes),
+            mux_b = Self::get(&self.mux_batches),
+            mux_g = Self::get(&self.mux_groups),
+            occupancy = occupancy,
+            c_hit = snap.counter("stage/cache_hit"),
+            c_miss = snap.counter("stage/cache_miss"),
+            w_hit = snap.counter("stage/window_hit"),
             plane = active_plane,
             accepted = Self::get(&self.accepted),
             completed = Self::get(&self.completed),
@@ -129,11 +193,26 @@ mod tests {
         tsdx_tensor::metrics::stage("stage/serve_batch", || std::hint::black_box(1 + 1));
         stats.publish_worker_metrics(scope.snapshot());
         drop(scope);
+        stats.record_mux_batch(3, 7);
+        stats.record_mux_batch(1, 2);
         let j = stats.to_json("f32", true);
         assert!(j.contains("\"accepted\":1"), "{j}");
         assert!(j.contains("\"shed_queue_full\":1"), "{j}");
         assert!(j.contains("\"stage/serve_batch\""), "{j}");
         assert!(j.contains("\"ready\":true"), "{j}");
+        assert!(j.contains("\"active_sessions\":0"), "{j}");
+        assert!(j.contains("\"mux\":{\"batches\":2,\"groups\":9"), "{j}");
+        assert!(j.contains("\"3_4\":1"), "{j}");
         assert!(crate::json::parse(j.as_bytes()).is_ok(), "stats must be valid JSON: {j}");
+    }
+
+    #[test]
+    fn occupancy_buckets_split_at_the_documented_edges() {
+        let stats = ServeStats::default();
+        for streams in [1, 2, 3, 4, 5, 8, 9, 16, 17, 40] {
+            stats.record_mux_batch(streams, streams);
+        }
+        let got: Vec<u64> = stats.mux_occupancy.iter().map(ServeStats::get).collect();
+        assert_eq!(got, vec![1, 1, 2, 2, 2, 2]);
     }
 }

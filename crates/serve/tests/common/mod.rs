@@ -1,6 +1,9 @@
 //! Shared helpers for the serve integration tests: a tiny model and a
 //! bare-bones blocking HTTP client over `TcpStream`.
 
+// Each suite compiles its own copy and uses the subset it needs.
+#![allow(dead_code)]
+
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;

@@ -63,6 +63,124 @@ fn mid_body_disconnect_is_typed_and_contained() {
     server.shutdown();
 }
 
+/// `POST /sessions` via the raw client, returning the new id.
+fn open_session(addr: std::net::SocketAddr) -> u64 {
+    let resp = common::Client::connect(addr).request("POST", "/sessions", &[], b"").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let key = "\"session\":";
+    let at = resp.body.find(key).unwrap();
+    resp.body[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// `POST /sessions/<id>/frames` with 2 frames of deterministic pixels.
+fn push_half_window(addr: std::net::SocketAddr, id: u64, salt: usize) -> common::HttpResponse {
+    let pixels: Vec<f32> =
+        (0..2 * 16 * 16).map(|i| ((i + 131 * salt) as f32 * 0.011).sin()).collect();
+    let body: Vec<u8> = pixels.iter().flat_map(|f| f.to_le_bytes()).collect();
+    common::Client::connect(addr)
+        .request(
+            "POST",
+            &format!("/sessions/{id}/frames"),
+            &[("content-type", "application/octet-stream"), ("x-video-shape", "2x16x16")],
+            &body,
+        )
+        .unwrap()
+}
+
+#[test]
+fn mid_chunk_disconnect_leaves_the_session_resumable() {
+    let _guard = locked();
+    let mut server = Server::start(tiny_extractor(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let id = open_session(addr);
+
+    let resp = push_half_window(addr, id, 0);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // The client dies mid-chunk: a typed 400 before the session is even
+    // looked up — no torn frames land in the stream.
+    tsdx_tensor::faults::arm_body_disconnect(64);
+    let resp = push_half_window(addr, id, 1);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("mid-body"), "{}", resp.body);
+
+    // Resending the same chunk completes the window, and the result matches
+    // an untouched independent stream of the same frames: the disconnect
+    // left no residue.
+    let resp = push_half_window(addr, id, 1);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"ready\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"frames_seen\":4"), "{}", resp.body);
+    let reference = tiny_extractor();
+    let mut solo = reference.open_stream();
+    for salt in [0, 1] {
+        let pixels: Vec<f32> =
+            (0..2 * 16 * 16).map(|i| ((i + 131 * salt) as f32 * 0.011).sin()).collect();
+        solo.push_frames(&tsdx_tensor::Tensor::from_vec(pixels, &[2, 16, 16])).unwrap();
+    }
+    let expected = format!(
+        "\"scenario\":\"{}\"",
+        tsdx_serve::json::escape(&solo.describe().unwrap().to_string())
+    );
+    assert!(resp.body.contains(&expected), "{} !~ {expected}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn session_table_exhaustion_is_typed_and_transient() {
+    let _guard = locked();
+    let mut server = Server::start(tiny_extractor(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // The injected fault makes the table report capacity without filling
+    // 256 real slots.
+    tsdx_tensor::faults::arm_session_table_full();
+    let resp = common::Client::connect(addr).request("POST", "/sessions", &[], b"").unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert!(resp.body.contains("\"kind\":\"session_limit\""), "{}", resp.body);
+    assert!(resp.body.contains("\"retryable\":true"), "{}", resp.body);
+
+    // The shed is admission-time only: the retry succeeds and streams.
+    let id = open_session(addr);
+    let resp = push_half_window(addr, id, 0);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(server.stats().shed_sessions.load(std::sync::atomic::Ordering::Relaxed), 1);
+    server.shutdown();
+}
+
+#[test]
+fn session_route_panic_spares_listener_and_other_sessions() {
+    let _guard = locked();
+    let mut server = Server::start(tiny_extractor(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // An innocent bystander session with half a window in flight.
+    let id = open_session(addr);
+    let resp = push_half_window(addr, id, 0);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // The next session-route handler dies before touching any state.
+    tsdx_tensor::faults::arm_session_route_panic();
+    let resp = common::Client::connect(addr).request("POST", "/sessions", &[], b"").unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body);
+    assert!(resp.body.contains("injected fault"), "{}", resp.body);
+
+    // The listener survives, and the bystander session streams on with its
+    // buffered half-window intact.
+    assert_eq!(get(addr, "/healthz").status, 200);
+    let resp = push_half_window(addr, id, 1);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"ready\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"frames_seen\":4"), "{}", resp.body);
+    assert_eq!(server.stats().panics_caught.load(std::sync::atomic::Ordering::Relaxed), 1);
+    server.shutdown();
+}
+
 #[test]
 fn handler_panic_answers_500_and_spares_the_listener() {
     let _guard = locked();

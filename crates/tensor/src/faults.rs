@@ -25,7 +25,13 @@
 //! * [`arm_shard_tear`] — the next vector-index shard save writes only the
 //!   first `n` bytes, simulating a crash mid-write of a non-atomic writer;
 //! * [`arm_shard_bit_flip`] — the next vector-index shard save flips bit
-//!   `k` of the encoded shard, simulating silent at-rest corruption.
+//!   `k` of the encoded shard, simulating silent at-rest corruption;
+//! * [`arm_session_table_full`] — the serve layer's next session create
+//!   behaves as if the session table were at capacity (typed 429 without
+//!   filling hundreds of real slots);
+//! * [`arm_session_route_panic`] — the serve layer's next session-route
+//!   handler panics before touching session state (the listener and every
+//!   *other* session must survive).
 //!
 //! Every fault fires **at most once** and is disarmed when it fires, so a
 //! test arms exactly the failure it wants and the rest of the run proceeds
@@ -44,6 +50,8 @@ struct Armed {
     handler_panic_request: Option<u64>,
     shard_tear_after: Option<u64>,
     shard_flip_bit: Option<u64>,
+    session_table_full: bool,
+    session_route_panic: bool,
 }
 
 static ARMED: Mutex<Armed> = Mutex::new(Armed {
@@ -56,6 +64,8 @@ static ARMED: Mutex<Armed> = Mutex::new(Armed {
     handler_panic_request: None,
     shard_tear_after: None,
     shard_flip_bit: None,
+    session_table_full: false,
+    session_route_panic: false,
 });
 
 fn armed() -> std::sync::MutexGuard<'static, Armed> {
@@ -119,6 +129,18 @@ pub fn arm_shard_bit_flip(bit: u64) {
     armed().shard_flip_bit = Some(bit);
 }
 
+/// Arms a session-table exhaustion: the serve layer's next session create
+/// reports the table at capacity.
+pub fn arm_session_table_full() {
+    armed().session_table_full = true;
+}
+
+/// Arms a panic inside the serve layer's next session-route handler,
+/// firing before any session state is touched.
+pub fn arm_session_route_panic() {
+    armed().session_route_panic = true;
+}
+
 /// Disarms every pending fault.
 pub fn clear_all() {
     let mut a = armed();
@@ -131,6 +153,8 @@ pub fn clear_all() {
     a.handler_panic_request = None;
     a.shard_tear_after = None;
     a.shard_flip_bit = None;
+    a.session_table_full = false;
+    a.session_route_panic = false;
 }
 
 /// Polled by the pool: panics (once) when chunk `chunk` is armed.
@@ -196,6 +220,21 @@ pub fn take_body_disconnect() -> Option<usize> {
     armed().body_disconnect_after.take()
 }
 
+/// Polled by the serve session table: true (once) when exhaustion is
+/// armed.
+pub fn take_session_table_full() -> bool {
+    let mut a = armed();
+    std::mem::take(&mut a.session_table_full)
+}
+
+/// Polled by the serve session routes: true (once) when a route panic is
+/// armed. The caller panics when this fires — the registry only decides
+/// *when*.
+pub fn take_session_route_panic() -> bool {
+    let mut a = armed();
+    std::mem::take(&mut a.session_route_panic)
+}
+
 /// Polled by the serve request handler: true (once) when accepted request
 /// number `request` is armed.
 ///
@@ -250,6 +289,14 @@ mod tests {
         arm_shard_bit_flip(12);
         assert_eq!(take_shard_bit_flip(), Some(12));
         assert_eq!(take_shard_bit_flip(), None);
+
+        arm_session_table_full();
+        assert!(take_session_table_full());
+        assert!(!take_session_table_full(), "fault must disarm after firing");
+
+        arm_session_route_panic();
+        assert!(take_session_route_panic());
+        assert!(!take_session_route_panic(), "fault must disarm after firing");
         clear_all();
     }
 }

@@ -57,11 +57,18 @@ cargo test -q --features fault-inject
 echo "==> serve suite (HTTP hardening, batcher, error mapping, proptest fuzz)"
 TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve
 
-echo "==> serve fault-injection suite (accept stall, mid-body disconnect, handler panic)"
+echo "==> serve fault-injection suite (accept stall, mid-chunk disconnect, session-table exhaustion, route/handler panics)"
 TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve --features fault-inject --test fault_injection
 
 echo "==> serve smoke (boot server, health check, extraction round-trip, drain assert)"
 TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve --test smoke
+
+echo "==> session smoke (lifecycle routes, HTTP-vs-core parity, limits, TTL eviction)"
+TSDX_NUM_THREADS=2 cargo test -q -p tsdx-serve --test sessions
+
+
+echo "==> muxbench smoke (cross-stream batching amortizes per-group encode cost)"
+TSDX_NUM_THREADS=2 cargo run -q -p tsdx-bench --release --bin muxbench -- --quick > /dev/null
 
 echo "==> servebench smoke (overload sheds typed, p99 within deadline, drain completeness)"
 TSDX_NUM_THREADS=2 cargo run -q -p tsdx-bench --release --bin servebench -- --quick > /dev/null
